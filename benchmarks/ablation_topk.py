@@ -1,0 +1,87 @@
+"""Ablation: top-k strategies for the K-Threshold (§5.3).
+
+Three ways to produce the k best-scored elements of a TermJoin result:
+
+- ``sort``: full sort then cut (the naive K-Threshold expansion);
+- ``heap``: the bounded-heap TopK operator (O(n log k));
+- ``ta``: the Threshold Algorithm over per-term partial-score lists with
+  early termination — the [8]/[5] technique; its benefit is visible in
+  the *reads* statistic (it touches only a prefix of each list).
+"""
+
+import pytest
+
+from repro.access.termjoin import TermJoin
+from repro.access.topk import threshold_algorithm
+from repro.core.scoring import WeightedCountScorer
+
+K = 10
+FREQ = 5500
+
+
+@pytest.fixture(scope="module")
+def scored_results(corpus123):
+    store, rows = corpus123
+    row = next(r for r in rows["table1"] if r.label == FREQ)
+    scorer = WeightedCountScorer([row.terms[0]], [row.terms[1]])
+    results = TermJoin(store, scorer).run(list(row.terms))
+    # per-term partial-score lists for TA (descending)
+    per_term = []
+    for term, weight in ((row.terms[0], 0.8), (row.terms[1], 0.6)):
+        single = TermJoin(
+            store, WeightedCountScorer([term], primary_weight=weight)
+        ).run([term])
+        pairs = sorted(
+            ((r.score, (r.doc_id, r.node_id)) for r in single),
+            key=lambda p: -p[0],
+        )
+        per_term.append(pairs)
+    return results, per_term
+
+
+def topk_by_sort(results):
+    return sorted(results, key=lambda r: -r.score)[:K]
+
+
+def topk_by_heap(results):
+    import heapq
+
+    return heapq.nlargest(K, results, key=lambda r: r.score)
+
+
+def topk_by_ta(per_term):
+    top, _reads = threshold_algorithm(per_term, K)
+    return top
+
+
+@pytest.mark.parametrize("variant", ["sort", "heap", "ta"])
+def test_topk_strategies(benchmark, scored_results, variant):
+    results, per_term = scored_results
+    if variant == "sort":
+        out = benchmark.pedantic(
+            topk_by_sort, args=(results,), rounds=5, iterations=1
+        )
+    elif variant == "heap":
+        out = benchmark.pedantic(
+            topk_by_heap, args=(results,), rounds=5, iterations=1
+        )
+    else:
+        out = benchmark.pedantic(
+            topk_by_ta, args=(per_term,), rounds=5, iterations=1
+        )
+    assert len(out) == K
+
+
+def test_strategies_agree_on_scores(scored_results):
+    results, per_term = scored_results
+    sort_scores = [round(r.score, 9) for r in topk_by_sort(results)]
+    heap_scores = [round(r.score, 9) for r in topk_by_heap(results)]
+    ta_scores = [round(s, 9) for s, _item in topk_by_ta(per_term)]
+    assert sort_scores == heap_scores == ta_scores
+
+
+def test_ta_reads_prefix_only(scored_results):
+    _results, per_term = scored_results
+    _top, reads = threshold_algorithm(per_term, K)
+    total = sum(len(lst) for lst in per_term)
+    assert reads < total, "TA must stop before exhausting the lists"

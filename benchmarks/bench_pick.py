@@ -1,0 +1,42 @@
+"""The in-text Pick experiment (§6): parent/child redundancy elimination
+over scored trees of 200 → 55,000 nodes.  The paper reports 0.01–1.03 s
+over this range; the key property is near-linear scaling."""
+
+import pytest
+
+from repro.access.pick import PickAccess
+from repro.core.pick import PickCriterion
+from repro.workload.trees import random_scored_tree
+
+SIZES = [200, 1000, 5000, 15000, 30000, 55000]
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return {n: random_scored_tree(n, seed=n) for n in SIZES}
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_pick_parent_child_elimination(benchmark, trees, n_nodes):
+    access = PickAccess(
+        PickCriterion(relevance_threshold=0.8, qualification=0.5)
+    )
+    tree = trees[n_nodes]
+    picked, pruned = benchmark.pedantic(
+        access.run, args=(tree,), rounds=5, iterations=1
+    )
+    assert picked and pruned is not None
+
+
+@pytest.mark.parametrize("n_nodes", [5000, 30000])
+def test_pick_decision_pass_only(benchmark, trees, n_nodes):
+    """Just the picked-set computation (no output-tree construction),
+    isolating the stack-based decision pass."""
+    access = PickAccess(
+        PickCriterion(relevance_threshold=0.8, qualification=0.5)
+    )
+    tree = trees[n_nodes]
+    picked = benchmark.pedantic(
+        access.picked_nodes, args=(tree,), rounds=5, iterations=1
+    )
+    assert picked

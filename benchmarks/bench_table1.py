@@ -1,0 +1,70 @@
+"""Table 1: two index terms, equal frequency 20 → 10,000, **simple**
+scoring — TermJoin vs Comp1 / Comp2 / Generalized Meet.
+
+Regenerates every row of the paper's Table 1; run with
+
+    pytest benchmarks/bench_table1.py --benchmark-only \
+        --benchmark-group-by=param:freq
+"""
+
+import pytest
+
+from repro.access.composite import Comp1, Comp2
+from repro.access.termjoin import TermJoin
+from repro.core.scoring import WeightedCountScorer
+from repro.joins.meet import generalized_meet
+
+FREQ_IDS = [20, 100, 200, 300, 500, 1000, 2000, 3000, 5500, 7000, 10000]
+
+
+def _row(rows, freq):
+    return next(r for r in rows["table1"] if r.label == freq)
+
+
+def _scorer(terms):
+    return WeightedCountScorer([terms[0]], list(terms[1:]))
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_termjoin_simple(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    method = TermJoin(store, _scorer(row.terms))
+    result = benchmark.pedantic(
+        method.run, args=(list(row.terms),), rounds=5, iterations=1
+    )
+    assert result  # every planted term has ancestors to score
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_generalized_meet_simple(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    scorer = _scorer(row.terms)
+    result = benchmark.pedantic(
+        generalized_meet, args=(store, list(row.terms), scorer),
+        rounds=5, iterations=1,
+    )
+    assert result
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_comp1_simple(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    method = Comp1(store, _scorer(row.terms))
+    result = benchmark.pedantic(
+        method.run, args=(list(row.terms),), rounds=3, iterations=1
+    )
+    assert result
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_comp2_simple(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    method = Comp2(store, _scorer(row.terms))
+    result = benchmark.pedantic(
+        method.run, args=(list(row.terms),), rounds=3, iterations=1
+    )
+    assert result

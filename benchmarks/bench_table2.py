@@ -1,0 +1,76 @@
+"""Table 2: two index terms, equal frequency 20 → 10,000, **complex**
+scoring — adds Enhanced TermJoin (child counts from the structure index
+instead of data navigation)."""
+
+import pytest
+
+from repro.access.composite import Comp1, Comp2
+from repro.access.termjoin import EnhancedTermJoin, TermJoin
+from repro.core.scoring import ProximityScorer
+from repro.joins.meet import generalized_meet
+
+FREQ_IDS = [20, 100, 200, 300, 500, 1000, 2000, 3000, 5500, 7000, 10000]
+
+
+def _row(rows, freq):
+    return next(r for r in rows["table1"] if r.label == freq)
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_termjoin_complex(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    method = TermJoin(store, ProximityScorer(row.terms),
+                      complex_scoring=True)
+    result = benchmark.pedantic(
+        method.run, args=(list(row.terms),), rounds=5, iterations=1
+    )
+    assert result
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_enhanced_termjoin_complex(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    method = EnhancedTermJoin(store, ProximityScorer(row.terms),
+                              complex_scoring=True)
+    result = benchmark.pedantic(
+        method.run, args=(list(row.terms),), rounds=5, iterations=1
+    )
+    assert result
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_generalized_meet_complex(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    scorer = ProximityScorer(row.terms)
+    result = benchmark.pedantic(
+        generalized_meet,
+        args=(store, list(row.terms), scorer),
+        kwargs={"complex_scoring": True},
+        rounds=5, iterations=1,
+    )
+    assert result
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_comp1_complex(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    method = Comp1(store, ProximityScorer(row.terms), complex_scoring=True)
+    result = benchmark.pedantic(
+        method.run, args=(list(row.terms),), rounds=3, iterations=1
+    )
+    assert result
+
+
+@pytest.mark.parametrize("freq", FREQ_IDS)
+def test_comp2_complex(benchmark, corpus123, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    method = Comp2(store, ProximityScorer(row.terms), complex_scoring=True)
+    result = benchmark.pedantic(
+        method.run, args=(list(row.terms),), rounds=3, iterations=1
+    )
+    assert result

@@ -1,0 +1,42 @@
+"""Table 3: term1 frequency fixed at 1,000, term2 frequency 20 → 7,000,
+complex scoring."""
+
+import pytest
+
+from repro.access.composite import Comp1, Comp2
+from repro.access.termjoin import EnhancedTermJoin, TermJoin
+from repro.core.scoring import ProximityScorer
+from repro.joins.meet import generalized_meet
+
+TERM2_FREQS = [20, 200, 1000, 3000, 7000]
+
+
+def _row(rows, freq):
+    return next(r for r in rows["table3"] if r.label == freq)
+
+
+def _methods(store, terms):
+    scorer = ProximityScorer(terms)
+    return {
+        "comp1": (Comp1(store, scorer, True).run, 3),
+        "comp2": (Comp2(store, scorer, True).run, 3),
+        "meet": (
+            lambda t: generalized_meet(store, t, scorer, True), 5
+        ),
+        "termjoin": (TermJoin(store, scorer, True).run, 5),
+        "enhanced": (EnhancedTermJoin(store, scorer, True).run, 5),
+    }
+
+
+@pytest.mark.parametrize("freq", TERM2_FREQS)
+@pytest.mark.parametrize(
+    "technique", ["comp1", "comp2", "meet", "termjoin", "enhanced"]
+)
+def test_table3(benchmark, corpus123, technique, freq):
+    store, rows = corpus123
+    row = _row(rows, freq)
+    fn, rounds = _methods(store, row.terms)[technique]
+    result = benchmark.pedantic(
+        fn, args=(list(row.terms),), rounds=rounds, iterations=1
+    )
+    assert result

@@ -1,0 +1,42 @@
+"""Table 4: query size 2 → 7 terms, each term frequency ≈1,500, complex
+scoring."""
+
+import pytest
+
+from repro.access.composite import Comp1, Comp2
+from repro.access.termjoin import EnhancedTermJoin, TermJoin
+from repro.core.scoring import ProximityScorer
+from repro.joins.meet import generalized_meet
+
+PHRASE_SIZES = [2, 3, 4, 5, 6, 7]
+
+
+def _row(rows, n_terms):
+    return next(r for r in rows if r.label == n_terms)
+
+
+def _methods(store, terms):
+    scorer = ProximityScorer(terms)
+    return {
+        "comp1": (Comp1(store, scorer, True).run, 3),
+        "comp2": (Comp2(store, scorer, True).run, 3),
+        "meet": (
+            lambda t: generalized_meet(store, t, scorer, True), 5
+        ),
+        "termjoin": (TermJoin(store, scorer, True).run, 5),
+        "enhanced": (EnhancedTermJoin(store, scorer, True).run, 5),
+    }
+
+
+@pytest.mark.parametrize("n_terms", PHRASE_SIZES)
+@pytest.mark.parametrize(
+    "technique", ["comp1", "comp2", "meet", "termjoin", "enhanced"]
+)
+def test_table4(benchmark, corpus4, technique, n_terms):
+    store, rows = corpus4
+    row = _row(rows, n_terms)
+    fn, rounds = _methods(store, row.terms)[technique]
+    result = benchmark.pedantic(
+        fn, args=(list(row.terms),), rounds=rounds, iterations=1
+    )
+    assert result

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures: full-scale synthetic corpora.
+
+``TIX_BENCH_SCALE`` (default 1.0) scales every planted term frequency;
+the paper's nominal frequencies are used verbatim at 1.0.  Corpora are
+session-scoped — they are built once and shared by all benchmarks in the
+session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workload import (
+    generate_corpus,
+    table123_spec,
+    table4_spec,
+    table5_spec,
+)
+
+SCALE = float(os.environ.get("TIX_BENCH_SCALE", "1.0"))
+
+
+def pytest_report_header(config):
+    return f"TIX bench scale: {SCALE} (set TIX_BENCH_SCALE to change)"
+
+
+@pytest.fixture(scope="session")
+def corpus123():
+    """Corpus + sweep rows for Tables 1-3.  1,200 articles ≈ 82k
+    elements: large enough that the Comp2 full-element-scan cost
+    dominates at low frequencies and the Comp1/Comp2 crossover lands in
+    the upper half of the sweep, as in the paper."""
+    spec, rows = table123_spec(scale=SCALE, n_articles=1200)
+    store = generate_corpus(spec)
+    store.index          # build the inverted index up front
+    store.structure      # and the structure index
+    return store, rows
+
+
+@pytest.fixture(scope="session")
+def corpus4():
+    """Corpus + rows for Table 4."""
+    spec, rows = table4_spec(scale=SCALE, n_articles=400)
+    store = generate_corpus(spec)
+    store.index
+    store.structure
+    return store, rows
+
+
+@pytest.fixture(scope="session")
+def corpus5():
+    """Corpus + rows for Table 5 (phrase frequencies scaled 20× down
+    from the paper's at SCALE=1.0; see EXPERIMENTS.md)."""
+    spec, rows = table5_spec(scale=0.05 * SCALE, n_articles=400)
+    store = generate_corpus(spec)
+    store.index
+    return store, rows

@@ -1,0 +1,63 @@
+"""Quickstart: load XML, ask an IR-style question, get ranked elements.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.xmldb import XMLStore
+from repro.query import run_query
+
+CATALOG = """
+<catalog>
+  <product id="p1">
+    <name>Solar Garden Lantern</name>
+    <blurb>A solar powered lantern for garden paths. The solar panel
+           charges all day and the lantern glows all night.</blurb>
+  </product>
+  <product id="p2">
+    <name>Camping Lantern</name>
+    <blurb>A rugged battery lantern for camping trips.</blurb>
+  </product>
+  <product id="p3">
+    <name>Solar Phone Charger</name>
+    <blurb>Charge your phone with a folding solar panel.</blurb>
+  </product>
+</catalog>
+"""
+
+
+def main() -> None:
+    # 1. Load documents into a store (parsing, region numbering and
+    #    inverted-index construction all happen behind this call).
+    store = XMLStore.from_sources({"catalog.xml": CATALOG})
+
+    # 2. Ask for document components about "solar" lanterns.  The Score
+    #    clause attaches relevance scores (0.8 per "solar", 0.6 per
+    #    "lantern"); Threshold + Sortby rank and cut the answers.
+    results = run_query(store, '''
+        For $x in document("catalog.xml")//product/descendant-or-self::*
+        Score $x using ScoreFoo($x, {"solar"}, {"lantern"})
+        Return <hit><score>{ $x/@score }</score>{ $x }</hit>
+        Sortby(score)
+        Threshold $x/@score > 0 stop after 3
+    ''')
+
+    print(f"{len(results)} ranked hits:\n")
+    for tree in results:
+        element = tree.root.children[1]
+        print(f"  score={tree.score:<5g} <{element.tag}> "
+              f"{element.alltext()[:60]}")
+
+    # 3. The same question straight through the access-method API:
+    from repro.access import TermJoin
+    from repro.core.scoring import WeightedCountScorer
+
+    scorer = WeightedCountScorer(primary=["solar"], secondary=["lantern"])
+    hits = TermJoin(store, scorer).run(["solar", "lantern"])
+    best = max(hits, key=lambda h: h.score)
+    doc = store.document(best.doc_id)
+    print(f"\nTermJoin's best element: <{doc.tags[best.node_id]}> "
+          f"score={best.score:g}")
+
+
+if __name__ == "__main__":
+    main()

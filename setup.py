@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The container this reproduction targets has no network access and no
+``wheel`` package, so PEP-517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or
+``python setup.py develop``) work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""TIX: Querying Structured Text in an XML Database — a faithful,
+from-scratch reproduction of Al-Khalifa, Yu & Jagadish (SIGMOD 2003).
+
+Layers (bottom-up):
+
+- :mod:`repro.xmldb` — region-encoded XML storage substrate (own parser,
+  documents, store, statistics);
+- :mod:`repro.index` — positional inverted index and structure index;
+- :mod:`repro.joins` — stack-based structural joins and Generalized Meet;
+- :mod:`repro.core` — the TIX algebra: scored trees, scored pattern
+  trees, Selection/Projection/Join/Threshold/Pick, scoring functions;
+- :mod:`repro.access` — the access methods: TermJoin, Enhanced TermJoin,
+  PhraseFinder, stack-based Pick, and the Comp1/Comp2/Comp3 baselines;
+- :mod:`repro.engine` — pipelined (open/next/close) physical operators;
+- :mod:`repro.query` — the extended-XQuery front end (parser, evaluator,
+  plan compiler, user-function registry);
+- :mod:`repro.workload` / :mod:`repro.bench` — synthetic INEX-like
+  corpora and the harness regenerating every table of the paper's §6.
+
+Quickstart::
+
+    from repro.xmldb import XMLStore
+    from repro.query import run_query
+
+    store = XMLStore.from_sources({"articles.xml": "<article>…</article>"})
+    results = run_query(store, '''
+        For $a in document("articles.xml")//article/descendant-or-self::*
+        Score $a using ScoreFoo($a, {"search engine"}, {"internet"})
+        Pick $a using PickFoo($a)
+        Return <result><score>{ $a/@score }</score>{ $a }</result>
+        Sortby(score)
+        Threshold $a/@score > 0 stop after 5
+    ''')
+"""
+
+__version__ = "1.0.0"
+
+from repro.xmldb import XMLStore, parse_document
+from repro.core import (
+    STree,
+    SNode,
+    ScoredPatternTree,
+    PatternNode,
+    EdgeType,
+    scored_selection,
+    scored_projection,
+    scored_join,
+    threshold,
+    pick,
+    PickCriterion,
+)
+from repro.access import (
+    TermJoin,
+    EnhancedTermJoin,
+    PhraseFinder,
+    PickAccess,
+)
+from repro.query import run_query
+
+__all__ = [
+    "__version__",
+    "XMLStore",
+    "parse_document",
+    "STree",
+    "SNode",
+    "ScoredPatternTree",
+    "PatternNode",
+    "EdgeType",
+    "scored_selection",
+    "scored_projection",
+    "scored_join",
+    "threshold",
+    "pick",
+    "PickCriterion",
+    "TermJoin",
+    "EnhancedTermJoin",
+    "PhraseFinder",
+    "PickAccess",
+    "run_query",
+]

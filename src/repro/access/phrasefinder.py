@@ -1,0 +1,106 @@
+"""PhraseFinder (§5.1.2).
+
+Verifies phrase occurrence *during* the posting-list intersection using
+the word-offset information kept in the index: an element contains the
+phrase ``t1 t2 … tk`` iff its direct text has an occurrence of ``t1`` at
+offset ``o`` and of each ``t_i`` at offset ``o+i-1`` — no database access,
+no text re-scan.
+
+Counts of phrase occurrences are turned into scores via a pluggable
+per-count weight (the paper: "counts of phrase occurrences are then used
+to generate appropriate score values").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence, Set, Tuple
+
+from repro.access.results import PhraseMatch
+from repro.index.inverted import P_DOC, P_NODE, P_OFFSET, P_POS
+from repro.xmldb.store import XMLStore
+
+
+class PhraseOccurrence(NamedTuple):
+    """One phrase occurrence: where the phrase *starts*."""
+
+    doc_id: int
+    pos: int       # region position of the first word
+    node_id: int   # element whose direct text holds the phrase
+    offset: int    # word offset of the first word within that element
+
+
+class PhraseFinder:
+    """The PhraseFinder access method."""
+
+    name = "PhraseFinder"
+
+    def __init__(self, store: XMLStore, phrase_weight: float = 1.0):
+        self.store = store
+        self.phrase_weight = phrase_weight
+
+    def run(self, phrase_terms: Sequence[str]) -> List[PhraseMatch]:
+        """Elements whose direct text contains the phrase, with occurrence
+        counts and scores, in document order."""
+        occurrences = self.occurrences(phrase_terms)
+        out: List[PhraseMatch] = []
+        counts: Dict[Tuple[int, int], int] = {}
+        for occ in occurrences:
+            key = (occ.doc_id, occ.node_id)
+            counts[key] = counts.get(key, 0) + 1
+        for (doc_id, node_id), count in sorted(counts.items()):
+            out.append(
+                PhraseMatch(
+                    doc_id, node_id, count, count * self.phrase_weight
+                )
+            )
+        return out
+
+    def occurrences(
+        self, phrase_terms: Sequence[str]
+    ) -> List[PhraseOccurrence]:
+        """Every phrase occurrence, with the start word's region
+        position — the input :class:`~repro.access.phrasejoin.PhraseJoin`
+        needs to score *ancestors* by phrase counts.  Sorted by
+        (doc, pos)."""
+        if not phrase_terms:
+            return []
+        index = self.store.index
+        counters = self.store.counters
+        terms = [t.lower() for t in phrase_terms]
+
+        # Offsets per (doc, node) for each term, gathered in one pass per
+        # posting list.  Intersection and offset verification are fused:
+        # a node survives only while every prefix term has a matching
+        # offset chain.  Each chain remembers where it started.
+        first = index.postings(terms[0])
+        counters.index_lookups += 1
+        counters.postings_read += len(first)
+        # chains: (doc, node) -> {end_offset: (start_pos, start_offset)}
+        chains: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
+        for p in first:
+            chains.setdefault((p[P_DOC], p[P_NODE]), {})[p[P_OFFSET]] = (
+                p[P_POS], p[P_OFFSET]
+            )
+
+        for term in terms[1:]:
+            if not chains:
+                break
+            postings = index.postings(term)
+            counters.index_lookups += 1
+            counters.postings_read += len(postings)
+            nxt: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
+            for p in postings:
+                key = (p[P_DOC], p[P_NODE])
+                prev = chains.get(key)
+                if prev is not None and p[P_OFFSET] - 1 in prev:
+                    nxt.setdefault(key, {})[p[P_OFFSET]] = \
+                        prev[p[P_OFFSET] - 1]
+            chains = nxt
+
+        occs = [
+            PhraseOccurrence(doc_id, start_pos, node_id, start_offset)
+            for (doc_id, node_id), ends in chains.items()
+            for (start_pos, start_offset) in ends.values()
+        ]
+        occs.sort()
+        return occs

@@ -1,0 +1,124 @@
+"""PhraseJoin: TermJoin's stack over PhraseFinder's phrase occurrences.
+
+The paper's two score-generating access methods compose naturally: the
+``ScoreFoo`` family scores an element by *phrase* occurrence counts over
+its whole subtree, so an efficient plan first finds phrase occurrences
+with PhraseFinder (offset verification during intersection, §5.1.2), then
+scores every ancestor with TermJoin's single stack pass (§5.1.1) — one
+"posting" per phrase occurrence, weighted per phrase.
+
+A single-term phrase degenerates to plain TermJoin, so PhraseJoin is the
+general score-generating method for ``ScoreFoo``-style weighted phrase
+scoring, and the plan compiler lowers multi-word Score clauses onto it.
+
+Semantics note: phrases match within one text node's direct text (the
+standard IR behaviour PhraseFinder implements); a phrase spanning an
+element boundary does not count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.access.phrasefinder import PhraseFinder, PhraseOccurrence
+from repro.access.results import ScoredElement
+from repro.xmldb.store import XMLStore
+from repro.xmldb.text import tokenize_phrase
+
+
+class PhraseJoin:
+    """Score every element whose subtree contains at least one occurrence
+    of any query phrase: ``score = Σ_i weight_i · count_i(subtree)``."""
+
+    name = "PhraseJoin"
+
+    def __init__(
+        self,
+        store: XMLStore,
+        phrases: Sequence[str],
+        weights: Sequence[float],
+    ):
+        if len(phrases) != len(weights):
+            raise ValueError("phrases and weights must align")
+        self.store = store
+        self.phrases = [tokenize_phrase(p) for p in phrases]
+        self.weights = list(weights)
+        self._finder = PhraseFinder(store)
+
+    @classmethod
+    def from_scorer(cls, store: XMLStore, scorer) -> "PhraseJoin":
+        """Build from a :class:`~repro.core.scoring.WeightedCountScorer`
+        (its phrase list and weights carry over verbatim)."""
+        phrases = []
+        weights = []
+        for terms, weight in scorer.phrases:
+            phrases.append(" ".join(terms))
+            weights.append(weight)
+        return cls(store, phrases, weights)
+
+    def run(self, phrases: Sequence[str] = ()) -> List[ScoredElement]:
+        """Run the join.  ``phrases`` (if given) overrides the
+        constructor's phrase list, keeping the constructor weights when
+        the count matches (source-compatibility with the TermJoinScan
+        operator, which passes its term list through)."""
+        phrase_lists = (
+            [tokenize_phrase(p) for p in phrases] if phrases
+            else self.phrases
+        )
+        weights = (
+            self.weights if len(phrase_lists) == len(self.weights)
+            else [1.0] * len(phrase_lists)
+        )
+
+        # One merged, (doc, pos)-sorted occurrence stream, tagged with
+        # the phrase index (Timsort merges the per-phrase sorted runs).
+        merged: List[Tuple[int, int, int, int]] = []
+        for pi, terms in enumerate(phrase_lists):
+            for occ in self._finder.occurrences(terms):
+                merged.append((occ.doc_id, occ.pos, occ.node_id, pi))
+        merged.sort()
+
+        out: List[ScoredElement] = []
+        # stack entries: [node_id, counts per phrase index]
+        stack: List[Tuple[int, List[int]]] = []
+        n_phrases = len(phrase_lists)
+        cur_doc = None
+        cur_doc_id = -1
+        parents: List[int] = []
+        ends: List[int] = []
+
+        def pop_and_emit() -> None:
+            node_id, counts = stack.pop()
+            if stack:
+                top_counts = stack[-1][1]
+                for i in range(n_phrases):
+                    top_counts[i] += counts[i]
+            score = sum(
+                weights[i] * counts[i]
+                for i in range(n_phrases) if counts[i]
+            )
+            out.append(ScoredElement(cur_doc_id, node_id, score))
+
+        for doc_id, pos, node_id, pi in merged:
+            if doc_id != cur_doc_id:
+                while stack:
+                    pop_and_emit()
+                cur_doc = self.store.document(doc_id)
+                cur_doc_id = doc_id
+                parents = cur_doc.parents
+                ends = cur_doc.ends
+            while stack and ends[stack[-1][0]] < pos:
+                pop_and_emit()
+            top_node = stack[-1][0] if stack else -1
+            chain: List[int] = []
+            cur = node_id
+            while cur != -1 and cur != top_node:
+                chain.append(cur)
+                cur = parents[cur]
+            for nid in reversed(chain):
+                stack.append((nid, [0] * n_phrases))
+            stack[-1][1][pi] += 1
+
+        while stack:
+            pop_and_emit()
+        return out

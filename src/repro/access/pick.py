@@ -1,0 +1,141 @@
+"""The Pick access method (Fig. 12): stack-based, single pass, linear.
+
+Evaluates the Pick operator over a scored data tree using the two
+user-supplied decisions of the paper's algorithm:
+
+- ``DetWorth`` — is a candidate worth returning on its own (the
+  :class:`~repro.core.pick.PickCriterion` encapsulates the paper's default:
+  relevance threshold + child-qualification percentage, optionally driven
+  by a score histogram);
+- ``IsSameClass`` — optional horizontal redundancy elimination between
+  sibling candidates of the same return class.
+
+The paper's pseudo-code interleaves a node stack and an answer stack over
+the leaf list; its net semantics (every candidate judged once, a candidate
+blocked when its direct parent is picked, descendants of dropped nodes
+promoted) are implemented here as one iterative document-order pass with
+an explicit stack — no recursion, O(nodes) time, O(depth) live stack — and
+are tested equivalent to the declarative two-pass formulation in
+:mod:`repro.core.pick`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.pick import PickCriterion
+from repro.core.trees import SNode, STree
+
+
+class PickAccess:
+    """Stack-based evaluator for the Pick operator."""
+
+    name = "Pick"
+
+    def __init__(self, criterion: PickCriterion,
+                 is_candidate: Optional[Callable[[SNode], bool]] = None):
+        self.criterion = criterion
+        #: default candidate rule: every scored node is a data IR-node
+        self.is_candidate = is_candidate or (
+            lambda n: n.score is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Decision pass
+    # ------------------------------------------------------------------
+
+    def picked_nodes(self, tree: STree) -> List[SNode]:
+        """All picked candidates, document order, in one stack-driven
+        pass.  ``worth`` reads only the children's scores, so each node is
+        decided the moment it is first visited; the stack carries the
+        parent's picked flag downward."""
+        criterion = self.criterion
+        is_candidate = self.is_candidate
+        picked: List[SNode] = []
+        picked_ids = set()
+        # stack of (node, parent_picked)
+        stack: List[Tuple[SNode, bool]] = [(tree.root, False)]
+        while stack:
+            node, parent_picked = stack.pop()
+            node_picked = False
+            if not parent_picked and is_candidate(node):
+                if criterion.worth(node, node.children):
+                    node_picked = True
+                    picked.append(node)
+                    picked_ids.add(id(node))
+            for child in reversed(node.children):
+                stack.append((child, node_picked))
+
+        picked.sort(key=lambda n: n.order_start)
+        if criterion.is_same_class is not None:
+            picked = self._horizontal(tree, picked, picked_ids)
+        return picked
+
+    def _horizontal(
+        self, tree: STree, picked: List[SNode], picked_ids: set
+    ) -> List[SNode]:
+        """Drop picked siblings redundant under ``IsSameClass`` (keep the
+        document-first of each class per parent)."""
+        same = self.criterion.is_same_class
+        assert same is not None
+        survivors: List[SNode] = []
+        stack: List[SNode] = [tree.root]
+        while stack:
+            node = stack.pop()
+            leaders: List[SNode] = []
+            for child in node.children:
+                if id(child) in picked_ids:
+                    if any(same(leader, child) for leader in leaders):
+                        picked_ids.discard(id(child))
+                    else:
+                        leaders.append(child)
+            for child in reversed(node.children):
+                stack.append(child)
+        for n in picked:
+            if id(n) in picked_ids:
+                survivors.append(n)
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Full operator: decide + prune
+    # ------------------------------------------------------------------
+
+    def run(self, tree: STree) -> Tuple[List[SNode], Optional[STree]]:
+        """Return ``(picked candidates, pruned output tree)``.  Dropped
+        candidates are removed with their children promoted; non-candidate
+        nodes always survive as context."""
+        picked = self.picked_nodes(tree)
+        picked_ids = {id(n) for n in picked}
+        is_candidate = self.is_candidate
+
+        # Iterative prune (post-order via explicit stack) to keep the
+        # access method recursion-free for deep inputs.
+        # frames: (node, child_iter_index, rebuilt_children)
+        result_of = {}
+        stack: List[Tuple[SNode, int, List[SNode]]] = [(tree.root, 0, [])]
+        while stack:
+            node, i, rebuilt = stack.pop()
+            if i < len(node.children):
+                stack.append((node, i + 1, rebuilt))
+                stack.append((node.children[i], 0, []))
+                continue
+            # all children processed; children results in rebuilt
+            if is_candidate(node) and id(node) not in picked_ids:
+                result_of[id(node)] = rebuilt  # dropped: promote children
+            else:
+                clone = node.shallow_copy()
+                clone.children = rebuilt
+                result_of[id(node)] = [clone]
+            if stack:
+                parent_frame = stack[-1]
+                parent_frame[2].extend(result_of.pop(id(node)))
+
+        roots = result_of.pop(id(tree.root))
+        if not roots:
+            return picked, None
+        if len(roots) == 1:
+            return picked, STree(roots[0])
+        context = tree.root.shallow_copy()
+        context.score = None
+        context.children = roots
+        return picked, STree(context)

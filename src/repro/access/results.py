@@ -1,0 +1,31 @@
+"""Result records shared by the access methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScoredElement:
+    """One scored element produced by a score-generating access method
+    (TermJoin, Generalized Meet, the composite plans, PhraseFinder): a
+    global node address plus its relevance score."""
+
+    doc_id: int
+    node_id: int
+    score: float
+
+    def key(self):
+        """(doc, node) grouping key."""
+        return (self.doc_id, self.node_id)
+
+
+@dataclass(frozen=True)
+class PhraseMatch:
+    """One element containing phrase occurrences, with the count of
+    occurrences and the resulting score."""
+
+    doc_id: int
+    node_id: int
+    count: int
+    score: float

@@ -1,0 +1,49 @@
+"""Scorer protocols for the score-generating access methods.
+
+TermJoin's ``ComputeScore`` callback (Fig. 11) comes in two shapes,
+matching the paper's two scoring modes (§5.1.1 "Complex Scoring
+Function"):
+
+- **simple** (``s`` = true): the score of a popped element depends only on
+  its accumulated per-term counters — :class:`SimpleScorer`;
+- **complex** (``s`` = false): the score additionally examines the buffer
+  of term occurrences (for proximity) and the number of relevant vs total
+  children — :class:`ComplexScorer`.
+
+:class:`~repro.core.scoring.WeightedCountScorer` satisfies
+:class:`SimpleScorer`; :class:`~repro.core.scoring.ProximityScorer`
+satisfies :class:`ComplexScorer`.  These protocols exist so custom scoring
+functions can be plugged into the access methods, as the paper's
+declarative-scoring goal requires.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class SimpleScorer(Protocol):
+    """Scores from per-term occurrence counters only."""
+
+    def score_from_counts(self, counts: Mapping[str, int]) -> float:
+        """Score of an element whose subtree holds ``counts[t]``
+        occurrences of each query term ``t``."""
+        ...
+
+
+@runtime_checkable
+class ComplexScorer(Protocol):
+    """Scores from the ordered occurrence buffer plus child statistics."""
+
+    def score_from_occurrences(
+        self,
+        occurrences: Sequence[Tuple[str, int, int]],
+        n_children: int,
+        n_relevant_children: int,
+    ) -> float:
+        """Score of an element given its document-ordered occurrence list
+        ``(term, text_node_id, offset)``, total child-element count, and
+        the number of children whose subtrees contain at least one query
+        term."""
+        ...

@@ -1,0 +1,88 @@
+"""Timing and table-rendering utilities.
+
+The paper's protocol (§6): "Each experiment was run five times.  The
+lowest and highest readings were ignored and the remaining three were
+averaged."  :func:`timed_trimmed_mean` reproduces that protocol, with a
+configurable run count so the slow baselines can use fewer repetitions
+(the deviation is printed when that happens).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+def timed_trimmed_mean(fn: Callable[[], object], runs: int = 5) -> float:
+    """Wall-clock seconds for ``fn()``, paper protocol: run ``runs``
+    times, drop min and max, average the rest.  With fewer than three
+    runs, the plain mean is returned."""
+    times: List[float] = []
+    for _ in range(max(1, runs)):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    if len(times) >= 3:
+        times.sort()
+        times = times[1:-1]
+    return sum(times) / len(times)
+
+
+@dataclass
+class BenchResult:
+    """One rendered experiment: a header, column names, and rows of
+    (label, value…) with floats formatted like the paper's tables."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def cell(self, row_label: object, column: str) -> object:
+        """Value at (row with first cell == row_label, column)."""
+        ci = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[ci]
+        raise KeyError(f"no row labelled {row_label!r}")
+
+    def column(self, column: str) -> List[object]:
+        ci = self.columns.index(column)
+        return [row[ci] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows, self.notes)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 0.01:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 notes: Sequence[str] = ()) -> str:
+    """Monospace table in the style of the paper's result tables."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in str_rows)) if str_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [title]
+    header = " | ".join(col.rjust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

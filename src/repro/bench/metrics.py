@@ -1,0 +1,91 @@
+"""Ranking-quality metrics: precision/recall@k, average precision, nDCG.
+
+§6.1 justifies the complex scoring function qualitatively ("it is more
+accurate … makes a better use of XML's structure to enhance the quality
+of the score"); these standard IR metrics let the reproduction *measure*
+that claim on synthetic relevance judgments
+(:mod:`repro.workload.relevance`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence, Set
+
+
+def precision_at_k(ranked: Sequence[Hashable],
+                   relevant: Set[Hashable], k: int) -> float:
+    """Fraction of the top-k that is relevant."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = list(ranked[:k])
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / k
+
+
+def recall_at_k(ranked: Sequence[Hashable],
+                relevant: Set[Hashable], k: int) -> float:
+    """Fraction of all relevant items found in the top-k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / len(relevant)
+
+
+def average_precision(ranked: Sequence[Hashable],
+                      relevant: Set[Hashable]) -> float:
+    """AP: mean of precision@rank over the ranks of relevant items
+    (unretrieved relevant items count as zero)."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def mean_average_precision(
+    rankings: Sequence[Sequence[Hashable]],
+    relevants: Sequence[Set[Hashable]],
+) -> float:
+    """MAP over a query set."""
+    if len(rankings) != len(relevants):
+        raise ValueError("rankings and relevants must align")
+    if not rankings:
+        return 0.0
+    return sum(
+        average_precision(r, rel) for r, rel in zip(rankings, relevants)
+    ) / len(rankings)
+
+
+def dcg_at_k(gains: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of a gain vector."""
+    return sum(
+        g / math.log2(i + 2) for i, g in enumerate(gains[:k])
+    )
+
+
+def ndcg_at_k(ranked: Sequence[Hashable],
+              gain: Dict[Hashable, float], k: int) -> float:
+    """Normalized DCG@k with graded relevance ``gain`` (absent items
+    gain 0)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    actual = dcg_at_k([gain.get(item, 0.0) for item in ranked], k)
+    ideal = dcg_at_k(sorted(gain.values(), reverse=True), k)
+    return actual / ideal if ideal > 0 else 0.0
+
+
+def reciprocal_rank(ranked: Sequence[Hashable],
+                    relevant: Set[Hashable]) -> float:
+    """1/rank of the first relevant item (0 when none retrieved)."""
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            return 1.0 / rank
+    return 0.0

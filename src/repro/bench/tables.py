@@ -1,0 +1,180 @@
+"""One harness function per table/figure of the evaluation section.
+
+Each ``run_table*`` takes a prepared store and sweep rows (from
+:mod:`repro.workload.benchspec`), measures every technique with the
+paper's trimmed-mean protocol, prints the table, and returns the
+:class:`~repro.bench.harness.BenchResult` so callers (EXPERIMENTS
+generation, tests) can assert on the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.access.composite import Comp1, Comp2, Comp3
+from repro.access.phrasefinder import PhraseFinder
+from repro.access.pick import PickAccess
+from repro.access.termjoin import EnhancedTermJoin, TermJoin
+from repro.bench.harness import BenchResult, timed_trimmed_mean
+from repro.core.pick import PickCriterion
+from repro.core.scoring import ProximityScorer, WeightedCountScorer
+from repro.joins.meet import generalized_meet
+from repro.workload.benchspec import PICK_INPUT_SIZES, PhraseRow, TermRow
+from repro.workload.trees import random_scored_tree
+from repro.xmldb.store import XMLStore
+
+
+def _simple_scorer(terms: Sequence[str]) -> WeightedCountScorer:
+    """The experiments' simple scoring function: a weighted sum of the
+    occurrences of each term (§6.1) — first term weight 0.8, rest 0.6."""
+    return WeightedCountScorer(
+        primary=[terms[0]], secondary=list(terms[1:])
+    )
+
+
+def _complex_scorer(terms: Sequence[str]) -> ProximityScorer:
+    """The experiments' complex scoring function (§6.1): proximity plus
+    relevant-children ratio."""
+    return ProximityScorer(terms)
+
+
+def _techniques(store: XMLStore, terms: Sequence[str],
+                complex_scoring: bool,
+                include_enhanced: bool) -> Dict[str, Callable[[], object]]:
+    scorer = (
+        _complex_scorer(terms) if complex_scoring else _simple_scorer(terms)
+    )
+    techs: Dict[str, Callable[[], object]] = {
+        "Comp1": Comp1(store, scorer, complex_scoring).run,
+        "Comp2": Comp2(store, scorer, complex_scoring).run,
+        "GenMeet": lambda t=tuple(terms): generalized_meet(
+            store, t, scorer, complex_scoring
+        ),
+        "TermJoin": TermJoin(store, scorer, complex_scoring).run,
+    }
+    if include_enhanced:
+        techs["EnhTermJoin"] = EnhancedTermJoin(
+            store, scorer, complex_scoring
+        ).run
+    return techs
+
+
+def _sweep(
+    store: XMLStore,
+    rows: Sequence[TermRow],
+    title: str,
+    complex_scoring: bool,
+    include_enhanced: bool,
+    runs: int = 5,
+    slow_runs: int = 3,
+) -> BenchResult:
+    cols = ["freq" if title != "Table 4" else "n_terms",
+            "Comp1", "Comp2", "GenMeet", "TermJoin"]
+    if include_enhanced:
+        cols.append("EnhTermJoin")
+    result = BenchResult(title, cols)
+    result.notes.append(
+        f"corpus: {store.n_elements} elements, {store.n_words} words"
+    )
+    for row in rows:
+        techs = _techniques(
+            store, row.terms, complex_scoring, include_enhanced
+        )
+        values: List[object] = [row.label]
+        for name in cols[1:]:
+            fn = techs[name]
+            n_runs = slow_runs if name in ("Comp1", "Comp2") else runs
+            values.append(
+                timed_trimmed_mean(
+                    lambda f=fn, t=row.terms: f(list(t)), runs=n_runs
+                )
+            )
+        result.add_row(*values)
+    return result
+
+
+def run_table1(store: XMLStore, rows: Sequence[TermRow],
+               runs: int = 5) -> BenchResult:
+    """Table 1: two terms, equal frequencies, simple scoring."""
+    res = _sweep(store, rows, "Table 1", complex_scoring=False,
+                 include_enhanced=False, runs=runs)
+    print(res.render())
+    return res
+
+
+def run_table2(store: XMLStore, rows: Sequence[TermRow],
+               runs: int = 5) -> BenchResult:
+    """Table 2: two terms, equal frequencies, complex scoring, with
+    Enhanced TermJoin."""
+    res = _sweep(store, rows, "Table 2", complex_scoring=True,
+                 include_enhanced=True, runs=runs)
+    print(res.render())
+    return res
+
+
+def run_table3(store: XMLStore, rows: Sequence[TermRow],
+               runs: int = 5) -> BenchResult:
+    """Table 3: term1 fixed at 1,000, term2 varies, complex scoring."""
+    res = _sweep(store, rows, "Table 3", complex_scoring=True,
+                 include_enhanced=True, runs=runs)
+    print(res.render())
+    return res
+
+
+def run_table4(store: XMLStore, rows: Sequence[TermRow],
+               runs: int = 5) -> BenchResult:
+    """Table 4: phrase size 2..7, term frequency ≈1,500, complex
+    scoring."""
+    res = _sweep(store, rows, "Table 4", complex_scoring=True,
+                 include_enhanced=True, runs=runs)
+    print(res.render())
+    return res
+
+
+def run_table5(store: XMLStore, rows: Sequence[PhraseRow],
+               runs: int = 5) -> BenchResult:
+    """Table 5: PhraseFinder vs Comp3 on 13 two-term phrases."""
+    result = BenchResult(
+        "Table 5",
+        ["query", "term1_freq", "term2_freq", "result", "Comp3",
+         "PhraseFinder"],
+    )
+    result.notes.append(
+        f"corpus: {store.n_elements} elements, {store.n_words} words; "
+        "frequencies scaled from the paper's (see EXPERIMENTS.md)"
+    )
+    pf = PhraseFinder(store)
+    c3 = Comp3(store)
+    for row in rows:
+        terms = list(row.terms)
+        measured = pf.run(terms)
+        result_size = sum(m.count for m in measured)
+        t_c3 = timed_trimmed_mean(lambda: c3.run(terms), runs=runs)
+        t_pf = timed_trimmed_mean(lambda: pf.run(terms), runs=runs)
+        result.add_row(
+            row.query, row.planted_freqs[0], row.planted_freqs[1],
+            result_size, t_c3, t_pf,
+        )
+    print(result.render())
+    return result
+
+
+def run_pick_experiment(
+    sizes: Sequence[int] = PICK_INPUT_SIZES, runs: int = 5
+) -> BenchResult:
+    """The in-text Pick experiment: parent/child redundancy elimination
+    over inputs of 200..55,000 nodes; the paper reports 0.01–1.03 s and
+    we check near-linear scaling."""
+    result = BenchResult(
+        "Pick experiment (§6, in text)",
+        ["input_nodes", "picked", "seconds"],
+    )
+    criterion = PickCriterion(relevance_threshold=0.8, qualification=0.5)
+    for n in sizes:
+        tree = random_scored_tree(n, seed=n)
+        access = PickAccess(criterion)
+        picked = access.picked_nodes(tree)
+        t = timed_trimmed_mean(lambda: access.run(tree), runs=runs)
+        result.add_row(n, len(picked), t)
+    print(result.render())
+    return result

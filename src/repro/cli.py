@@ -1,0 +1,282 @@
+"""``tix`` command-line interface.
+
+Subcommands:
+
+- ``tix demo`` — the paper's running example end-to-end: Figure 1
+  database, Query 2, the Figure 6 projection, Figure 8 pick, and the
+  top-ranked answer.
+- ``tix query -q QUERY --doc name=path …`` — run an extended-XQuery
+  query against XML files loaded into a fresh store (``-f FILE`` reads
+  the query from a file).
+- ``tix explain -q QUERY --doc name=path …`` — show the compiled
+  pipelined plan for a compilable query.
+- ``tix bench {table1,table2,table3,table4,table5,pick}`` — regenerate a
+  table of the paper's evaluation section (``--scale`` shrinks planted
+  frequencies for quick runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.xmldb.store import XMLStore
+
+
+def _load_store(doc_args: List[str],
+                store_dir: Optional[str] = None) -> XMLStore:
+    if store_dir:
+        from repro.xmldb.persist import load_store
+
+        store = load_store(store_dir)
+    else:
+        store = XMLStore()
+    for spec in doc_args:
+        if "=" not in spec:
+            raise SystemExit(
+                f"--doc expects name=path, got {spec!r}"
+            )
+        name, path = spec.split("=", 1)
+        with open(path, "r", encoding="utf-8") as f:
+            store.load(name, f.read())
+    return store
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.exampledata import (
+        example_store, pickfoo_criterion, query2_pattern,
+    )
+    from repro.core import (
+        pick, scored_projection, scored_selection, tree_from_document,
+    )
+    from repro.core.operators import top_k_trees
+
+    store = example_store()
+    articles = store.document("articles.xml")
+    tree = tree_from_document(articles)
+    pattern = query2_pattern()
+
+    print("Figure 1 database loaded:", store)
+    proj = scored_projection([tree], pattern, ["$1", "$3", "$4"])
+    print("\nFigure 6 (projection, PL={$1,$3,$4}):")
+    print(" ", proj[0].sketch())
+    picked = pick(proj, "$4", pickfoo_criterion(), pattern=pattern)
+    print("\nFigure 8 (after Pick):")
+    print(" ", picked[0].sketch())
+    witnesses = scored_selection(picked, _existing_score_pattern())
+    top = top_k_trees(witnesses, 1)[0]
+    best = [n for n in top.nodes() if "$4" in n.labels][0]
+    print("\nTop-ranked element:", best.tag, f"(score {best.score:g})")
+    doc_id, node_id = best.source
+    print(store.document(doc_id).serialize(node_id, indent=True)[:400])
+    return 0
+
+
+def _existing_score_pattern():
+    from repro.core.pattern import (
+        EdgeType, ExistingScore, FromLabel, PatternNode, ScoredPatternTree,
+    )
+
+    p1 = PatternNode("$1", tag="article")
+    p1.add_child(
+        PatternNode(
+            "$4",
+            predicate=lambda n: n.score is not None and n.tag != "article",
+        ),
+        EdgeType.ADS,
+    )
+    return ScoredPatternTree(
+        p1, scoring={"$4": ExistingScore(), "$1": FromLabel("$4")}
+    )
+
+
+def _read_query(args: argparse.Namespace) -> str:
+    if args.query:
+        return args.query
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            return f.read()
+    raise SystemExit("provide a query with -q or -f")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.query import run_query
+
+    store = _load_store(args.doc or [], args.store)
+    results = run_query(store, _read_query(args))
+    for i, tree in enumerate(results, 1):
+        score = f" score={tree.score:g}" if tree.score is not None else ""
+        print(f"-- result {i}{score}")
+        print(tree.to_xml(with_scores=args.scores))
+    print(f"({len(results)} results)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.query import parse_query
+    from repro.query.compiler import explain_query
+
+    store = _load_store(args.doc or [], args.store)
+    print(explain_query(store, parse_query(_read_query(args))))
+    return 0
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from repro.xmldb.persist import save_store
+
+    store = _load_store(args.doc or [])
+    save_store(store, args.directory)
+    print(
+        f"saved {store.n_documents} documents "
+        f"({store.n_elements} elements) to {args.directory}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = _load_store(args.doc or [], args.store)
+    stats = store.stats
+    print(store)
+    print(f"  max depth:   {stats.max_depth}")
+    print(f"  max fan-out: {stats.max_fanout}")
+    print(f"  avg fan-out: {stats.avg_fanout:.2f}")
+    print(f"  vocabulary:  {store.index.n_terms} terms")
+    print("  most frequent terms:")
+    for term, freq in store.index.terms_sorted_by_frequency()[:10]:
+        print(f"    {term:<20} {freq}")
+    return 0
+
+
+def _cmd_nexi(args: argparse.Namespace) -> int:
+    from repro.nexi import run_nexi
+
+    store = _load_store(args.doc or [], args.store)
+    hits = run_nexi(store, _read_query(args), top_k=args.top)
+    for i, hit in enumerate(hits, 1):
+        doc = store.document(hit.doc_id)
+        print(f"{i:3}. score={hit.score:<8g} <{doc.tags[hit.node_id]}> "
+              f"in {doc.name}")
+        if args.show:
+            print("     " + doc.serialize(hit.node_id)[:120])
+    print(f"({len(hits)} hits)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        run_pick_experiment, run_table1, run_table2, run_table3,
+        run_table4, run_table5,
+    )
+    from repro.workload import (
+        generate_corpus, table123_spec, table4_spec, table5_spec,
+    )
+
+    which = args.table
+    runs = args.runs
+    if which == "pick":
+        run_pick_experiment(runs=runs)
+        return 0
+    if which == "quality":
+        from repro.workload import (
+            build_relevance_workload, score_quality_experiment,
+        )
+
+        workload = build_relevance_workload()
+        print("Scoring quality (simple vs complex, §6.1's accuracy claim)")
+        print(f"{'scorer':<10} {'P@10':>6} {'MAP':>6} {'nDCG@10':>8}")
+        for r in score_quality_experiment(workload):
+            print(f"{r.scorer_name:<10} {r.precision_at_10:>6.2f} "
+                  f"{r.average_precision:>6.2f} {r.ndcg_at_10:>8.2f}")
+        return 0
+    if which in ("table1", "table2", "table3"):
+        spec, rows = table123_spec(scale=args.scale)
+        store = generate_corpus(spec)
+        if which == "table1":
+            run_table1(store, rows["table1"], runs=runs)
+        elif which == "table2":
+            run_table2(store, rows["table1"], runs=runs)
+        else:
+            run_table3(store, rows["table3"], runs=runs)
+        return 0
+    if which == "table4":
+        spec, rows4 = table4_spec(scale=args.scale)
+        run_table4(generate_corpus(spec), rows4, runs=runs)
+        return 0
+    spec, rows5 = table5_spec(scale=args.scale * 0.05)
+    run_table5(generate_corpus(spec), rows5, runs=runs)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tix",
+        description="TIX: querying structured text in an XML database "
+                    "(SIGMOD 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's running example") \
+        .set_defaults(fn=_cmd_demo)
+
+    q = sub.add_parser("query", help="run an extended-XQuery query")
+    q.add_argument("-q", "--query", help="query text")
+    q.add_argument("-f", "--file", help="file containing the query")
+    q.add_argument("--doc", action="append",
+                   help="load a document: name=path (repeatable)")
+    q.add_argument("--store", help="load a saved store directory")
+    q.add_argument("--scores", action="store_true",
+                   help="serialize node scores as attributes")
+    q.set_defaults(fn=_cmd_query)
+
+    e = sub.add_parser("explain", help="show the compiled plan")
+    e.add_argument("-q", "--query", help="query text")
+    e.add_argument("-f", "--file", help="file containing the query")
+    e.add_argument("--doc", action="append",
+                   help="load a document: name=path (repeatable)")
+    e.add_argument("--store", help="load a saved store directory")
+    e.set_defaults(fn=_cmd_explain)
+
+    s = sub.add_parser("save", help="persist documents as a store dir")
+    s.add_argument("directory", help="target directory")
+    s.add_argument("--doc", action="append", required=True,
+                   help="load a document: name=path (repeatable)")
+    s.set_defaults(fn=_cmd_save)
+
+    st = sub.add_parser("stats", help="corpus statistics")
+    st.add_argument("--doc", action="append",
+                    help="load a document: name=path (repeatable)")
+    st.add_argument("--store", help="load a saved store directory")
+    st.set_defaults(fn=_cmd_stats)
+
+    nx = sub.add_parser("nexi", help="run an INEX/NEXI query")
+    nx.add_argument("-q", "--query", help="NEXI query text")
+    nx.add_argument("-f", "--file", help="file containing the query")
+    nx.add_argument("--doc", action="append",
+                    help="load a document: name=path (repeatable)")
+    nx.add_argument("--store", help="load a saved store directory")
+    nx.add_argument("--top", type=int, default=10, help="top-k cutoff")
+    nx.add_argument("--show", action="store_true",
+                    help="print a snippet of each hit")
+    nx.set_defaults(fn=_cmd_nexi)
+
+    b = sub.add_parser("bench", help="regenerate a paper table")
+    b.add_argument("table", choices=[
+        "table1", "table2", "table3", "table4", "table5", "pick",
+        "quality",
+    ])
+    b.add_argument("--scale", type=float, default=1.0,
+                   help="scale planted term frequencies (default 1.0)")
+    b.add_argument("--runs", type=int, default=5,
+                   help="timing repetitions (paper protocol: 5)")
+    b.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

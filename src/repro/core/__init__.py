@@ -1,0 +1,91 @@
+"""TIX: the scored-tree bulk algebra (the paper's primary contribution).
+
+The algebra manipulates *collections of scored ordered labeled trees*
+(§3.1).  This package provides:
+
+- :mod:`repro.core.trees` — scored data trees (:class:`SNode` /
+  :class:`STree`) with conversion from stored documents;
+- :mod:`repro.core.pattern` — scored pattern trees: pc / ad / ad* edges,
+  node predicates, a formula for cross-node (join) conditions, and the
+  scoring specification S (primary and secondary IR-nodes, join scores);
+- :mod:`repro.core.matching` — embedding enumeration of pattern trees into
+  data trees;
+- :mod:`repro.core.scoring` — the scoring-function library (the paper's
+  ScoreFoo / ScoreSim / ScoreBar from Fig. 9, tf·idf, and the proximity
+  "complex" scorer of §6.1);
+- :mod:`repro.core.operators` — ScoredSelection, ScoredProjection, Product,
+  ScoredJoin, Threshold, Pick, GroupBy, Union, SortByScore (§3.2–3.3).
+
+This is the *semantic* layer: operators materialize trees and favour
+clarity over speed.  The high-performance evaluation path is
+:mod:`repro.access` (TermJoin, PhraseFinder, stack-based Pick), which is
+tested for equivalence against these operators.
+"""
+
+from repro.core.trees import SNode, STree, snode_from_document, tree_from_document
+from repro.core.pattern import (
+    EdgeType,
+    PatternNode,
+    ScoredPatternTree,
+    NodeScore,
+    PhraseScore,
+    ExistingScore,
+    FromLabel,
+    Combine,
+    JoinScore,
+)
+from repro.core.matching import find_embeddings, Match
+from repro.core.scoring import (
+    ScoringFunction,
+    WeightedCountScorer,
+    TfIdfScorer,
+    ProximityScorer,
+    score_sim,
+    score_bar,
+)
+from repro.core.operators import (
+    scored_selection,
+    scored_projection,
+    product,
+    scored_join,
+    threshold,
+    pick,
+    group_by_root_score,
+    union_collections,
+    sort_by_score,
+    PickCriterion,
+)
+
+__all__ = [
+    "SNode",
+    "STree",
+    "snode_from_document",
+    "tree_from_document",
+    "EdgeType",
+    "PatternNode",
+    "ScoredPatternTree",
+    "NodeScore",
+    "PhraseScore",
+    "ExistingScore",
+    "FromLabel",
+    "Combine",
+    "JoinScore",
+    "find_embeddings",
+    "Match",
+    "ScoringFunction",
+    "WeightedCountScorer",
+    "TfIdfScorer",
+    "ProximityScorer",
+    "score_sim",
+    "score_bar",
+    "scored_selection",
+    "scored_projection",
+    "product",
+    "scored_join",
+    "threshold",
+    "pick",
+    "group_by_root_score",
+    "union_collections",
+    "sort_by_score",
+    "PickCriterion",
+]

@@ -1,0 +1,102 @@
+"""Pattern-tree matching: enumerate embeddings of a scored pattern tree
+into a scored data tree.
+
+An embedding (a *match*) maps every pattern label to a data node such that
+
+- every per-node predicate holds,
+- every ``pc`` edge maps to a parent-child pair, every ``ad`` edge to a
+  strict ancestor-descendant pair, and every ``ad*`` edge to a
+  self-or-descendant pair,
+- the pattern's cross-node ``formula`` (if any) holds on the whole match.
+
+Matching is plain backtracking in pattern preorder; the algebra layer
+favours transparent semantics (the access methods in :mod:`repro.access`
+are the optimized path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.core.pattern import EdgeType, PatternNode, ScoredPatternTree
+from repro.core.trees import SNode, STree
+
+#: A match binds pattern labels to data nodes.
+Match = Dict[str, SNode]
+
+
+def _candidates(base: SNode, edge: EdgeType) -> Iterator[SNode]:
+    """Data-node candidates for a pattern child attached to the node bound
+    to ``base`` via ``edge``."""
+    if edge is EdgeType.PC:
+        yield from base.children
+    elif edge is EdgeType.AD:
+        first = True
+        for node in base.preorder():
+            if first:          # skip base itself: 'ad' is strict
+                first = False
+                continue
+            yield node
+    else:  # ADS: self-or-descendant
+        yield from base.preorder()
+
+
+def find_embeddings(pattern: ScoredPatternTree, tree: STree) -> List[Match]:
+    """All embeddings of ``pattern`` into ``tree``, in document order of
+    the root binding (ties broken by subsequent bindings)."""
+    results: List[Match] = []
+    # Pattern nodes in preorder; each non-root constrains against its
+    # (already bound) parent.
+    order: List[PatternNode] = list(pattern.nodes())
+    parents: Dict[str, PatternNode] = {}
+    for pnode in order:
+        for child in pnode.children:
+            parents[child.label] = pnode
+
+    def extend(i: int, match: Match) -> None:
+        if i == len(order):
+            if pattern.formula is None or pattern.formula(match):
+                results.append(dict(match))
+            return
+        pnode = order[i]
+        if pnode is pattern.root:
+            candidates: Iterator[SNode] = tree.nodes()
+        else:
+            base = match[parents[pnode.label].label]
+            candidates = _candidates(base, pnode.edge)
+        for cand in candidates:
+            if pnode.matches(cand):
+                match[pnode.label] = cand
+                extend(i + 1, match)
+                del match[pnode.label]
+
+    extend(0, {})
+    return results
+
+
+def match_exists(pattern: ScoredPatternTree, tree: STree) -> bool:
+    """Whether at least one embedding exists (early-exit variant)."""
+    order: List[PatternNode] = list(pattern.nodes())
+    parents: Dict[str, PatternNode] = {}
+    for pnode in order:
+        for child in pnode.children:
+            parents[child.label] = pnode
+
+    def extend(i: int, match: Match) -> bool:
+        if i == len(order):
+            return pattern.formula is None or pattern.formula(match)
+        pnode = order[i]
+        if pnode is pattern.root:
+            candidates: Iterator[SNode] = tree.nodes()
+        else:
+            base = match[parents[pnode.label].label]
+            candidates = _candidates(base, pnode.edge)
+        for cand in candidates:
+            if pnode.matches(cand):
+                match[pnode.label] = cand
+                if extend(i + 1, match):
+                    return True
+                del match[pnode.label]
+        return False
+
+    return extend(0, {})

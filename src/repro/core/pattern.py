@@ -1,0 +1,314 @@
+"""Scored pattern trees (Definition 2).
+
+A scored pattern tree is a triple ``P = (T, F, S)``:
+
+- ``T``: a tree of labelled pattern nodes whose edges are ``pc``
+  (parent-child), ``ad`` (ancestor-descendant) or ``ad*``
+  (self-or-descendant);
+- ``F``: a boolean formula over the nodes — here decomposed into per-node
+  predicates (tag tests, content tests) plus an optional cross-node
+  ``formula`` over a whole embedding (this is where join conditions live);
+- ``S``: scoring rules for IR-nodes.  A *primary* IR-node carries an
+  IR-style predicate (a :class:`PhraseScore`); *secondary* IR-nodes derive
+  their scores from other nodes' scores (:class:`FromLabel`,
+  :class:`Combine`); :class:`JoinScore` scores an IR-style join condition
+  into a temporary variable (the paper's ``$joinScore``).
+
+Example — the pattern of Figure 3 (Query 2)::
+
+    p1 = PatternNode("$1", tag="article")
+    p2 = p1.add_child(PatternNode("$2", tag="author"), EdgeType.AD)
+    p3 = p2.add_child(PatternNode("$3", tag="sname",
+                                  predicate=lambda n: n.alltext() == "Doe"),
+                      EdgeType.PC)
+    p4 = p1.add_child(PatternNode("$4"), EdgeType.ADS)
+    pattern = ScoredPatternTree(p1, scoring={
+        "$4": PhraseScore(score_foo),
+        "$1": FromLabel("$4"),
+    })
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import PatternError
+from repro.core.trees import SNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.matching import Match
+    from repro.core.scoring import ScoringFunction
+
+
+class EdgeType(Enum):
+    """Edge labels of the pattern tree (Definition 2)."""
+
+    PC = "pc"    # parent-child
+    AD = "ad"    # ancestor-descendant (strict)
+    ADS = "ad*"  # self-or-descendant
+
+
+class PatternNode:
+    """One node of the pattern tree ``T``.
+
+    ``predicate`` receives the candidate data node; ``tag`` is sugar for a
+    tag-equality predicate (both may be given; they conjoin).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        tag: Optional[str] = None,
+        predicate: Optional[Callable[[SNode], bool]] = None,
+    ):
+        self.label = label
+        self.tag = tag
+        self.predicate = predicate
+        self.children: List["PatternNode"] = []
+        self.edge: EdgeType = EdgeType.PC  # edge to parent; root's is unused
+
+    def add_child(self, child: "PatternNode", edge: EdgeType) -> "PatternNode":
+        """Attach ``child`` below this node with the given edge label and
+        return the child (for chaining)."""
+        child.edge = edge
+        self.children.append(child)
+        return child
+
+    def matches(self, node: SNode) -> bool:
+        """Node-local predicate test."""
+        if self.tag is not None and node.tag != self.tag:
+            return False
+        if self.predicate is not None and not self.predicate(node):
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" tag={self.tag}" if self.tag else ""
+        return f"PatternNode({self.label}{tag}, {len(self.children)} children)"
+
+
+# ----------------------------------------------------------------------
+# Scoring rules (the S component)
+# ----------------------------------------------------------------------
+
+class ScoreRule:
+    """Base class for entries of the scoring specification ``S``."""
+
+    def referenced_labels(self) -> Sequence[str]:
+        """Labels whose scores this rule reads (dependency ordering)."""
+        return ()
+
+
+class NodeScore(ScoreRule):
+    """Base for rules that score the matched data node directly (no
+    dependence on other labels).  Subclasses implement
+    ``evaluate(node) -> float``; user-defined node-scoring rules should
+    derive from this class so the operators dispatch them generically."""
+
+    def evaluate(self, node: SNode) -> float:
+        raise NotImplementedError
+
+
+class PhraseScore(NodeScore):
+    """Primary IR-node rule: score the matched data node's subtree text
+    with an IR scoring function."""
+
+    def __init__(self, scorer: "ScoringFunction"):
+        self.scorer = scorer
+
+    def evaluate(self, node: SNode) -> float:
+        return self.scorer.score_node(node)
+
+
+class ExistingScore(NodeScore):
+    """Rule that carries a node's already-assigned score through another
+    pattern-matching operator unchanged (Example 3.1 applies a selection
+    "with appropriate modifications in the pattern tree" to an
+    already-scored tree — this rule is that modification)."""
+
+    def evaluate(self, node: SNode) -> float:
+        return node.score if node.score is not None else 0.0
+
+
+class FromLabel(ScoreRule):
+    """Secondary IR-node rule: ``$x.score = $y.score``.
+
+    Under selection each embedding binds ``$y`` once, so the score copies
+    over; under projection the node receives the *highest* score over all
+    retained ``$y`` matches in its subtree (§3.2.2) — the operator handles
+    that aggregation, this rule only names the source label.
+    """
+
+    def __init__(self, source_label: str):
+        self.source_label = source_label
+
+    def referenced_labels(self) -> Sequence[str]:
+        return (self.source_label,)
+
+
+class Combine(ScoreRule):
+    """Secondary rule computing a function of other labels' scores, e.g.
+    ``$1.score = ScoreBar($joinScore, $6.score)``."""
+
+    def __init__(self, fn: Callable[..., float], labels: Sequence[str]):
+        self.fn = fn
+        self.labels = list(labels)
+
+    def referenced_labels(self) -> Sequence[str]:
+        return tuple(self.labels)
+
+    def evaluate(self, scores: Dict[str, float]) -> float:
+        return self.fn(*[scores.get(l, 0.0) for l in self.labels])
+
+
+class JoinScore(ScoreRule):
+    """Rule scoring an IR-style join condition between two matched nodes
+    (e.g. title similarity), stored under a temporary label such as
+    ``$joinScore``."""
+
+    def __init__(self, fn: Callable[[SNode, SNode], float],
+                 label_a: str, label_b: str):
+        self.fn = fn
+        self.label_a = label_a
+        self.label_b = label_b
+
+    def referenced_labels(self) -> Sequence[str]:
+        return (self.label_a, self.label_b)
+
+    def evaluate(self, node_a: SNode, node_b: SNode) -> float:
+        return self.fn(node_a, node_b)
+
+
+# ----------------------------------------------------------------------
+# The pattern tree itself
+# ----------------------------------------------------------------------
+
+class ScoredPatternTree:
+    """The triple ``P = (T, F, S)``.
+
+    ``scoring`` maps labels (including temporary labels not present in the
+    tree, for :class:`JoinScore` results) to :class:`ScoreRule` instances;
+    rules are evaluated in an order compatible with their declared
+    dependencies.  ``formula`` is an optional boolean predicate over a full
+    embedding, used for cross-node conditions.
+    """
+
+    def __init__(
+        self,
+        root: PatternNode,
+        scoring: Optional[Dict[str, ScoreRule]] = None,
+        formula: Optional[Callable[["Match"], bool]] = None,
+    ):
+        self.root = root
+        self.scoring: Dict[str, ScoreRule] = dict(scoring or {})
+        self.formula = formula
+        self._by_label: Dict[str, PatternNode] = {}
+        self._parents: Dict[str, Optional[str]] = {}
+        self._index_tree()
+        self._validate()
+
+    def _index_tree(self) -> None:
+        def visit(node: PatternNode, parent: Optional[str]) -> None:
+            if node.label in self._by_label:
+                raise PatternError(f"duplicate pattern label {node.label!r}")
+            self._by_label[node.label] = node
+            self._parents[node.label] = parent
+            for child in node.children:
+                visit(child, node.label)
+
+        visit(self.root, None)
+
+    def _validate(self) -> None:
+        tree_labels = set(self._by_label)
+        all_score_labels = set(self.scoring)
+        for label, rule in self.scoring.items():
+            if isinstance(rule, PhraseScore) and label not in tree_labels:
+                raise PatternError(
+                    f"primary IR-node {label!r} is not a pattern-tree node"
+                )
+            for ref in rule.referenced_labels():
+                if isinstance(rule, JoinScore):
+                    if ref not in tree_labels:
+                        raise PatternError(
+                            f"join-score rule for {label!r} references "
+                            f"unknown node {ref!r}"
+                        )
+                elif ref not in all_score_labels:
+                    raise PatternError(
+                        f"scoring rule for {label!r} references {ref!r}, "
+                        f"which has no scoring rule"
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[PatternNode]:
+        """All pattern nodes, preorder."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def node(self, label: str) -> PatternNode:
+        """Pattern node by label."""
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise PatternError(f"no pattern node labelled {label!r}")
+
+    def has_node(self, label: str) -> bool:
+        return label in self._by_label
+
+    def parent_label(self, label: str) -> Optional[str]:
+        """Label of the parent pattern node (None for the root)."""
+        return self._parents[label]
+
+    def labels(self) -> List[str]:
+        return list(self._by_label)
+
+    def primary_ir_labels(self) -> List[str]:
+        """Labels carrying an IR-style predicate (a :class:`PhraseScore`)."""
+        return [
+            l for l, r in self.scoring.items() if isinstance(r, PhraseScore)
+        ]
+
+    def ir_labels(self) -> List[str]:
+        """All labels with a scoring rule attached (primary + secondary),
+        excluding temporary join-score variables not in the tree."""
+        return [l for l in self.scoring if l in self._by_label]
+
+    def scoring_order(self) -> List[str]:
+        """Scoring labels in dependency order (primaries and join scores
+        first, then combiners; insertion order breaks ties).  Cycles raise
+        :class:`~repro.errors.PatternError`."""
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(label: str) -> None:
+            if state.get(label) == 1:
+                return
+            if state.get(label) == 0:
+                raise PatternError(
+                    f"cyclic scoring dependency involving {label!r}"
+                )
+            state[label] = 0
+            rule = self.scoring[label]
+            if not isinstance(rule, JoinScore):
+                for ref in rule.referenced_labels():
+                    if ref in self.scoring:
+                        visit(ref)
+            state[label] = 1
+            order.append(label)
+
+        for label in self.scoring:
+            visit(label)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScoredPatternTree({len(self._by_label)} nodes, "
+            f"{len(self.scoring)} scoring rules)"
+        )

@@ -1,0 +1,234 @@
+"""The Pick operator's tree-level semantics (§3.3.2).
+
+Pick removes redundancy among the data IR-nodes matching one query IR-node
+("candidates").  The pick criterion is parameterized exactly as the
+paper's stack algorithm (Fig. 12):
+
+- ``det_worth(node)`` decides whether a candidate is *worth returning* on
+  its own merits;
+- the *vertical* (parent/child) rule: a worth-returning candidate is
+  picked only if its closest picked candidate ancestor does not exist —
+  between a parent and a child, only one is returned;
+- optional *horizontal* elimination via ``is_same_class``: among picked
+  candidate siblings of the same return class, only the first in document
+  order is kept (the paper's "return only the first author" example).
+
+The default ``det_worth`` is the paper's ``PickFoo`` (Fig. 9): a leaf
+candidate is worth returning iff its score reaches the relevance
+threshold; an internal candidate iff more than ``qualification`` of its
+children are relevant.  The relevance threshold may be given directly or
+derived from a score histogram ("top X% of scores"), the auxiliary-data
+usage §5.3 describes.
+
+The output tree keeps: picked candidates, nodes that are not candidates at
+all (structural context, non-IR nodes, secondary IR-nodes), and the tree
+root; dropped candidates' children are promoted to the nearest kept
+ancestor.  Secondary scores are *not* recomputed here — the operator layer
+(:func:`repro.core.operators.pick`) does that, since it knows the pattern.
+
+This reproduces Figure 8 from Figure 6 exactly (tested in
+``tests/integration/test_paper_figures.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.core.trees import SNode, STree
+
+
+@dataclass
+class PickCriterion:
+    """The PC parameter of the Pick operator.
+
+    ``relevance_threshold`` — condition 1) of the paper's example PC: a
+    node is *relevant* when its score is at least this value.
+
+    ``qualification`` — condition 2): an internal candidate is worth
+    returning when the fraction of its relevant children exceeds this
+    (default 0.5 = the paper's 50%).
+
+    ``det_worth`` — override the whole worth decision with a user function
+    (receives the candidate :class:`SNode`).
+
+    ``is_same_class`` — enables horizontal redundancy elimination among
+    picked siblings; two siblings in the same class are redundant and only
+    the first is kept.
+
+    ``ignore_zero_children`` — exclude zero/unscored children from the
+    qualification denominator.  When Pick runs after a projection, the
+    projection's drop-zero step has already removed irrelevant children;
+    when Pick runs directly on a fully scored document tree (the query
+    language's ``Pick $a using PickFoo($a)``), this flag provides the
+    same effect, making the two paths agree (and both reproduce Fig. 8).
+    """
+
+    relevance_threshold: float = 0.8
+    qualification: float = 0.5
+    det_worth: Optional[Callable[[SNode], bool]] = None
+    is_same_class: Optional[Callable[[SNode, SNode], bool]] = None
+    ignore_zero_children: bool = False
+
+    def is_relevant(self, node: SNode) -> bool:
+        """Condition 1): score at least the relevance threshold."""
+        return node.score is not None and node.score >= self.relevance_threshold
+
+    def worth(self, node: SNode, candidate_children: Sequence[SNode]) -> bool:
+        """Is ``node`` worth returning?  ``candidate_children`` are its
+        child nodes in the *input tree* (candidates or not)."""
+        if self.det_worth is not None:
+            return self.det_worth(node)
+        children = list(candidate_children)
+        if self.ignore_zero_children:
+            children = [
+                c for c in children
+                if c.score is not None and c.score != 0.0
+            ]
+        if not children:
+            return self.is_relevant(node)
+        relevant = sum(1 for c in children if self.is_relevant(c))
+        return relevant / len(children) > self.qualification
+
+
+def criterion_from_histogram(
+    tree: STree,
+    top_fraction: float,
+    qualification: float = 0.5,
+    n_buckets: int = 32,
+    ignore_zero_children: bool = False,
+) -> PickCriterion:
+    """Build a criterion whose relevance threshold comes from the score
+    histogram (§5.3): "it is often unrealistic to ask the users for the
+    exact relevance score threshold … auxiliary data like [a] histogram
+    … enables the user to specify such scores more flexibly."  The user
+    says "the top ``top_fraction`` of scores are relevant"; the
+    histogram converts that into an absolute threshold in O(buckets)."""
+    from repro.xmldb.stats import ScoreHistogram
+
+    scores = [n.score for n in tree.nodes() if n.score is not None]
+    threshold = ScoreHistogram(scores, n_buckets=n_buckets) \
+        .threshold_for_top_fraction(top_fraction)
+    return PickCriterion(
+        relevance_threshold=threshold,
+        qualification=qualification,
+        ignore_zero_children=ignore_zero_children,
+    )
+
+
+def default_same_class_by_level(tree: STree) -> Callable[[SNode, SNode], bool]:
+    """The paper's example ``IsSameClass``: two nodes are in the same
+    return class iff their levels have the same parity (both odd or both
+    even)."""
+    levels: Dict[int, int] = {}
+
+    def depth(node: SNode, d: int) -> None:
+        levels[id(node)] = d
+        for c in node.children:
+            depth(c, d + 1)
+
+    depth(tree.root, 0)
+
+    def same(a: SNode, b: SNode) -> bool:
+        return levels[id(a)] % 2 == levels[id(b)] % 2
+
+    return same
+
+
+def compute_picked(
+    tree: STree,
+    candidates: Set[int],
+    criterion: PickCriterion,
+) -> Set[int]:
+    """Decide which candidates are picked.
+
+    ``candidates`` is a set of ``id(node)`` for the data IR-nodes matching
+    the query IR-node mentioned in the PC.  Two passes over the tree
+    (worth bottom-up via the children lists, picked top-down), both
+    linear — the access-method variant in
+    :mod:`repro.access.pick` fuses them into the paper's single
+    stack-based scan and is tested equivalent.
+    """
+    picked: Set[int] = set()
+
+    # The vertical rule is the paper's condition 3) verbatim: "its direct
+    # parent node is not picked or it has no parent node" — only the
+    # *immediate* parent blocks a pick, which is what lets a grandchild of
+    # a picked node (e.g. #a13 under picked #a10 via dropped #a12) be
+    # returned in Figure 8.
+    def walk(node: SNode, parent_picked: bool) -> None:
+        is_candidate = id(node) in candidates
+        node_picked = False
+        if is_candidate and not parent_picked:
+            if criterion.worth(node, node.children):
+                node_picked = True
+                picked.add(id(node))
+        for child in node.children:
+            walk(child, node_picked)
+
+    walk(tree.root, False)
+
+    if criterion.is_same_class is not None:
+        _horizontal_eliminate(tree, picked, criterion.is_same_class)
+    return picked
+
+
+def _horizontal_eliminate(
+    tree: STree,
+    picked: Set[int],
+    is_same_class: Callable[[SNode, SNode], bool],
+) -> None:
+    """Among picked siblings, drop all but the document-first of each
+    return class (in place)."""
+    def walk(node: SNode) -> None:
+        kept: List[SNode] = []
+        for child in node.children:
+            if id(child) in picked:
+                for leader in kept:
+                    if is_same_class(leader, child):
+                        picked.discard(id(child))
+                        break
+                else:
+                    kept.append(child)
+            walk(child)
+
+    walk(tree.root)
+
+
+def prune_tree(
+    tree: STree,
+    candidates: Set[int],
+    picked: Set[int],
+) -> Optional[STree]:
+    """Build the output tree: drop candidates that were not picked,
+    promoting their children; keep everything else.  Returns ``None`` when
+    nothing remains."""
+
+    def rebuild(node: SNode) -> List[SNode]:
+        new_children: List[SNode] = []
+        for child in node.children:
+            new_children.extend(rebuild(child))
+        if id(node) in candidates and id(node) not in picked:
+            return new_children  # dropped: promote children
+        clone = node.shallow_copy()
+        clone.children = new_children
+        return [clone]
+
+    roots = rebuild(tree.root)
+    if not roots:
+        return None
+    if len(roots) == 1:
+        return STree(roots[0])
+    # Root itself was a dropped candidate with multiple surviving
+    # children: keep them under a copy of the root acting as pure context.
+    context = tree.root.shallow_copy()
+    context.score = None
+    context.children = roots
+    return STree(context)
+
+
+def pick_tree(tree: STree, candidates: Set[int],
+              criterion: PickCriterion) -> Optional[STree]:
+    """Full tree-level Pick: decide + prune.  See module docstring."""
+    picked = compute_picked(tree, candidates, criterion)
+    return prune_tree(tree, candidates, picked)

@@ -1,0 +1,107 @@
+"""Probabilistic-XML scoring (§7's ProTDB connection).
+
+The paper observes that its machinery "can also be applied to the field
+of probabilistic data storage and querying, where the probability can be
+viewed as the equivalence of the score and be manipulated similarly."
+This module provides that adapter for ProTDB-style documents, where
+elements carry a ``prob`` attribute giving their existence probability
+conditioned on the parent:
+
+- :class:`ProbabilityScore` — a scoring rule assigning each matched node
+  its *absolute* existence probability (the product of ``prob`` values
+  on its root path; missing attributes mean 1.0);
+- :func:`combine_independent` / :func:`combine_mutually_exclusive` —
+  the two basic combiners for scores-as-probabilities (noisy-or for
+  independent evidence, sum for exclusive alternatives), usable inside
+  :class:`~repro.core.pattern.Combine` rules;
+- :func:`existence_probability` — the path-product primitive.
+
+Because probabilities are just scores, everything downstream — Threshold,
+Pick, ranking — works unchanged: thresholding at probability 0.5, picking
+the most probable granularity, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.pattern import NodeScore
+from repro.core.trees import SNode, STree
+
+PROB_ATTR = "prob"
+
+
+def node_probability(node: SNode) -> float:
+    """The node's local (conditional) probability from its ``prob``
+    attribute; 1.0 when absent; clamped to [0, 1]."""
+    raw = node.attrs.get(PROB_ATTR)
+    if raw is None:
+        return 1.0
+    try:
+        p = float(raw)
+    except (TypeError, ValueError):
+        return 1.0
+    return min(1.0, max(0.0, p))
+
+
+def existence_probability(tree: STree, node: SNode) -> float:
+    """Absolute existence probability of ``node``: the product of local
+    probabilities along the path from the tree root to the node
+    (ProTDB's independent-event interpretation)."""
+    # Build the root path via the order intervals (ancestors are exactly
+    # the nodes whose interval contains the target's).
+    tree.renumber()
+    p = 1.0
+    for candidate in tree.nodes():
+        if candidate is node or candidate.is_ancestor_of(node):
+            p *= node_probability(candidate)
+    return p
+
+
+class ProbabilityScore(NodeScore):
+    """Scoring rule: matched node → absolute existence probability.
+
+    The owning tree is located through the match itself, so the rule
+    needs the evaluation context to pass the tree; for simplicity the
+    rule recomputes the path product from any ancestor chain available
+    via order intervals, given the tree at construction."""
+
+    def __init__(self, tree: STree):
+        self.tree = tree
+
+    def evaluate(self, node: SNode) -> float:
+        return existence_probability(self.tree, node)
+
+
+def combine_independent(*probabilities: float) -> float:
+    """Noisy-or: probability that at least one independent event holds.
+    The natural scored-union combiner for probabilistic data."""
+    q = 1.0
+    for p in probabilities:
+        q *= 1.0 - min(1.0, max(0.0, p))
+    return 1.0 - q
+
+
+def combine_mutually_exclusive(*probabilities: float) -> float:
+    """Sum, capped at 1: combiner for mutually exclusive alternatives."""
+    return min(1.0, sum(max(0.0, p) for p in probabilities))
+
+
+def prune_below(tree: STree, threshold: float) -> Optional[STree]:
+    """Drop every subtree whose absolute existence probability falls
+    below ``threshold`` — the probabilistic analogue of the V-Threshold.
+    Returns None when even the root falls below."""
+    if node_probability(tree.root) < threshold:
+        return None
+
+    def rebuild(node: SNode, prefix: float) -> SNode:
+        absolute = prefix * node_probability(node)
+        clone = node.shallow_copy()
+        clone.score = absolute
+        clone.children = [
+            rebuild(c, absolute) for c in node.children
+            if absolute * node_probability(c) >= threshold
+        ]
+        return clone
+
+    return STree(rebuild(tree.root, 1.0))

@@ -1,0 +1,285 @@
+"""Scored data trees.
+
+A scored data tree (Definition 1) is a rooted ordered tree whose nodes
+carry attribute-value pairs including at least a ``tag`` and a real-valued
+``score``; the score of the tree is the score of its root.  Unscored trees
+are scored trees whose scores are all ``None`` (null).
+
+:class:`SNode` is one node; :class:`STree` wraps a root and caches a
+preorder numbering used to rebuild hierarchical relationships among
+arbitrary node subsets (witness-tree construction in selection and
+projection).
+
+Nodes remember their provenance: ``source = (doc_id, node_id)`` when the
+node mirrors a stored element, or ``None`` for constructed nodes such as
+``tix_prod_root``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.xmldb.document import Document
+from repro.xmldb.text import escape_attr, escape_text, tokenize_text
+
+
+class SNode:
+    """One node of a scored data tree."""
+
+    __slots__ = (
+        "tag", "attrs", "score", "source", "children",
+        "words", "labels", "order_start", "order_end",
+    )
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, str]] = None,
+        score: Optional[float] = None,
+        source: Optional[Tuple[int, int]] = None,
+        words: Optional[List[str]] = None,
+    ):
+        self.tag = tag
+        self.attrs = attrs or {}
+        self.score = score
+        self.source = source
+        self.children: List[SNode] = []
+        #: direct text content, tokenized
+        self.words = words or []
+        #: pattern labels this node matched (set by selection/projection;
+        #: consumed by Threshold and Pick)
+        self.labels: set = set()
+        # Preorder interval; maintained by STree.renumber().
+        self.order_start = -1
+        self.order_end = -1
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def add_child(self, child: "SNode") -> "SNode":
+        """Append ``child`` and return it (for chaining)."""
+        self.children.append(child)
+        return child
+
+    def shallow_copy(self) -> "SNode":
+        """Copy of this node without children (labels carried over)."""
+        clone = SNode(
+            tag=self.tag,
+            attrs=dict(self.attrs),
+            score=self.score,
+            source=self.source,
+            words=list(self.words),
+        )
+        clone.labels = set(self.labels)
+        return clone
+
+    def deep_copy(self) -> "SNode":
+        """Copy of the whole subtree."""
+        clone = self.shallow_copy()
+        clone.children = [c.deep_copy() for c in self.children]
+        return clone
+
+    # ------------------------------------------------------------------
+    # Traversal and content
+    # ------------------------------------------------------------------
+
+    def preorder(self) -> Iterator["SNode"]:
+        """All nodes of the subtree, document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def subtree_words(self) -> List[str]:
+        """All words in the subtree (the paper's ``alltext()``)."""
+        out: List[str] = []
+        for node in self.preorder():
+            out.extend(node.words)
+        return out
+
+    def alltext(self) -> str:
+        """Subtree text as one space-joined string."""
+        return " ".join(self.subtree_words())
+
+    def find(self, predicate: Callable[["SNode"], bool]) -> List["SNode"]:
+        """All subtree nodes satisfying ``predicate``, document order."""
+        return [n for n in self.preorder() if predicate(n)]
+
+    def find_by_tag(self, tag: str) -> List["SNode"]:
+        """All subtree nodes with the given tag."""
+        return self.find(lambda n: n.tag == tag)
+
+    def n_nodes(self) -> int:
+        """Size of the subtree."""
+        return sum(1 for _ in self.preorder())
+
+    # ------------------------------------------------------------------
+    # Ordering (valid after the owning STree ran renumber())
+    # ------------------------------------------------------------------
+
+    def is_ancestor_of(self, other: "SNode") -> bool:
+        """Strict ancestor test via the cached preorder interval."""
+        return (
+            self.order_start < other.order_start
+            and other.order_end <= self.order_end
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (for examples and debugging)
+    # ------------------------------------------------------------------
+
+    def to_xml(self, with_scores: bool = False) -> str:
+        """Serialize the subtree to XML.  With ``with_scores`` each scored
+        node gets a ``score`` attribute (used by the examples to show the
+        paper's bracketed scores)."""
+        parts: List[str] = []
+        self._to_xml(parts, with_scores)
+        return "".join(parts)
+
+    def _to_xml(self, out: List[str], with_scores: bool) -> None:
+        attrs = dict(self.attrs)
+        if with_scores and self.score is not None:
+            attrs["score"] = f"{self.score:g}"
+        attr_str = "".join(f' {k}="{escape_attr(str(v))}"' for k, v in attrs.items())
+        if not self.children and not self.words:
+            out.append(f"<{self.tag}{attr_str}/>")
+            return
+        out.append(f"<{self.tag}{attr_str}>")
+        if self.words:
+            out.append(escape_text(" ".join(self.words)))
+        for child in self.children:
+            child._to_xml(out, with_scores)
+        out.append(f"</{self.tag}>")
+
+    def sketch(self) -> str:
+        """Compact one-line rendering, e.g. ``article[5.6](author(sname))``.
+
+        Mirrors the figures in the paper: scores in brackets, children in
+        parentheses.  Used heavily by the figure-reproduction tests.
+        """
+        label = self.tag
+        if self.score is not None:
+            label += f"[{self.score:g}]"
+        if not self.children:
+            return label
+        inner = ",".join(c.sketch() for c in self.children)
+        return f"{label}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        score = f" score={self.score:g}" if self.score is not None else ""
+        src = f" src={self.source}" if self.source else ""
+        return f"SNode(<{self.tag}>{score}{src} {len(self.children)} children)"
+
+
+class STree:
+    """A scored data tree: a root node plus cached preorder numbering."""
+
+    def __init__(self, root: SNode):
+        self.root = root
+        self.renumber()
+
+    @property
+    def score(self) -> Optional[float]:
+        """Score of the tree = score of its root (Definition 1)."""
+        return self.root.score
+
+    def renumber(self) -> None:
+        """(Re)assign preorder intervals to every node.  Must be called
+        after structural mutation before using ancestor tests.
+        Iterative, so arbitrarily deep trees are fine."""
+        counter = 1
+        self.root.order_start = counter
+        stack = [(self.root, iter(self.root.children))]
+        while stack:
+            node, children = stack[-1]
+            child = next(children, None)
+            if child is None:
+                stack.pop()
+                counter += 1
+                node.order_end = counter
+            else:
+                counter += 1
+                child.order_start = counter
+                stack.append((child, iter(child.children)))
+
+    def nodes(self) -> Iterator[SNode]:
+        """All nodes, document order."""
+        return self.root.preorder()
+
+    def n_nodes(self) -> int:
+        return self.root.n_nodes()
+
+    def deep_copy(self) -> "STree":
+        return STree(self.root.deep_copy())
+
+    def to_xml(self, with_scores: bool = False) -> str:
+        return self.root.to_xml(with_scores)
+
+    def sketch(self) -> str:
+        return self.root.sketch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"STree({self.root.tag}, {self.n_nodes()} nodes, score={self.score})"
+
+
+# ----------------------------------------------------------------------
+# Conversion from stored documents
+# ----------------------------------------------------------------------
+
+def snode_from_document(doc: Document, node_id: int) -> SNode:
+    """Materialize the stored subtree at ``node_id`` as an :class:`SNode`
+    tree with provenance links back to the store."""
+    node = SNode(
+        tag=doc.tags[node_id],
+        attrs=dict(doc.attrs.get(node_id, {})),
+        source=(doc.doc_id, node_id),
+        words=list(doc.direct_words(node_id)),
+    )
+    for child_id in doc.children(node_id):
+        node.add_child(snode_from_document(doc, child_id))
+    return node
+
+
+def tree_from_document(doc: Document, node_id: int = 0) -> STree:
+    """Materialize a stored subtree as a full :class:`STree`."""
+    return STree(snode_from_document(doc, node_id))
+
+
+def tree_from_text(tag: str, text: str) -> STree:
+    """Build a single-node tree holding tokenized ``text`` (test helper)."""
+    return STree(SNode(tag, words=tokenize_text(text)))
+
+
+def build_minimal_hierarchy(nodes: Sequence[SNode]) -> List[SNode]:
+    """Given nodes of one (renumbered) tree, build shallow copies wired to
+    preserve their ancestor/descendant relationships, dropping everything
+    else — the "witness tree" construction used by scored selection and
+    projection.
+
+    Returns the list of roots (nodes with no ancestor within ``nodes``).
+    Input order is ignored; output is document order.  Duplicate nodes are
+    kept once.
+    """
+    unique: Dict[int, SNode] = {}
+    for n in nodes:
+        unique[id(n)] = n
+    ordered = sorted(unique.values(), key=lambda n: (n.order_start, -n.order_end))
+    roots: List[SNode] = []
+    copies: List[SNode] = []
+    stack: List[SNode] = []  # originals whose copies are open
+    for original in ordered:
+        copy = original.shallow_copy()
+        copy.order_start = original.order_start
+        copy.order_end = original.order_end
+        while stack and not stack[-1].is_ancestor_of(original):
+            stack.pop()
+            copies.pop()
+        if stack:
+            copies[-1].add_child(copy)
+        else:
+            roots.append(copy)
+        stack.append(original)
+        copies.append(copy)
+    return roots

@@ -1,0 +1,144 @@
+"""Twig-accelerated pattern matching.
+
+For pattern trees whose every node carries a tag test, embeddings can be
+computed with the holistic twig join over the store's per-tag element
+streams instead of backtracking over materialized trees:
+
+1. relax every edge to ancestor-descendant and run
+   :func:`repro.joins.twig.twig_join`;
+2. post-filter the matches: ``pc`` edges check the parent pointer, ``ad*``
+   edges additionally admit self-matches via a second pass (ad* = ad ∪
+   self), node predicates and the cross-node formula run last.
+
+The result provably equals :func:`repro.core.matching.find_embeddings`
+on document-backed trees (asserted by unit and property tests), while the
+heavy lifting happens on the integer element streams.
+
+ad* handling: an ``ad*`` edge whose child may bind the *same* node as the
+parent cannot be expressed in a pure-AD twig, so patterns containing
+``ad*`` edges fall back to the backtracking matcher (:func:`applicable`
+returns False for them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.matching import Match
+from repro.core.pattern import EdgeType, PatternNode, ScoredPatternTree
+from repro.core.trees import SNode, STree
+from repro.joins.twig import TwigNode, twig_join
+from repro.xmldb.store import XMLStore
+
+
+def applicable(pattern: ScoredPatternTree) -> bool:
+    """Can this pattern run on the twig backend?  Every node needs a tag
+    test and no edge may be ``ad*``."""
+    for node in pattern.nodes():
+        if node.tag is None:
+            return False
+        if node is not pattern.root and node.edge is EdgeType.ADS:
+            return False
+    return True
+
+
+def _to_twig(pattern: ScoredPatternTree) -> TwigNode:
+    def convert(pnode: PatternNode) -> TwigNode:
+        twig = TwigNode(pnode.label, pnode.tag or "*")
+        for child in pnode.children:
+            twig.add_child(convert(child))
+        return twig
+
+    return convert(pattern.root)
+
+
+def _source_index(tree: STree) -> Dict[tuple, SNode]:
+    index: Dict[tuple, SNode] = {}
+    for node in tree.nodes():
+        if node.source is not None:
+            index[node.source] = node
+    return index
+
+
+def find_embeddings_via_twig(
+    store: XMLStore,
+    pattern: ScoredPatternTree,
+    tree: STree,
+) -> List[Match]:
+    """Embeddings of ``pattern`` into the document-backed ``tree``, via
+    the twig join.  Requires :func:`applicable`; raises ``ValueError``
+    otherwise (callers fall back to the backtracking matcher).
+
+    Output order matches :func:`~repro.core.matching.find_embeddings`
+    (document order of the root binding, then subsequent bindings).
+    """
+    if not applicable(pattern):
+        raise ValueError("pattern not expressible as a pure-AD twig")
+    if tree.root.source is None:
+        raise ValueError("twig matching needs a document-backed tree")
+    doc_id = tree.root.source[0]
+    doc = store.document(doc_id)
+    by_source = _source_index(tree)
+
+    raw = twig_join(store, _to_twig(pattern))
+
+    # Structural post-filters: restrict to this document/subtree, check
+    # pc edges, then predicates and the formula.
+    pc_edges = [
+        (pattern.parent_label(n.label), n.label)
+        for n in pattern.nodes()
+        if n is not pattern.root and n.edge is EdgeType.PC
+    ]
+    out: List[Match] = []
+    for m in raw:
+        if any(ref[0] != doc_id or ref not in by_source for ref in m.values()):
+            continue
+        ok = True
+        for parent_label, child_label in pc_edges:
+            if doc.parents[m[child_label][1]] != m[parent_label][1]:
+                ok = False
+                break
+        if not ok:
+            continue
+        match: Match = {
+            label: by_source[ref] for label, ref in m.items()
+        }
+        if any(
+            not pattern.node(lbl).matches(node)
+            for lbl, node in match.items()
+        ):
+            continue
+        if pattern.formula is not None and not pattern.formula(match):
+            continue
+        out.append(match)
+
+    order = [n.label for n in pattern.nodes()]
+    out.sort(key=lambda m: tuple(m[lbl].order_start for lbl in order))
+    return out
+
+
+def find_embeddings_auto(
+    store: Optional[XMLStore],
+    pattern: ScoredPatternTree,
+    tree: STree,
+) -> List[Match]:
+    """Twig backend when possible, backtracking otherwise."""
+    from repro.core.matching import find_embeddings
+
+    if (
+        store is not None
+        and tree.root.source is not None
+        and applicable(pattern)
+    ):
+        return find_embeddings_via_twig(store, pattern, tree)
+    return find_embeddings(pattern, tree)
+
+
+def matcher_for(store: XMLStore):
+    """A ``matcher`` callable for
+    :func:`repro.core.operators.scored_selection`: twig-accelerated when
+    the pattern allows, transparent otherwise."""
+    def match(pattern: ScoredPatternTree, tree: STree) -> List[Match]:
+        return find_embeddings_auto(store, pattern, tree)
+
+    return match

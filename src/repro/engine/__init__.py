@@ -1,0 +1,60 @@
+"""Pipelined, set-oriented query evaluation engine (§5 framing).
+
+The engine evaluates physical plans of iterator-style operators
+(open / next / close) over collections of scored trees, so the TIX
+operators and the new access methods slot into "a standard pipelined
+database query evaluation engine" exactly as the paper proposes:
+
+- sources: :class:`~repro.engine.operators.DocumentSource`,
+  :class:`~repro.engine.operators.TagScan`,
+  :class:`~repro.engine.operators.TermJoinScan`,
+  :class:`~repro.engine.operators.PhraseFinderScan`;
+- scored tree operators: Select / Project / Product / Join;
+- score-utilizing operators: Threshold (streaming for V, blocking for K),
+  Pick, Sort, Limit;
+- plumbing: Union, Materialize, plan explain and execution statistics.
+"""
+
+from repro.engine.base import Operator, execute, explain
+from repro.engine.operators import (
+    DocumentSource,
+    TagScan,
+    TermJoinScan,
+    PhraseFinderScan,
+    Select,
+    Project,
+    Product,
+    Join,
+    ThresholdOp,
+    PickOp,
+    Sort,
+    Limit,
+    TopK,
+    Union,
+    ValueJoin,
+    ScoredUnion,
+    Materialize,
+)
+
+__all__ = [
+    "Operator",
+    "execute",
+    "explain",
+    "DocumentSource",
+    "TagScan",
+    "TermJoinScan",
+    "PhraseFinderScan",
+    "Select",
+    "Project",
+    "Product",
+    "Join",
+    "ThresholdOp",
+    "PickOp",
+    "Sort",
+    "Limit",
+    "TopK",
+    "Union",
+    "ValueJoin",
+    "ScoredUnion",
+    "Materialize",
+]

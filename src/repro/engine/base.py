@@ -1,0 +1,111 @@
+"""Iterator-protocol base for physical operators.
+
+Every operator implements the classic Volcano protocol:
+
+- :meth:`Operator.open` — prepare; must be called before ``next``;
+- :meth:`Operator.next` — produce the next item or ``None`` at end;
+- :meth:`Operator.close` — release resources (closes children).
+
+Operators form a tree via ``children``.  Items flowing between operators
+are :class:`~repro.core.trees.STree` instances (collections of scored
+trees are streams of scored trees).
+
+Execution helpers: :func:`execute` drains a plan into a list;
+:func:`explain` renders the plan tree with per-operator row counts after a
+run (its output is stable and used in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.trees import STree
+from repro.errors import PlanError
+
+
+class Operator:
+    """Base physical operator."""
+
+    #: short name used by explain(); subclasses override
+    name = "operator"
+
+    def __init__(self, children: Sequence["Operator"] = ()):
+        self.children: List[Operator] = list(children)
+        self._opened = False
+        self.rows_out = 0
+
+    # -- protocol ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Prepare this operator and its children for iteration."""
+        if self._opened:
+            raise PlanError(f"{self.name}: open() called twice")
+        self._opened = True
+        self.rows_out = 0
+        for child in self.children:
+            child.open()
+        self._open()
+
+    def next(self) -> Optional[STree]:
+        """Next output tree, or ``None`` when exhausted."""
+        if not self._opened:
+            raise PlanError(f"{self.name}: next() before open()")
+        item = self._next()
+        if item is not None:
+            self.rows_out += 1
+        return item
+
+    def close(self) -> None:
+        """Release resources; children are closed too."""
+        if not self._opened:
+            raise PlanError(f"{self.name}: close() before open()")
+        self._opened = False
+        self._close()
+        for child in self.children:
+            child.close()
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _open(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def _next(self) -> Optional[STree]:
+        raise NotImplementedError
+
+    def _close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    # -- conveniences -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[STree]:
+        """Iterate an opened operator (does not open/close itself)."""
+        while True:
+            item = self.next()
+            if item is None:
+                return
+            yield item
+
+    def describe(self) -> str:
+        """One-line description used by explain(); override to include
+        parameters."""
+        return self.name
+
+
+def execute(plan: Operator) -> List[STree]:
+    """Open, drain, and close a plan; returns all produced trees."""
+    plan.open()
+    try:
+        return list(plan)
+    finally:
+        plan.close()
+
+
+def explain(plan: Operator, _depth: int = 0) -> str:
+    """Render the plan tree, one operator per line, with row counts from
+    the most recent execution."""
+    pad = "  " * _depth
+    line = f"{pad}{plan.describe()} [rows={plan.rows_out}]"
+    parts = [line]
+    for child in plan.children:
+        parts.append(explain(child, _depth + 1))
+    return "\n".join(parts)

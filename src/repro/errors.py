@@ -1,0 +1,61 @@
+"""Exception hierarchy for the TIX reproduction.
+
+Every error raised by the library derives from :class:`TIXError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class TIXError(Exception):
+    """Base class for all library errors."""
+
+
+class XMLParseError(TIXError):
+    """Raised when the XML parser encounters malformed input.
+
+    Carries the (1-based) line and column of the offending position when
+    known, so error messages point at the exact spot in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DocumentNotFoundError(TIXError):
+    """Raised when a store lookup names a document that was never loaded."""
+
+
+class UnknownTermError(TIXError):
+    """Raised when an index lookup is asked for a term with no postings and
+    the caller requested strict behaviour."""
+
+
+class PatternError(TIXError):
+    """Raised for malformed scored pattern trees (bad edges, unknown labels,
+    scoring functions referencing nodes that do not exist)."""
+
+
+class QuerySyntaxError(TIXError):
+    """Raised by the extended-XQuery front end on syntax errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class QueryCompileError(TIXError):
+    """Raised when a parsed query cannot be translated to a plan
+    (unknown function, unbound variable, unsupported construct)."""
+
+
+class PlanError(TIXError):
+    """Raised when a physical plan is malformed or an operator is driven
+    outside its open/next/close protocol."""

@@ -1,0 +1,183 @@
+"""The paper's running example (Figure 1): ``articles.xml`` and
+``reviews.xml``.
+
+The paper elides irrelevant text as "..."; we keep those spots empty so
+they contribute no query-term occurrences and the figure scores reproduce
+exactly.  Node identifiers #a1..#a20 / #r1..#r12 from the paper map to the
+document-order element ids of the parsed documents (0-based: #a1 = node 0).
+
+Also provides the Figure 3 / Figure 4 scored pattern trees and the
+Figure 9 user functions, shared by the examples and the
+figure-reproduction integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.pattern import (
+    Combine,
+    EdgeType,
+    FromLabel,
+    JoinScore,
+    PatternNode,
+    PhraseScore,
+    ScoredPatternTree,
+)
+from repro.core.pick import PickCriterion
+from repro.core.scoring import WeightedCountScorer, score_bar, score_sim
+from repro.xmldb.store import XMLStore
+
+ARTICLES_XML = """\
+<article>
+  <article-title>Internet Technologies</article-title>
+  <author id="first">
+    <fname>Jane</fname>
+    <sname>Doe</sname>
+  </author>
+  <chapter>
+    <ct>Caching and Replication</ct>
+  </chapter>
+  <chapter>
+    <ct>Streaming Video</ct>
+  </chapter>
+  <chapter>
+    <ct>Search and Retrieval</ct>
+    <section>
+      <section-title>Search Engine Basics</section-title>
+    </section>
+    <section>
+      <section-title>Information Retrieval Techniques</section-title>
+    </section>
+    <section>
+      <section-title>Examples</section-title>
+      <p>Here are some IR based search engines:</p>
+      <p>search engine NewsInEssence uses a new information retrieval
+         technology</p>
+      <p>semantic information retrieval techniques are also being
+         incorporated into some search engines</p>
+    </section>
+  </chapter>
+</article>
+"""
+
+REVIEWS_XML = """\
+<reviews>
+  <review id="1">
+    <title>Internet Technologies</title>
+    <reviewer>
+      <fname>John</fname>
+      <sname>Doe</sname>
+    </reviewer>
+    <comments>a thorough treatment</comments>
+    <rating>5</rating>
+  </review>
+  <review id="2">
+    <title>WWW Technologies</title>
+    <reviewer>Anonymous</reviewer>
+    <comments>somewhat dated</comments>
+    <rating>3</rating>
+  </review>
+</reviews>
+"""
+
+#: Paper node ids (#aN) → document-order element ids in ARTICLES_XML.
+#: The paper numbers elements #a1..#a20 in document order, so #aN is
+#: element N-1.
+A = {n: n - 1 for n in range(1, 21)}
+
+
+def example_store() -> XMLStore:
+    """A store loaded with the Figure 1 documents."""
+    return XMLStore.from_sources(
+        {"articles.xml": ARTICLES_XML, "reviews.xml": REVIEWS_XML}
+    )
+
+
+def score_foo() -> WeightedCountScorer:
+    """Figure 9's ``ScoreFoo``: 0.8 per "search engine" occurrence, 0.6
+    per "internet" / "information retrieval" occurrence, with the light
+    plural stemming the paper's example scores imply."""
+    return WeightedCountScorer(
+        primary=["search engine"],
+        secondary=["internet", "information retrieval"],
+        stem=True,
+    )
+
+
+def query1_pattern() -> ScoredPatternTree:
+    """Query 1 (Figure 2): document components of articles.xml scored by
+    ScoreFoo — a single-node IR pattern under the article."""
+    p1 = PatternNode("$1", tag="article")
+    p4 = p1.add_child(PatternNode("$4"), EdgeType.ADS)
+    return ScoredPatternTree(
+        p1,
+        scoring={
+            "$4": PhraseScore(score_foo()),
+            "$1": FromLabel("$4"),
+        },
+    )
+
+
+def query2_pattern() -> ScoredPatternTree:
+    """The Figure 3 scored pattern tree for Query 2."""
+    p1 = PatternNode("$1", tag="article")
+    p2 = p1.add_child(PatternNode("$2", tag="author"), EdgeType.AD)
+    p2.add_child(
+        PatternNode(
+            "$3", tag="sname",
+            predicate=lambda n: n.alltext() == "doe",
+        ),
+        EdgeType.PC,
+    )
+    p4 = p1.add_child(PatternNode("$4"), EdgeType.ADS)
+    return ScoredPatternTree(
+        p1,
+        scoring={
+            "$4": PhraseScore(score_foo()),
+            "$1": FromLabel("$4"),
+        },
+    )
+
+
+def query3_pattern() -> ScoredPatternTree:
+    """The Figure 4 scored pattern tree for Query 3 (IR-style join).
+
+    ``$1`` is the ``tix_prod_root`` over an article ``$2`` and a review
+    ``$7``; the join condition similarity between article title ``$3``
+    and review title ``$8`` is scored into ``$joinScore`` and combined
+    with the content score of ``$6`` by ``ScoreBar``.
+    """
+    p1 = PatternNode("$1", tag="tix_prod_root")
+    p2 = p1.add_child(PatternNode("$2", tag="article"), EdgeType.AD)
+    p2.add_child(PatternNode("$3", tag="article-title"), EdgeType.PC)
+    p4 = p2.add_child(PatternNode("$4", tag="author"), EdgeType.AD)
+    p4.add_child(
+        PatternNode(
+            "$5", tag="sname",
+            predicate=lambda n: n.alltext() == "doe",
+        ),
+        EdgeType.PC,
+    )
+    p2.add_child(PatternNode("$6"), EdgeType.ADS)
+    p7 = p1.add_child(PatternNode("$7", tag="review"), EdgeType.AD)
+    p7.add_child(PatternNode("$8", tag="title"), EdgeType.PC)
+    return ScoredPatternTree(
+        p1,
+        scoring={
+            "$6": PhraseScore(score_fooprime()),
+            "$2": FromLabel("$6"),
+            "$joinScore": JoinScore(score_sim, "$3", "$8"),
+            "$1": Combine(score_bar, ["$joinScore", "$6"]),
+        },
+    )
+
+
+def score_fooprime() -> WeightedCountScorer:
+    """Alias of :func:`score_foo` for the Query 3 pattern ($6)."""
+    return score_foo()
+
+
+def pickfoo_criterion() -> PickCriterion:
+    """Figure 9's ``PickFoo``: relevance threshold 0.8, qualification 50%."""
+    return PickCriterion(relevance_threshold=0.8, qualification=0.5)

@@ -1,0 +1,222 @@
+"""Posting-list compression: delta + varint encoding.
+
+A real disk-based system (the paper loads 500 MB of INEX into 5 GB of
+TIMBER storage) keeps inverted lists compressed.  This module provides
+the classic scheme — per-posting delta encoding of the sort key followed
+by unsigned varints — behind the same :class:`PostingList` API, so every
+access method runs unchanged over a compressed index
+(:meth:`XMLStore.enable_index_compression` flips it on).
+
+Posting fields ``(doc, pos, node, offset)`` are encoded as:
+
+- ``Δdoc``    — delta against the previous posting's doc id;
+- ``Δpos``    — delta against the previous pos when the doc repeats,
+  else the absolute pos (pos is strictly increasing within a doc);
+- ``Δnode``   — zig-zag delta against the previous node id in the same
+  doc (nodes are non-monotonic across pops, hence zig-zag);
+- ``offset``  — absolute (small).
+
+Decoding materializes plain tuples, so correctness tests can compare
+byte-identical posting lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, TYPE_CHECKING
+
+from repro.index.inverted import InvertedIndex, Posting, PostingList
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xmldb.store import XMLStore
+
+
+# ----------------------------------------------------------------------
+# Varint primitives
+# ----------------------------------------------------------------------
+
+def write_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("varint requires a non-negative value")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, i: int) -> Tuple[int, int]:
+    """Read an unsigned varint at offset ``i``; returns (value, next_i)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[i]
+        i += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, i
+        shift += 7
+
+
+def zigzag(value: int) -> int:
+    """Map a signed int to unsigned (0, -1, 1, -2 → 0, 1, 2, 3)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# ----------------------------------------------------------------------
+# Posting-list codec
+# ----------------------------------------------------------------------
+
+def encode_postings(postings: List[Posting]) -> bytes:
+    """Encode a (doc, pos)-sorted posting list."""
+    out = bytearray()
+    write_varint(len(postings), out)
+    prev_doc = 0
+    prev_pos = 0
+    prev_node = 0
+    for doc, pos, node, offset in postings:
+        d_doc = doc - prev_doc
+        write_varint(d_doc, out)
+        if d_doc:
+            prev_pos = 0
+            prev_node = 0
+        write_varint(pos - prev_pos, out)
+        write_varint(zigzag(node - prev_node), out)
+        write_varint(offset, out)
+        prev_doc, prev_pos, prev_node = doc, pos, node
+    return bytes(out)
+
+
+def decode_postings(data: bytes) -> List[Posting]:
+    """Decode :func:`encode_postings` output."""
+    i = 0
+    count, i = read_varint(data, i)
+    postings: List[Posting] = []
+    doc = 0
+    pos = 0
+    node = 0
+    for _ in range(count):
+        d_doc, i = read_varint(data, i)
+        doc += d_doc
+        if d_doc:
+            pos = 0
+            node = 0
+        d_pos, i = read_varint(data, i)
+        pos += d_pos
+        zz, i = read_varint(data, i)
+        node += unzigzag(zz)
+        offset, i = read_varint(data, i)
+        postings.append((doc, pos, node, offset))
+    return postings
+
+
+# ----------------------------------------------------------------------
+# Compressed index
+# ----------------------------------------------------------------------
+
+class CompressedInvertedIndex:
+    """Drop-in replacement for :class:`InvertedIndex` that stores each
+    posting list varint-compressed and decodes on access.
+
+    ``postings`` returns a fully decoded :class:`PostingList`; a small
+    LRU-ish cache (single most recent term) avoids repeated decodes in
+    the common per-term access pattern of the merge algorithms.
+    """
+
+    def __init__(self, blobs: Dict[str, bytes], n_documents: int):
+        self._blobs = blobs
+        self.n_documents = n_documents
+        self._cache_term: str = ""
+        self._cache_list: PostingList = PostingList("", [])
+
+    @classmethod
+    def from_index(cls, index: InvertedIndex) -> "CompressedInvertedIndex":
+        blobs = {
+            term: encode_postings(index.postings(term).postings)
+            for term in index.vocabulary()
+        }
+        return cls(blobs, index.n_documents)
+
+    @classmethod
+    def build(cls, store: "XMLStore") -> "CompressedInvertedIndex":
+        return cls.from_index(InvertedIndex.build(store))
+
+    # -- API parity with InvertedIndex -----------------------------------
+
+    def postings(self, term: str, strict: bool = False) -> PostingList:
+        if term == self._cache_term:
+            return self._cache_list
+        blob = self._blobs.get(term)
+        if blob is None:
+            if strict:
+                from repro.errors import UnknownTermError
+
+                raise UnknownTermError(f"term {term!r} not in index")
+            return PostingList(term, [])
+        decoded = PostingList(term, decode_postings(blob))
+        self._cache_term = term
+        self._cache_list = decoded
+        return decoded
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._blobs
+
+    def frequency(self, term: str) -> int:
+        return len(self.postings(term))
+
+    def document_frequency(self, term: str) -> int:
+        return self.postings(term).document_frequency
+
+    def idf(self, term: str) -> float:
+        import math
+
+        df = self.document_frequency(term)
+        return math.log((self.n_documents + 1) / (df + 1)) + 1.0
+
+    def vocabulary(self) -> Iterable[str]:
+        return self._blobs.keys()
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._blobs)
+
+    def element_counts(self, term: str):
+        from collections import Counter
+
+        from repro.index.inverted import P_DOC, P_NODE
+
+        counts: Counter = Counter()
+        for p in self.postings(term):
+            counts[(p[P_DOC], p[P_NODE])] += 1
+        return dict(counts)
+
+    def terms_sorted_by_frequency(self) -> List[Tuple[str, int]]:
+        pairs = [(t, self.frequency(t)) for t in self._blobs]
+        pairs.sort(key=lambda x: (-x[1], x[0]))
+        return pairs
+
+    # -- compression statistics --------------------------------------------
+
+    def compressed_bytes(self) -> int:
+        """Total bytes of all encoded lists."""
+        return sum(len(b) for b in self._blobs.values())
+
+    def uncompressed_bytes(self) -> int:
+        """Size of a flat 4×4-byte-int representation, for the ratio."""
+        total_postings = sum(
+            decode_postings(b).__len__() for b in self._blobs.values()
+        )
+        return total_postings * 16
+
+    def compression_ratio(self) -> float:
+        """uncompressed / compressed (higher is better)."""
+        compressed = self.compressed_bytes()
+        return self.uncompressed_bytes() / compressed if compressed else 1.0

@@ -1,0 +1,173 @@
+"""Positional inverted index.
+
+For every term the index keeps a posting list sorted by ``(doc_id, pos)``.
+A posting is the 4-tuple ``(doc_id, pos, node_id, offset)``:
+
+- ``pos`` — global region position of the word occurrence; because words
+  consume values of the same counter as element start/end keys, ``pos``
+  falls strictly inside the region of every ancestor element.  TermJoin's
+  merge pass is driven by this field.
+- ``node_id`` — the element whose *direct* text contains the word.
+- ``offset`` — word ordinal within that element's direct text.  PhraseFinder
+  verifies phrase adjacency with ``same node_id ∧ offsets consecutive``.
+
+An index lookup "at the very least returns identifiers of XML elements in
+which this term occurs … but one can easily return more, such as the number
+of occurrences" (§5.1); :meth:`InvertedIndex.element_counts` is that
+enriched lookup, used by the composite baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import UnknownTermError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xmldb.store import XMLStore
+
+#: A posting: (doc_id, pos, node_id, offset).
+Posting = Tuple[int, int, int, int]
+
+#: Field indices within a posting tuple (kept as module constants so hot
+#: loops can use literal integer indexing without magic numbers).
+P_DOC = 0
+P_POS = 1
+P_NODE = 2
+P_OFFSET = 3
+
+
+@dataclass
+class PostingList:
+    """A term's postings plus cached aggregate statistics."""
+
+    term: str
+    postings: List[Posting]
+
+    @property
+    def frequency(self) -> int:
+        """Total number of occurrences of the term in the corpus."""
+        return len(self.postings)
+
+    @property
+    def document_frequency(self) -> int:
+        """Number of distinct documents containing the term."""
+        return len({p[P_DOC] for p in self.postings})
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.postings)
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    def for_document(self, doc_id: int) -> List[Posting]:
+        """Postings restricted to one document (contiguous slice)."""
+        # Binary search bounds on the (doc, pos)-sorted list.
+        lo = _lower_bound(self.postings, doc_id)
+        hi = _lower_bound(self.postings, doc_id + 1)
+        return self.postings[lo:hi]
+
+
+def _lower_bound(postings: Sequence[Posting], doc_id: int) -> int:
+    """First index whose posting has ``doc >= doc_id``."""
+    lo, hi = 0, len(postings)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if postings[mid][P_DOC] < doc_id:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class InvertedIndex:
+    """The corpus-wide positional inverted index."""
+
+    def __init__(self, lists: Dict[str, PostingList], n_documents: int):
+        self._lists = lists
+        self.n_documents = n_documents
+
+    @classmethod
+    def build(cls, store: "XMLStore") -> "InvertedIndex":
+        """Build the index by one scan over every document's word table."""
+        lists: Dict[str, List[Posting]] = {}
+        for doc in store.documents():
+            d = doc.doc_id
+            terms = doc.word_terms
+            pos = doc.word_pos
+            nodes = doc.word_node
+            offs = doc.word_offset
+            for i in range(len(terms)):
+                lists.setdefault(terms[i], []).append(
+                    (d, pos[i], nodes[i], offs[i])
+                )
+        # Documents are scanned in doc_id order and word tables are in
+        # ascending pos, so each list is already sorted by (doc, pos).
+        return cls(
+            {t: PostingList(t, p) for t, p in lists.items()},
+            n_documents=store.n_documents,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def postings(self, term: str, strict: bool = False) -> PostingList:
+        """Posting list for ``term``.  Unknown terms yield an empty list
+        unless ``strict`` is set."""
+        try:
+            return self._lists[term]
+        except KeyError:
+            if strict:
+                raise UnknownTermError(f"term {term!r} not in index")
+            return PostingList(term, [])
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._lists
+
+    def frequency(self, term: str) -> int:
+        """Corpus frequency of ``term``."""
+        pl = self._lists.get(term)
+        return pl.frequency if pl else 0
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        pl = self._lists.get(term)
+        return pl.document_frequency if pl else 0
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency:
+        ``log((N + 1) / (df + 1)) + 1``; always positive."""
+        df = self.document_frequency(term)
+        return math.log((self.n_documents + 1) / (df + 1)) + 1.0
+
+    def vocabulary(self) -> Iterable[str]:
+        """All indexed terms."""
+        return self._lists.keys()
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._lists)
+
+    # ------------------------------------------------------------------
+    # Enriched lookups used by the composite baselines
+    # ------------------------------------------------------------------
+
+    def element_counts(self, term: str) -> Dict[Tuple[int, int], int]:
+        """``{(doc_id, node_id): occurrence count}`` for the elements whose
+        *direct* text contains ``term`` — the enriched index lookup of
+        §5.1 that seeds score generation in the composite plans."""
+        counts: Counter = Counter()
+        for p in self.postings(term):
+            counts[(p[P_DOC], p[P_NODE])] += 1
+        return dict(counts)
+
+    def terms_sorted_by_frequency(self) -> List[Tuple[str, int]]:
+        """``(term, frequency)`` pairs, most frequent first (workload
+        selection helper)."""
+        pairs = [(t, pl.frequency) for t, pl in self._lists.items()]
+        pairs.sort(key=lambda x: (-x[1], x[0]))
+        return pairs

@@ -1,0 +1,123 @@
+"""Generalized Meet (§6.1).
+
+Schmidt et al.'s ``meet`` operator (ICDE'01) finds the lowest common
+ancestor of elements containing the query terms.  The paper generalizes it
+into a TermJoin baseline: *all* common ancestors are produced (walking up
+the ancestor chain), partial matches included (ancestors containing only
+some terms, scored lower).
+
+The algorithm works level-by-level, as the recursive formulation suggests:
+start from the elements directly containing term occurrences, then
+repeatedly group by parent (a node-id grouping per round), merging
+per-term counters — and, for complex scoring, occurrence lists and
+relevant-child counts — processing levels strictly deepest-first so every
+ancestor is emitted exactly once with complete information.
+
+Relative to TermJoin this pays hash-grouping per level instead of one
+stack merge pass, which is exactly why TermJoin beats it by a small factor
+while both beat the composite plans by orders of magnitude (Tables 1-4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.access.results import ScoredElement
+from repro.index.inverted import P_DOC, P_NODE, P_OFFSET
+from repro.xmldb.store import XMLStore
+
+#: Per-node accumulator: (per-term counts, occurrence list or None,
+#: number of relevant children seen so far).
+_Entry = Tuple[List[int], Optional[List[Tuple[str, int, int]]], int]
+
+
+def generalized_meet(
+    store: XMLStore,
+    terms: Sequence[str],
+    scorer,
+    complex_scoring: bool = False,
+) -> List[ScoredElement]:
+    """Score every ancestor of every occurrence of ``terms``.
+
+    ``scorer`` follows the TermJoin protocol
+    (:mod:`repro.access.scorers`): ``score_from_counts`` for simple
+    scoring or ``score_from_occurrences`` with ``complex_scoring``.
+    Output order is deepest-level-first, document order within a level.
+    """
+    index = store.index
+    structure = store.structure
+    counters = store.counters
+    term_list = list(terms)
+    n_terms = len(term_list)
+
+    # Level pools: level -> {(doc, node): entry}.  Seed with the elements
+    # whose direct text holds an occurrence.
+    pools: Dict[int, Dict[Tuple[int, int], _Entry]] = {}
+    level_of: Dict[int, List[int]] = {}  # doc_id -> levels array
+    for doc in store.documents():
+        level_of[doc.doc_id] = doc.levels
+
+    for ti, term in enumerate(term_list):
+        postings = index.postings(term)
+        counters.index_lookups += 1
+        counters.postings_read += len(postings)
+        for p in postings:
+            doc_id, node_id = p[P_DOC], p[P_NODE]
+            lvl = level_of[doc_id][node_id]
+            pool = pools.setdefault(lvl, {})
+            entry = pool.get((doc_id, node_id))
+            if entry is None:
+                entry = (
+                    [0] * n_terms,
+                    [] if complex_scoring else None,
+                    0,
+                )
+                pool[(doc_id, node_id)] = entry
+            entry[0][ti] += 1
+            if complex_scoring:
+                assert entry[1] is not None
+                entry[1].append((term, node_id, p[P_OFFSET]))
+
+    results: List[ScoredElement] = []
+    if not pools:
+        return results
+
+    for lvl in range(max(pools), -1, -1):
+        pool = pools.pop(lvl, None)
+        if not pool:
+            continue
+        for (doc_id, node_id), (counts, occs, relevant) in pool.items():
+            counters.nodes_fetched += 1
+            if complex_scoring:
+                assert occs is not None
+                occs.sort(key=lambda o: (o[1], o[2]))
+                n_children = structure.fanout(doc_id, node_id)
+                counters.index_lookups += 1
+                score = scorer.score_from_occurrences(
+                    occs, n_children, relevant
+                )
+            else:
+                score = scorer.score_from_counts(
+                    {term_list[i]: c for i, c in enumerate(counts) if c}
+                )
+            results.append(ScoredElement(doc_id, node_id, score))
+
+            parent = structure.parent(doc_id, node_id)
+            counters.index_lookups += 1
+            if parent < 0:
+                continue
+            ppool = pools.setdefault(lvl - 1, {})
+            pentry = ppool.get((doc_id, parent))
+            if pentry is None:
+                ppool[(doc_id, parent)] = (
+                    list(counts),
+                    list(occs) if occs is not None else None,
+                    1,
+                )
+            else:
+                for i in range(n_terms):
+                    pentry[0][i] += counts[i]
+                if occs is not None and pentry[1] is not None:
+                    pentry[1].extend(occs)
+                ppool[(doc_id, parent)] = (pentry[0], pentry[1], pentry[2] + 1)
+    return results

@@ -1,0 +1,278 @@
+"""Holistic twig joins: PathStack and TwigStack (Bruno et al., SIGMOD'02
+— the paper's reference [6] for the structural-join substrate).
+
+A *twig* is a small tree pattern with ancestor-descendant edges; the
+holistic algorithms match whole twigs against the per-tag element streams
+in one coordinated pass instead of joining binary ancestor/descendant
+results pairwise.
+
+- :func:`path_stack` — PathStack for linear paths: one stack per query
+  node, entries pointing into the parent query node's stack; every
+  root-to-leaf combination reachable through the pointers is a match.
+- :func:`twig_join` — the holistic two-phase twig evaluation: PathStack
+  per root-to-leaf path, then a hash merge on the shared prefix labels
+  (TwigStack's getNext refinement, which merely suppresses useless path
+  solutions early, is omitted — results are identical).
+- :func:`naive_twig_join` — brute-force oracle used by the tests.
+
+Wildcard twig nodes (tag ``*``) stream every element.
+
+Matches are dictionaries ``{query node label: (doc_id, node_id)}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.structure import E_DOC, E_END, E_LEVEL, E_NODE, E_START, ElementRef
+from repro.xmldb.store import XMLStore
+
+Match = Dict[str, Tuple[int, int]]
+
+
+@dataclass
+class TwigNode:
+    """One node of a twig pattern (edges to children are all
+    ancestor-descendant)."""
+
+    label: str
+    tag: str
+    children: List["TwigNode"] = field(default_factory=list)
+
+    def add_child(self, child: "TwigNode") -> "TwigNode":
+        self.children.append(child)
+        return child
+
+    def nodes(self) -> List["TwigNode"]:
+        out = [self]
+        for c in self.children:
+            out.extend(c.nodes())
+        return out
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def paths(self) -> List[List["TwigNode"]]:
+        """All root-to-leaf paths."""
+        if self.is_leaf():
+            return [[self]]
+        return [[self] + rest for c in self.children for rest in c.paths()]
+
+
+# ----------------------------------------------------------------------
+# Streams
+# ----------------------------------------------------------------------
+
+class _Stream:
+    """Cursor over a (doc, start)-sorted element list."""
+
+    __slots__ = ("refs", "i")
+
+    def __init__(self, refs: Sequence[ElementRef]):
+        self.refs = refs
+        self.i = 0
+
+    def eof(self) -> bool:
+        return self.i >= len(self.refs)
+
+    def head(self) -> ElementRef:
+        return self.refs[self.i]
+
+    def advance(self) -> None:
+        self.i += 1
+
+
+def _key(ref: ElementRef) -> Tuple[int, int]:
+    return ref[E_DOC], ref[E_START]
+
+
+def _contains(a: ElementRef, b: ElementRef) -> bool:
+    """Is element a a strict ancestor of b?"""
+    return (
+        a[E_DOC] == b[E_DOC]
+        and a[E_START] < b[E_START]
+        and b[E_END] <= a[E_END]
+    )
+
+
+
+def _stream_refs(store: XMLStore, tag: str):
+    """Element stream for a twig node: per-tag list, or every element
+    for the wildcard tag ``*``."""
+    if tag == "*":
+        return store.structure.all_elements()
+    return store.structure.elements_with_tag(tag)
+
+# ----------------------------------------------------------------------
+# PathStack (linear paths)
+# ----------------------------------------------------------------------
+
+def path_stack(store: XMLStore, path: Sequence[TwigNode]) -> List[Match]:
+    """All matches of a linear AD path, via the chained-stack algorithm.
+
+    One pass over the merged streams; each stack entry records a pointer
+    to the top of the parent stack at push time, encoding every ancestor
+    combination compactly.  Matches are expanded on leaf pushes.
+    """
+    n = len(path)
+    streams = [
+        _Stream(_stream_refs(store, q.tag)) for q in path
+    ]
+    if n == 1:
+        return [
+            {path[0].label: (ref[E_DOC], ref[E_NODE])}
+            for ref in streams[0].refs
+        ]
+    # stacks[i]: list of (ref, parent_stack_index)
+    stacks: List[List[Tuple[ElementRef, int]]] = [[] for _ in range(n)]
+    out: List[Match] = []
+
+    def emit_leaf(leaf_entry_index: int) -> None:
+        """Expand all root-to-leaf combinations ending at the pushed
+        leaf entry."""
+        def expand(level: int, entry_index: int, acc: List[ElementRef]):
+            ref, parent_ptr = stacks[level][entry_index]
+            acc.append(ref)
+            if level == 0:
+                out.append({
+                    path[i].label: (acc[n - 1 - i][E_DOC],
+                                    acc[n - 1 - i][E_NODE])
+                    for i in range(n)
+                })
+            else:
+                for j in range(parent_ptr + 1):
+                    expand(level - 1, j, acc)
+            acc.pop()
+
+        expand(n - 1, leaf_entry_index, [])
+
+    # Matches complete only on leaf pushes, so the pass ends exactly
+    # when the leaf stream does.
+    while not streams[n - 1].eof():
+        # qmin: the stream with the minimal next start key among streams
+        # that could still contribute.
+        qmin = None
+        kmin = None
+        for i, s in enumerate(streams):
+            if s.eof():
+                continue
+            k = _key(s.head())
+            if kmin is None or k < kmin:
+                kmin, qmin = k, i
+        if qmin is None:
+            break
+        ref = streams[qmin].head()
+        # Pop entries whose region ended before this element starts
+        # (doc-aware), at every level.
+        for lvl in range(n):
+            st = stacks[lvl]
+            while st and (
+                st[-1][0][E_DOC] < ref[E_DOC]
+                or st[-1][0][E_END] < ref[E_START]
+            ):
+                st.pop()
+        if qmin == 0:
+            stacks[0].append((ref, -1))
+        else:
+            # The parent pointer must reference a *strict* ancestor: if
+            # the parent stack's top is this very element (same tag at
+            # both query levels), step below it.
+            pstack = stacks[qmin - 1]
+            ptr = len(pstack) - 1
+            if ptr >= 0 and (
+                pstack[ptr][0][E_DOC] == ref[E_DOC]
+                and pstack[ptr][0][E_START] == ref[E_START]
+            ):
+                ptr -= 1
+            if ptr >= 0:
+                stacks[qmin].append((ref, ptr))
+                if qmin == n - 1:
+                    emit_leaf(len(stacks[qmin]) - 1)
+                    stacks[qmin].pop()
+            # else: no strict-ancestor context on the parent stack; skip.
+        streams[qmin].advance()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Naive oracle
+# ----------------------------------------------------------------------
+
+def naive_twig_join(store: XMLStore, root: TwigNode) -> List[Match]:
+    """Brute-force twig matching (exponential; test oracle only)."""
+    nodes = root.nodes()
+    refs = {q.label: _stream_refs(store, q.tag)
+            for q in nodes}
+    out: List[Match] = []
+
+    def extend(i: int, match: Dict[str, ElementRef]) -> None:
+        if i == len(nodes):
+            out.append({
+                label: (ref[E_DOC], ref[E_NODE])
+                for label, ref in match.items()
+            })
+            return
+        q = nodes[i]
+        parent = _parent_of(root, q)
+        for ref in refs[q.label]:
+            if parent is not None and not _contains(match[parent.label], ref):
+                continue
+            match[q.label] = ref
+            extend(i + 1, match)
+            del match[q.label]
+
+    extend(0, {})
+    return out
+
+
+def _parent_of(root: TwigNode, target: TwigNode) -> Optional[TwigNode]:
+    for q in root.nodes():
+        if target in q.children:
+            return q
+    return None
+
+
+# ----------------------------------------------------------------------
+# Twig join: path solutions + merge
+# ----------------------------------------------------------------------
+
+def twig_join(store: XMLStore, root: TwigNode) -> List[Match]:
+    """All matches of an AD-edge twig, via the holistic two-phase
+    strategy of Bruno et al.: compute each root-to-leaf path's solutions
+    with the stack-chained :func:`path_stack` pass, then merge-join the
+    per-path solutions on their shared prefix nodes (hash join keyed by
+    the shared labels).
+
+    This implements the *semantics* of the holistic twig join exactly;
+    TwigStack's additional ``getNext`` coordination (which suppresses
+    path solutions that cannot extend to a full twig before they are
+    materialized) is a performance refinement we do not need at this
+    substrate's scale, so intermediate path solutions may be larger than
+    TwigStack's optimal bound — results are identical.
+    """
+    paths = root.paths()
+    partials: List[Match] = path_stack(store, paths[0])
+    seen_labels = {q.label for q in paths[0]}
+    for path in paths[1:]:
+        solutions = path_stack(store, path)
+        shared = [q.label for q in path if q.label in seen_labels]
+        new_labels = [q.label for q in path if q.label not in seen_labels]
+        # Hash join on the shared-label assignment.
+        table: Dict[tuple, List[Match]] = {}
+        for sol in solutions:
+            key = tuple(sol[lbl] for lbl in shared)
+            table.setdefault(key, []).append(sol)
+        merged: List[Match] = []
+        for partial in partials:
+            key = tuple(partial[lbl] for lbl in shared)
+            for sol in table.get(key, ()):
+                m = dict(partial)
+                for lbl in new_labels:
+                    m[lbl] = sol[lbl]
+                merged.append(m)
+        partials = merged
+        seen_labels.update(new_labels)
+        if not partials:
+            break
+    return partials

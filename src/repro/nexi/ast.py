@@ -1,0 +1,64 @@
+"""AST for the NEXI subset.
+
+Grammar (see :mod:`repro.nexi.parser`):
+
+- a **content-only** query is a bare term/phrase list — it has no
+  structural part (``NexiPath`` with no steps and one about clause over
+  ``.``);
+- a **content-and-structure** query is a descendant-step path where any
+  step may carry predicates of ``about`` clauses combined with
+  ``and`` / ``or``.
+
+``about`` clauses hold a relative path (``.`` or ``.//tag…``) plus the
+query terms (single terms and quoted phrases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class AboutClause:
+    """``about(<rel-path>, term term "a phrase" …)``.
+
+    ``relative`` is a tuple of tag names to descend through from the
+    context element (empty = the context element itself, i.e. ``.``).
+    ``phrases`` are the query strings (multi-word entries are phrases).
+    """
+
+    relative: Tuple[str, ...]
+    phrases: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``and`` / ``or`` over about clauses (nested combos allowed)."""
+
+    op: str  # "and" | "or"
+    operands: Tuple["Predicate", ...]
+
+
+Predicate = Union[AboutClause, BoolOp]
+
+
+@dataclass(frozen=True)
+class NexiStep:
+    """One ``//tag`` step with its predicates."""
+
+    tag: str  # "*" allowed
+    predicate: Optional[Predicate] = None
+
+
+@dataclass(frozen=True)
+class NexiPath:
+    """A full query: descendant steps; the last step is the target of
+    retrieval.  A content-only query has a single wildcard step whose
+    predicate is one about clause over ``.``."""
+
+    steps: Tuple[NexiStep, ...]
+
+    @property
+    def target(self) -> NexiStep:
+        return self.steps[-1]

@@ -1,0 +1,176 @@
+"""NEXI evaluation on the TIX machinery.
+
+Pipeline:
+
+1. **Structure**: the query's tag path becomes a linear AD twig; full
+   path matches come from :func:`repro.joins.twig.path_stack` (wildcard
+   steps stream every element).
+2. **Relevance**: every step's ``about`` predicate scores the bound
+   element — the clause's relative path descends from it, and the terms
+   are scored over subtree text with the paper's weighted phrase counts
+   (first phrase 0.8, the rest 0.6, matching ScoreFoo).  A relative path
+   matching several descendants contributes the best one.
+3. **Combination**: ``and`` sums its operands but zeroes out when any
+   operand is zero (strict conjunctive filtering with graded scores);
+   ``or`` takes the max.  A path match's score is the sum over all its
+   steps' predicate scores; a *target* element's final score is the max
+   over the path matches that end at it.
+4. **Ranking**: descending score, zero-scored targets dropped, optional
+   top-k.
+
+These combination choices are documented ones among NEXI's deliberately
+"vague" interpretations; they are the common strict-CAS reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scoring import WeightedCountScorer
+from repro.joins.twig import TwigNode, path_stack
+from repro.nexi.ast import AboutClause, BoolOp, NexiPath, Predicate
+from repro.nexi.parser import parse_nexi
+from repro.xmldb.document import Document
+from repro.xmldb.store import XMLStore
+
+
+@dataclass(frozen=True)
+class NexiHit:
+    """One ranked retrieval unit."""
+
+    doc_id: int
+    node_id: int
+    score: float
+
+
+def _about_scorer(phrases: Sequence[str]) -> WeightedCountScorer:
+    """The paper's ScoreFoo weighting applied to a NEXI term list: the
+    first phrase is primary (0.8), the rest secondary (0.6)."""
+    return WeightedCountScorer(
+        primary=[phrases[0]], secondary=list(phrases[1:])
+    )
+
+
+class NexiEvaluator:
+    """Evaluates parsed NEXI queries against one store."""
+
+    def __init__(self, store: XMLStore):
+        self.store = store
+        # (id(clause), doc, node) -> score memo: the same about clause is
+        # evaluated for every path match binding the same element.
+        self._about_memo: Dict[Tuple[int, int, int], float] = {}
+        self._scorers: Dict[int, WeightedCountScorer] = {}
+
+    # ------------------------------------------------------------------
+    # Relevance
+    # ------------------------------------------------------------------
+
+    def _relative_nodes(self, doc: Document, node_id: int,
+                        relative: Tuple[str, ...]) -> List[int]:
+        """Elements reached by descending ``relative`` tags from
+        ``node_id`` (any depth per step, as NEXI's ``.//`` means)."""
+        current = [node_id]
+        for tag in relative:
+            nxt: List[int] = []
+            for nid in current:
+                nxt.extend(
+                    d for d in doc.descendants(nid)
+                    if doc.tags[d] == tag
+                )
+            current = nxt
+        return current
+
+    def score_about(self, clause: AboutClause, doc: Document,
+                    node_id: int) -> float:
+        key = (id(clause), doc.doc_id, node_id)
+        memo = self._about_memo.get(key)
+        if memo is not None:
+            return memo
+        scorer = self._scorers.get(id(clause))
+        if scorer is None:
+            scorer = _about_scorer(clause.phrases)
+            self._scorers[id(clause)] = scorer
+        best = 0.0
+        for target in self._relative_nodes(doc, node_id, clause.relative):
+            s = scorer.score_words(doc.subtree_words(target))
+            if s > best:
+                best = s
+        self._about_memo[key] = best
+        return best
+
+    def score_predicate(self, predicate: Predicate, doc: Document,
+                        node_id: int) -> float:
+        if isinstance(predicate, AboutClause):
+            return self.score_about(predicate, doc, node_id)
+        scores = [
+            self.score_predicate(op, doc, node_id)
+            for op in predicate.operands
+        ]
+        if predicate.op == "and":
+            return sum(scores) if all(s > 0 for s in scores) else 0.0
+        return max(scores)
+
+    # ------------------------------------------------------------------
+    # Full query
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: NexiPath,
+                 top_k: Optional[int] = None) -> List[NexiHit]:
+        steps = query.steps
+        twig_nodes = [
+            TwigNode(f"${i}", step.tag) for i, step in enumerate(steps)
+        ]
+        for parent, child in zip(twig_nodes, twig_nodes[1:]):
+            parent.add_child(child)
+        matches = path_stack(self.store, twig_nodes)
+
+        target_label = f"${len(steps) - 1}"
+        if all(step.predicate is None for step in steps):
+            # Purely structural query: every target matches, unranked.
+            seen = {match[target_label] for match in matches}
+            return sorted(
+                (NexiHit(d, n, 0.0) for d, n in seen),
+                key=lambda h: (h.doc_id, h.node_id),
+            )[: top_k if top_k is not None else None]
+        best: Dict[Tuple[int, int], float] = {}
+        for match in matches:
+            score = 0.0
+            dead = False
+            doc = self.store.document(match[target_label][0])
+            for i, step in enumerate(steps):
+                if step.predicate is None:
+                    continue
+                _d, node_id = match[f"${i}"]
+                s = self.score_predicate(step.predicate, doc, node_id)
+                if s <= 0.0:
+                    dead = True
+                    break
+                score += s
+            if dead:
+                continue
+            key = match[target_label]
+            if score > best.get(key, -1.0):
+                best[key] = score
+
+        hits = [
+            NexiHit(doc_id, node_id, score)
+            for (doc_id, node_id), score in best.items()
+            if score > 0.0
+        ]
+        hits.sort(key=lambda h: (-h.score, h.doc_id, h.node_id))
+        if top_k is not None:
+            hits = hits[:top_k]
+        return hits
+
+
+def evaluate_nexi(store: XMLStore, query: NexiPath,
+                  top_k: Optional[int] = None) -> List[NexiHit]:
+    """Evaluate a parsed NEXI query."""
+    return NexiEvaluator(store).evaluate(query, top_k)
+
+
+def run_nexi(store: XMLStore, source: str,
+             top_k: Optional[int] = None) -> List[NexiHit]:
+    """Parse and evaluate a NEXI query string."""
+    return evaluate_nexi(store, parse_nexi(source), top_k)

@@ -1,0 +1,192 @@
+"""Parser for the NEXI subset.
+
+Grammar::
+
+    query      := co-query | cas-query
+    co-query   := termlist                      # no leading '//'
+    cas-query  := ('//' step)+
+    step       := (name | '*') predicate?
+    predicate  := '[' boolexpr ']'
+    boolexpr   := about (('and' | 'or') about)*   # one operator kind
+                | '(' boolexpr ')' …              # parenthesized mix
+    about      := 'about' '(' relpath ',' termlist ')'
+    relpath    := '.' ('//' name)*
+    termlist   := (word | '"phrase words"')+
+
+Content-only queries (plain keyword lists, the INEX "CO" topics) parse
+to a single ``//*`` step with one about clause over ``.``.
+
+Mixed ``and``/``or`` at one level requires parentheses (as in NEXI).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import QuerySyntaxError
+from repro.nexi.ast import AboutClause, BoolOp, NexiPath, NexiStep, Predicate
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<dslash>//)
+  | (?P<phrase>"[^"]*")
+  | (?P<word>[A-Za-z0-9_\-]+)
+  | (?P<punct>[\[\]().,*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"about", "and", "or"}
+
+
+def _tokenize(source: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise QuerySyntaxError(
+                f"unexpected character {source[pos]!r} in NEXI query"
+            )
+        kind = m.lastgroup
+        text = m.group(0)
+        if kind != "ws":
+            if kind == "word" and text in _KEYWORDS:
+                tokens.append(("kw", text))
+            elif kind == "phrase":
+                tokens.append(("phrase", text[1:-1]))
+            else:
+                tokens.append((kind, text))  # type: ignore[arg-type]
+        pos = m.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.i]
+
+    def advance(self) -> Tuple[str, str]:
+        tok = self.tokens[self.i]
+        if tok[0] != "eof":
+            self.i += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        k, v = self.peek()
+        if k != kind or (value is not None and v != value):
+            raise QuerySyntaxError(
+                f"expected {value or kind!r}, found {v!r} in NEXI query"
+            )
+        self.advance()
+        return v
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        k, v = self.peek()
+        return k == kind and (value is None or v == value)
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> NexiPath:
+        if self.at("dslash"):
+            return self.parse_cas()
+        return self.parse_co()
+
+    def parse_co(self) -> NexiPath:
+        # Content-only: keywords like "and" are ordinary terms here.
+        phrases = self.parse_termlist(allow_keywords=True)
+        if not phrases:
+            raise QuerySyntaxError("empty NEXI query")
+        self.expect("eof")
+        about = AboutClause(relative=(), phrases=tuple(phrases))
+        return NexiPath((NexiStep("*", about),))
+
+    def parse_cas(self) -> NexiPath:
+        steps: List[NexiStep] = []
+        while self.at("dslash"):
+            self.advance()
+            if self.at("punct", "*"):
+                self.advance()
+                tag = "*"
+            else:
+                tag = self.expect("word")
+            predicate: Optional[Predicate] = None
+            if self.at("punct", "["):
+                self.advance()
+                predicate = self.parse_boolexpr()
+                self.expect("punct", "]")
+            steps.append(NexiStep(tag, predicate))
+        self.expect("eof")
+        if not steps:
+            raise QuerySyntaxError("NEXI path needs at least one step")
+        return NexiPath(tuple(steps))
+
+    def parse_boolexpr(self) -> Predicate:
+        operands: List[Predicate] = [self.parse_atom()]
+        op: Optional[str] = None
+        while self.at("kw", "and") or self.at("kw", "or"):
+            this_op = self.advance()[1]
+            if op is None:
+                op = this_op
+            elif op != this_op:
+                raise QuerySyntaxError(
+                    "mixed and/or needs parentheses in NEXI"
+                )
+            operands.append(self.parse_atom())
+        if op is None:
+            return operands[0]
+        return BoolOp(op, tuple(operands))
+
+    def parse_atom(self) -> Predicate:
+        if self.at("punct", "("):
+            self.advance()
+            inner = self.parse_boolexpr()
+            self.expect("punct", ")")
+            return inner
+        return self.parse_about()
+
+    def parse_about(self) -> AboutClause:
+        self.expect("kw", "about")
+        self.expect("punct", "(")
+        relative = self.parse_relpath()
+        self.expect("punct", ",")
+        phrases = self.parse_termlist()
+        if not phrases:
+            raise QuerySyntaxError("about() needs at least one term")
+        self.expect("punct", ")")
+        return AboutClause(tuple(relative), tuple(phrases))
+
+    def parse_relpath(self) -> List[str]:
+        self.expect("punct", ".")
+        tags: List[str] = []
+        while self.at("dslash"):
+            self.advance()
+            tags.append(self.expect("word"))
+        return tags
+
+    def parse_termlist(self, allow_keywords: bool = False) -> List[str]:
+        phrases: List[str] = []
+        while True:
+            k, v = self.peek()
+            if k == "phrase":
+                phrases.append(v)
+                self.advance()
+            elif k == "word":
+                phrases.append(v)
+                self.advance()
+            elif allow_keywords and k == "kw":
+                phrases.append(v)
+                self.advance()
+            else:
+                return phrases
+
+
+def parse_nexi(source: str) -> NexiPath:
+    """Parse a NEXI query string."""
+    return _Parser(_tokenize(source)).parse()

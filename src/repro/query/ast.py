@@ -1,0 +1,201 @@
+"""AST for the extended-XQuery subset.
+
+Nodes are small frozen dataclasses; the evaluator and the compiler both
+walk this tree.  The grammar the parser accepts is documented in
+:mod:`repro.query.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Path expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Step:
+    """One path step.
+
+    ``axis`` is ``child``, ``descendant``, ``descendant-or-self``,
+    ``attribute``, or ``text``; ``test`` is a tag name or ``*`` (unused
+    for text()).  ``predicates`` are boolean expressions evaluated with
+    the step's node as context.
+    """
+
+    axis: str
+    test: str = "*"
+    predicates: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A path rooted at a document, a variable, or the context node."""
+
+    root: Union["DocCall", "VarRef", None]  # None = context node
+    steps: Tuple[Step, ...] = ()
+
+
+@dataclass(frozen=True)
+class DocCall:
+    """``document("name")``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """``$x``"""
+
+    name: str
+
+
+# ----------------------------------------------------------------------
+# General expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    """String or numeric literal."""
+
+    value: Union[str, float]
+
+
+@dataclass(frozen=True)
+class TermSet:
+    """``{"a", "b"}`` — a set of phrases passed to a scoring function."""
+
+    phrases: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """``Name(arg, …)``"""
+
+    name: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op in = != < <= > >="""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """``and`` / ``or`` / ``not`` combinations."""
+
+    op: str  # "and" | "or" | "not"
+    operands: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class ContainsVar:
+    """Predicate form ``[//$d]`` — the context node's subtree contains
+    the node bound to ``$d``."""
+
+    var: str
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ElementCtor:
+    """``<tag attr="v">content…</tag>``; content items are literal text,
+    enclosed expressions, or nested constructors."""
+
+    tag: str
+    attrs: Tuple[Tuple[str, str], ...] = ()
+    content: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class TextContent:
+    """Literal text inside an element constructor."""
+
+    text: str
+
+
+# ----------------------------------------------------------------------
+# FLWOR
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ForClause:
+    var: str
+    source: "Expr"
+
+
+@dataclass(frozen=True)
+class LetClause:
+    var: str
+    source: "Expr"
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    condition: "Expr"
+
+
+@dataclass(frozen=True)
+class ScoreClause:
+    """``Score $v using Fn(args…)``"""
+
+    var: str
+    function: FuncCall
+
+
+@dataclass(frozen=True)
+class PickClause:
+    """``Pick $v using Fn($v)``"""
+
+    var: str
+    function: FuncCall
+
+
+@dataclass(frozen=True)
+class SortBy:
+    """``Sortby(name)`` — rank results by the named value (descending,
+    since the clause exists to rank by relevance)."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class ThresholdClause:
+    """``Threshold <cond> [stop after k]``"""
+
+    condition: "Expr"
+    stop_after: Optional[int] = None
+
+
+Clause = Union[ForClause, LetClause, WhereClause, ScoreClause, PickClause]
+
+
+@dataclass(frozen=True)
+class FLWOR:
+    clauses: Tuple[Clause, ...]
+    return_expr: "Expr"
+    sortby: Optional[SortBy] = None
+    threshold: Optional[ThresholdClause] = None
+
+
+Expr = Union[
+    PathExpr, DocCall, VarRef, Literal, TermSet, FuncCall, Comparison,
+    BoolExpr, ContainsVar, ElementCtor, TextContent, FLWOR,
+]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed query: a single expression (usually a FLWOR)."""
+
+    body: Expr

@@ -1,0 +1,260 @@
+"""Plan compiler: lowering the common IR-query shape onto the engine.
+
+The evaluator (:mod:`repro.query.evaluator`) defines the language
+semantics; this compiler recognizes the paper's canonical IR-query shape
+
+::
+
+    For $v in document("D")//tag[preds]/descendant-or-self::*
+    Score $v using Fn($v, {"t1"}, {"t2", …})
+    Return …
+    Sortby(score)
+    Threshold $v/@score > V stop after K
+
+and produces a pipelined engine plan built on the TermJoin access method:
+
+    TermJoinScan → structural filter → threshold(V) → sort → limit(K) → materialize
+
+Compilation requires the scoring function to have a registered *simple
+scorer factory* (term-level scoring the index can drive — see
+:meth:`FunctionRegistry.register_score_factory`); queries outside the
+shape (joins, Pick clauses, multi-word phrases) raise
+:class:`~repro.errors.QueryCompileError`, and callers fall back to the
+evaluator.  The compiled plan returns the ranked scored elements
+(materialized stored subtrees), not the Return-constructor wrapping —
+equivalence with the evaluator is on (element, score) sets, which is what
+the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.access.termjoin import TermJoin
+from repro.core.scoring import WeightedCountScorer
+from repro.core.trees import SNode, STree
+from repro.engine.base import Operator, execute, explain
+from repro.engine.operators import (
+    Limit,
+    Materialize,
+    Sort,
+    TermJoinScan,
+    TopK,
+)
+from repro.errors import QueryCompileError
+from repro.query.ast import (
+    Comparison,
+    DocCall,
+    FLWOR,
+    ForClause,
+    PathExpr,
+    Query,
+    ScoreClause,
+    TermSet,
+    VarRef,
+)
+from repro.query.evaluator import QueryEvaluator
+from repro.query.functions import FunctionRegistry, default_registry
+from repro.xmldb.store import XMLStore
+
+
+class StructuralFilter(Operator):
+    """Keep scored elements whose stored node lies in one of the allowed
+    (doc, start, end) regions — the compiled form of the For-path's
+    structural constraint."""
+
+    name = "structural-filter"
+
+    def __init__(self, child: Operator, store: XMLStore,
+                 regions: Sequence[Tuple[int, int, int]]):
+        super().__init__([child])
+        self.store = store
+        # sort by (doc, start) for bisection; few regions in practice
+        self.regions = sorted(regions)
+
+    def describe(self) -> str:
+        return f"structural-filter({len(self.regions)} regions)"
+
+    def _match(self, doc_id: int, node_id: int) -> bool:
+        doc = self.store.document(doc_id)
+        start, end = doc.starts[node_id], doc.ends[node_id]
+        for rdoc, rstart, rend in self.regions:
+            if rdoc == doc_id and rstart <= start and end <= rend:
+                return True
+        return False
+
+    def _next(self) -> Optional[STree]:
+        while True:
+            item = self.children[0].next()
+            if item is None:
+                return None
+            src = item.root.source
+            if src is not None and self._match(*src):
+                return item
+
+
+def compile_query(store: XMLStore, query: Query,
+                  registry: Optional[FunctionRegistry] = None) -> Operator:
+    """Compile ``query`` to an engine plan (see module docstring)."""
+    registry = registry or default_registry()
+    flwor = query.body
+    if not isinstance(flwor, FLWOR):
+        raise QueryCompileError("only FLWOR queries are compilable")
+
+    for_clause: Optional[ForClause] = None
+    score_clause: Optional[ScoreClause] = None
+    for clause in flwor.clauses:
+        if isinstance(clause, ForClause):
+            if for_clause is not None:
+                raise QueryCompileError(
+                    "compiled shape supports a single For clause"
+                )
+            for_clause = clause
+        elif isinstance(clause, ScoreClause):
+            if score_clause is not None:
+                raise QueryCompileError(
+                    "compiled shape supports a single Score clause"
+                )
+            score_clause = clause
+        else:
+            raise QueryCompileError(
+                f"clause {type(clause).__name__} is not compilable; "
+                f"use the evaluator"
+            )
+    if for_clause is None or score_clause is None:
+        raise QueryCompileError("compiled shape needs For + Score clauses")
+    if score_clause.var != for_clause.var:
+        raise QueryCompileError("Score must target the For variable")
+
+    doc_name, prefix_steps = _parse_for_path(for_clause)
+    items, scorer, phrase_mode = _build_scorer(score_clause, registry)
+
+    min_score, stop_after = _threshold_params(flwor, for_clause.var)
+
+    if phrase_mode:
+        from repro.access.phrasejoin import PhraseJoin
+
+        method = PhraseJoin.from_scorer(store, scorer)
+    else:
+        method = TermJoin(store, scorer)
+    plan: Operator = TermJoinScan(
+        store, items, method, min_score=min_score
+    )
+    regions = _prefix_regions(store, doc_name, prefix_steps, registry)
+    plan = StructuralFilter(plan, store, regions)
+    if flwor.sortby is not None and stop_after is not None:
+        # Ranked + cut: a bounded heap replaces sort-then-limit (§5.3).
+        plan = TopK(plan, stop_after)
+    else:
+        if flwor.sortby is not None:
+            plan = Sort(plan)
+        if stop_after is not None:
+            plan = Limit(plan, stop_after)
+    return Materialize(plan, store)
+
+
+def _parse_for_path(for_clause: ForClause) -> Tuple[str, tuple]:
+    source = for_clause.source
+    if not isinstance(source, PathExpr) or not isinstance(source.root, DocCall):
+        raise QueryCompileError(
+            "compiled For source must be a document(...) path"
+        )
+    steps = source.steps
+    if not steps or steps[-1].axis != "descendant-or-self":
+        raise QueryCompileError(
+            "compiled For path must end in descendant-or-self::*"
+        )
+    return source.root.name, tuple(steps[:-1])
+
+
+def _build_scorer(score_clause: ScoreClause,
+                  registry: FunctionRegistry):
+    """Resolve the Score clause to ``(query items, scorer, phrase_mode)``:
+    single-term sets lower onto TermJoin, any multi-word phrase switches
+    the plan to PhraseJoin."""
+    call = score_clause.function
+    factory = registry.score_factory(call.name)
+    primary: List[str] = []
+    secondary: List[str] = []
+    sets = [a for a in call.args if isinstance(a, TermSet)]
+    if not sets:
+        raise QueryCompileError(
+            "compiled Score needs literal term sets"
+        )
+    primary = list(sets[0].phrases)
+    if len(sets) > 1:
+        secondary = list(sets[1].phrases)
+    scorer = factory(primary, secondary)
+    phrase_mode = any(
+        len(p.split()) != 1 for p in primary + secondary
+    )
+    return primary + secondary, scorer, phrase_mode
+
+
+def _threshold_params(flwor: FLWOR, var: str):
+    min_score: Optional[float] = None
+    stop_after: Optional[int] = None
+    if flwor.threshold is not None:
+        cond = flwor.threshold.condition
+        if isinstance(cond, Comparison) and cond.op in (">", ">="):
+            left, right = cond.left, cond.right
+            if (
+                isinstance(left, PathExpr)
+                and isinstance(left.root, VarRef)
+                and left.root.name == var
+                and left.steps
+                and left.steps[-1].axis == "attribute"
+                and left.steps[-1].test == "score"
+            ):
+                from repro.query.ast import Literal
+
+                if isinstance(right, Literal):
+                    min_score = float(right.value)  # type: ignore[arg-type]
+        if min_score is None:
+            raise QueryCompileError(
+                "compiled Threshold must be '$v/@score > number'"
+            )
+        stop_after = flwor.threshold.stop_after
+    return min_score, stop_after
+
+
+def _prefix_regions(store: XMLStore, doc_name: str, prefix_steps: tuple,
+                    registry: FunctionRegistry):
+    """Evaluate the For path's prefix (everything before the ad* tail) on
+    the document and return the allowed (doc, start, end) regions."""
+    evaluator = QueryEvaluator(store, registry)
+    tree = evaluator.doc_tree(doc_name)
+    items: List[SNode] = [tree.root]
+    at_document_node = True
+    for step in prefix_steps:
+        nxt: List[SNode] = []
+        for node in items:
+            nxt.extend(
+                n for n in evaluator._apply_step(
+                    node, step, {}, from_document_node=at_document_node
+                )
+                if isinstance(n, SNode)
+            )
+        items = nxt
+        at_document_node = False
+    regions = []
+    doc = store.document(doc_name)
+    for node in items:
+        if node.source is None:
+            continue
+        _d, nid = node.source
+        regions.append((doc.doc_id, doc.starts[nid], doc.ends[nid]))
+    return regions
+
+
+def explain_query(store: XMLStore, query: Query,
+                  registry: Optional[FunctionRegistry] = None) -> str:
+    """Compile and render the physical plan (without executing)."""
+    plan = compile_query(store, query, registry)
+    return explain(plan)
+
+
+def run_compiled(store: XMLStore, query: Query,
+                 registry: Optional[FunctionRegistry] = None) -> List[STree]:
+    """Compile and execute, returning ranked scored subtrees."""
+    return execute(compile_query(store, query, registry))

@@ -1,0 +1,561 @@
+"""Reference evaluator for the extended-XQuery subset.
+
+Evaluates a parsed :class:`~repro.query.ast.Query` against an
+:class:`~repro.xmldb.store.XMLStore` by streaming tuples of variable
+bindings through the FLWOR clauses:
+
+- ``For`` multiplies tuples over the items of its source expression;
+- ``Let`` binds whole sequences;
+- ``Where`` filters;
+- ``Score`` calls the registered scoring function and assigns the result
+  to the bound node's ``score``;
+- ``Pick`` is blocking: it gathers every node bound to the variable,
+  applies the stack-based Pick access method per owning tree, and keeps
+  the tuples whose nodes were picked;
+- ``Return`` constructs one result per surviving tuple; ``Threshold``
+  filters (tuple- or result-context conditions), ``Sortby`` ranks
+  descending, ``stop after k`` truncates.
+
+Value semantics: element text is tokenized (lowercased terms, like the
+index), so string comparisons are case-insensitive on token sequences —
+``sname/text() = "Doe"`` matches the stored ``Doe``.  Numeric-looking
+operands compare numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.access.pick import PickAccess
+from repro.core.trees import SNode, STree, tree_from_document
+from repro.errors import QueryCompileError
+from repro.query.ast import (
+    BoolExpr,
+    Comparison,
+    ContainsVar,
+    DocCall,
+    ElementCtor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FuncCall,
+    LetClause,
+    Literal,
+    PathExpr,
+    PickClause,
+    Query,
+    ScoreClause,
+    Step,
+    TermSet,
+    TextContent,
+    VarRef,
+    WhereClause,
+)
+from repro.query.functions import FunctionRegistry, default_registry
+from repro.query.parser import parse_query
+from repro.xmldb.store import XMLStore
+from repro.xmldb.text import tokenize_text
+
+Value = Union[SNode, str, float, List]
+Env = Dict[str, Value]
+
+
+def as_sequence(value: Value) -> List:
+    """Normalize a value to a list of items."""
+    if isinstance(value, list):
+        return value
+    if value is None:
+        return []
+    return [value]
+
+
+def node_text(node: SNode) -> str:
+    """Tokenized subtree text of a node, space-joined."""
+    return " ".join(node.subtree_words())
+
+
+def to_text(value: Value) -> str:
+    """Coerce any value to text."""
+    if isinstance(value, SNode):
+        return node_text(value)
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, list):
+        return " ".join(to_text(v) for v in value)
+    return str(value)
+
+
+def to_number(value: Value) -> Optional[float]:
+    """Coerce to a float if possible, else None."""
+    if isinstance(value, float):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    if isinstance(value, SNode):
+        return to_number(node_text(value))
+    if isinstance(value, list):
+        return to_number(value[0]) if value else None
+    try:
+        return float(str(value))
+    except (TypeError, ValueError):
+        return None
+
+
+def is_truthy(value: Value) -> bool:
+    """Effective boolean value."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, float):
+        return value != 0.0
+    if isinstance(value, str):
+        return bool(value)
+    return value is not None
+
+
+def subtree_contains(root: SNode, target: SNode) -> bool:
+    """Identity containment: is ``target`` a node of ``root``'s subtree?"""
+    for n in root.preorder():
+        if n is target:
+            return True
+    return False
+
+
+class QueryEvaluator:
+    """Evaluates queries against one store."""
+
+    def __init__(self, store: XMLStore,
+                 registry: Optional[FunctionRegistry] = None):
+        from repro.query.functions import QueryContext
+
+        self.store = store
+        self.registry = registry or default_registry()
+        self.context = QueryContext(store)
+        self._doc_trees: Dict[str, STree] = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: Query) -> List[STree]:
+        """Evaluate a parsed query; results are scored trees."""
+        value = self.eval_expr(query.body, {}, None)
+        out: List[STree] = []
+        for item in as_sequence(value):
+            if isinstance(item, SNode):
+                out.append(STree(item))
+            else:
+                node = SNode("value", words=tokenize_text(to_text(item)))
+                out.append(STree(node))
+        return out
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+
+    def doc_tree(self, name: str) -> STree:
+        """Materialize (and cache) a stored document as a scored tree."""
+        if name not in self._doc_trees:
+            doc = self.store.document(name)
+            self._doc_trees[name] = tree_from_document(doc)
+        return self._doc_trees[name]
+
+    # ------------------------------------------------------------------
+    # Expression dispatch
+    # ------------------------------------------------------------------
+
+    def eval_expr(self, expr: Expr, env: Env,
+                  context: Optional[SNode]) -> Value:
+        if isinstance(expr, FLWOR):
+            return self.eval_flwor(expr, env)
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, TermSet):
+            return list(expr.phrases)
+        if isinstance(expr, VarRef):
+            return self._lookup(expr.name, env)
+        if isinstance(expr, DocCall):
+            return self.doc_tree(expr.name).root
+        if isinstance(expr, PathExpr):
+            return self.eval_path(expr, env, context)
+        if isinstance(expr, FuncCall):
+            return self.eval_func(expr, env, context)
+        if isinstance(expr, Comparison):
+            return self.eval_comparison(expr, env, context)
+        if isinstance(expr, BoolExpr):
+            return self.eval_bool(expr, env, context)
+        if isinstance(expr, ContainsVar):
+            target = self._lookup(expr.var, env)
+            return (
+                context is not None
+                and isinstance(target, SNode)
+                and subtree_contains(context, target)
+            )
+        if isinstance(expr, ElementCtor):
+            return self.construct(expr, env, context)
+        if isinstance(expr, TextContent):
+            return expr.text
+        raise QueryCompileError(
+            f"cannot evaluate {type(expr).__name__}"
+        )
+
+    def _lookup(self, name: str, env: Env) -> Value:
+        try:
+            return env[name]
+        except KeyError:
+            raise QueryCompileError(f"unbound variable ${name}")
+
+    # ------------------------------------------------------------------
+    # FLWOR
+    # ------------------------------------------------------------------
+
+    def eval_flwor(self, flwor: FLWOR, outer: Env) -> List:
+        tuples: List[Env] = [dict(outer)]
+        for clause in flwor.clauses:
+            if isinstance(clause, ForClause):
+                nxt: List[Env] = []
+                for t in tuples:
+                    for item in as_sequence(
+                        self.eval_expr(clause.source, t, None)
+                    ):
+                        nt = dict(t)
+                        nt[clause.var] = item
+                        nxt.append(nt)
+                tuples = nxt
+            elif isinstance(clause, LetClause):
+                for t in tuples:
+                    t[clause.var] = self.eval_expr(clause.source, t, None)
+            elif isinstance(clause, WhereClause):
+                tuples = [
+                    t for t in tuples
+                    if is_truthy(self.eval_expr(clause.condition, t, None))
+                ]
+            elif isinstance(clause, ScoreClause):
+                self._apply_score(clause, tuples)
+            elif isinstance(clause, PickClause):
+                tuples = self._apply_pick(clause, tuples)
+            else:  # pragma: no cover
+                raise QueryCompileError(
+                    f"unknown clause {type(clause).__name__}"
+                )
+
+        pairs = []
+        for t in tuples:
+            result = self.eval_expr(flwor.return_expr, t, None)
+            pairs.append((t, result))
+
+        if flwor.threshold is not None:
+            cond = flwor.threshold.condition
+            kept = []
+            for t, result in pairs:
+                ctx = result if isinstance(result, SNode) else None
+                if is_truthy(self.eval_expr(cond, t, ctx)):
+                    kept.append((t, result))
+            pairs = kept
+
+        if flwor.sortby is not None:
+            key_name = flwor.sortby.key
+            def sort_key(pair):
+                _t, result = pair
+                if isinstance(result, SNode):
+                    vals = self._step_children(result, key_name)
+                    if vals:
+                        num = to_number(vals[0])
+                        if num is not None:
+                            return num
+                num = to_number(result)
+                return num if num is not None else float("-inf")
+            pairs.sort(key=sort_key, reverse=True)
+
+        if flwor.threshold is not None and flwor.threshold.stop_after:
+            pairs = pairs[: flwor.threshold.stop_after]
+
+        return [result for _t, result in pairs]
+
+    @staticmethod
+    def _score_key(var: str) -> str:
+        """Env key holding a tuple-local score override for ``$var``."""
+        return f"@score:{var}"
+
+    def _apply_score(self, clause: ScoreClause, tuples: List[Env]) -> None:
+        fn = self.registry.score_function(clause.function.name)
+        for t in tuples:
+            node = t.get(clause.var)
+            if not isinstance(node, SNode):
+                raise QueryCompileError(
+                    f"Score target ${clause.var} is not bound to a node"
+                )
+            args = [
+                self.eval_expr(a, t, node) for a in clause.function.args
+            ]
+            if self.registry.needs_context(clause.function.name):
+                score = float(fn(self.context, *args))
+            else:
+                score = float(fn(*args))
+            # The score is a property of the *binding*: the same node may
+            # be bound in several tuples with different scores (e.g. the
+            # shared tix_prod_root in Query 3).  The tuple-local value is
+            # authoritative for $v/@score; the node's score carries the
+            # latest value for tree-level operators such as Pick (where
+            # bindings are distinct nodes, so no ambiguity arises).
+            t[self._score_key(clause.var)] = score
+            node.score = score
+
+    def _apply_pick(self, clause: PickClause,
+                    tuples: List[Env]) -> List[Env]:
+        criterion = self.registry.pick_criterion(clause.function.name)
+        bound: List[SNode] = []
+        for t in tuples:
+            node = t.get(clause.var)
+            if not isinstance(node, SNode):
+                raise QueryCompileError(
+                    f"Pick target ${clause.var} is not bound to a node"
+                )
+            bound.append(node)
+        candidate_ids = {id(n) for n in bound}
+
+        # Group candidates by owning tree: the highest bound ancestor of
+        # each connected group serves as the root for the pick pass.  For
+        # document-backed nodes the cached document tree is the owner.
+        picked_ids = set()
+        roots = self._owning_roots(bound)
+        access = PickAccess(
+            criterion, is_candidate=lambda n: id(n) in candidate_ids
+        )
+        for root in roots:
+            for node in access.picked_nodes(STree(root)):
+                picked_ids.add(id(node))
+        return [
+            t for t in tuples if id(t[clause.var]) in picked_ids
+        ]
+
+    def _owning_roots(self, nodes: List[SNode]) -> List[SNode]:
+        """Distinct roots covering the given nodes: cached document roots
+        plus any constructed trees reachable from the nodes themselves
+        (found by checking which candidate contains which)."""
+        roots: List[SNode] = []
+        for tree in self._doc_trees.values():
+            roots.append(tree.root)
+        # Constructed nodes: any node not under a known root becomes a
+        # root candidate unless another node contains it.
+        uncovered = [
+            n for n in nodes
+            if not any(subtree_contains(r, n) for r in roots)
+        ]
+        for n in uncovered:
+            if not any(
+                other is not n and subtree_contains(other, n)
+                for other in uncovered
+            ):
+                if n not in roots:
+                    roots.append(n)
+        return [r for r in roots if r is not None]
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def eval_path(self, path: PathExpr, env: Env,
+                  context: Optional[SNode]) -> Value:
+        # Tuple-local score override: $v/@score reads the binding's score
+        # when a Score clause assigned one in this tuple.
+        if (
+            isinstance(path.root, VarRef)
+            and len(path.steps) == 1
+            and path.steps[0].axis == "attribute"
+            and path.steps[0].test == "score"
+        ):
+            override = env.get(self._score_key(path.root.name))
+            if override is not None:
+                return override
+
+        at_document_node = False
+        if isinstance(path.root, DocCall):
+            # document("x") denotes the *document node*: its only child
+            # is the root element, and its descendants include the root
+            # element itself.
+            items: List[Value] = [self.doc_tree(path.root.name).root]
+            at_document_node = True
+        elif isinstance(path.root, VarRef):
+            items = as_sequence(self._lookup(path.root.name, env))
+        else:
+            items = [context] if context is not None else []
+
+        for step in path.steps:
+            nxt: List[Value] = []
+            for item in items:
+                if not isinstance(item, SNode):
+                    continue
+                nxt.extend(
+                    self._apply_step(item, step, env,
+                                     from_document_node=at_document_node)
+                )
+            items = nxt
+            at_document_node = False
+        if len(items) == 1:
+            return items[0]
+        return items
+
+    def _step_children(self, node: SNode, tag: str) -> List[SNode]:
+        return [c for c in node.children if c.tag == tag]
+
+    def _apply_step(self, node: SNode, step: Step,
+                    env: Env, from_document_node: bool = False) -> List[Value]:
+        if step.axis == "attribute":
+            if step.test == "score":
+                return [node.score] if node.score is not None else []
+            val = node.attrs.get(step.test)
+            return [val] if val is not None else []
+        if step.axis == "text":
+            return [" ".join(node.words)]
+        if step.axis == "child":
+            if from_document_node:
+                # The document node's only child is the root element.
+                cands = [node] if (
+                    step.test == "*" or node.tag == step.test
+                ) else []
+            else:
+                cands = [
+                    c for c in node.children
+                    if step.test == "*" or c.tag == step.test
+                ]
+        elif step.axis == "descendant" and from_document_node:
+            # Descendants of the document node include the root element.
+            cands = [
+                n for n in node.preorder()
+                if step.test == "*" or n.tag == step.test
+            ]
+        elif step.axis == "descendant":
+            cands = [
+                n for n in node.preorder()
+                if n is not node and (step.test == "*" or n.tag == step.test)
+            ]
+        elif step.axis == "descendant-or-self":
+            cands = [
+                n for n in node.preorder()
+                if step.test == "*" or n.tag == step.test
+            ]
+        else:  # pragma: no cover
+            raise QueryCompileError(f"unknown axis {step.axis!r}")
+        if step.predicates:
+            cands = [
+                c for c in cands
+                if all(
+                    is_truthy(self.eval_expr(p, env, c))
+                    for p in step.predicates
+                )
+            ]
+        return list(cands)
+
+    # ------------------------------------------------------------------
+    # Functions, comparisons, booleans
+    # ------------------------------------------------------------------
+
+    _BUILTINS = {"decimal", "count", "number", "string"}
+
+    def eval_func(self, call: FuncCall, env: Env,
+                  context: Optional[SNode]) -> Value:
+        args = [self.eval_expr(a, env, context) for a in call.args]
+        if call.name in self._BUILTINS:
+            if call.name in ("decimal", "number"):
+                num = to_number(args[0]) if args else None
+                return num if num is not None else 0.0
+            if call.name == "count":
+                return float(len(as_sequence(args[0]))) if args else 0.0
+            return to_text(args[0]) if args else ""
+        if self.registry.has_score(call.name):
+            fn = self.registry.score_function(call.name)
+            unwrapped = [self._unwrap_single(a) for a in args]
+            if self.registry.needs_context(call.name):
+                return float(fn(self.context, *unwrapped))
+            return float(fn(*unwrapped))
+        raise QueryCompileError(f"unknown function {call.name!r}")
+
+    @staticmethod
+    def _unwrap_single(value: Value) -> Value:
+        if isinstance(value, list) and len(value) == 1:
+            return value[0]
+        return value
+
+    def eval_comparison(self, cmp: Comparison, env: Env,
+                        context: Optional[SNode]) -> bool:
+        left = self.eval_expr(cmp.left, env, context)
+        right = self.eval_expr(cmp.right, env, context)
+        # Existential semantics over sequences.
+        for l in as_sequence(left) or [None]:
+            for r in as_sequence(right) or [None]:
+                if self._compare(cmp.op, l, r):
+                    return True
+        return False
+
+    @staticmethod
+    def _compare(op: str, left: Value, right: Value) -> bool:
+        ln, rn = to_number(left), to_number(right)
+        if ln is not None and rn is not None:
+            lv, rv = ln, rn
+        else:
+            lv = to_text(left).strip().lower() if left is not None else ""
+            rv = to_text(right).strip().lower() if right is not None else ""
+        if op == "=":
+            return lv == rv
+        if op == "!=":
+            return lv != rv
+        if op == "<":
+            return lv < rv
+        if op == "<=":
+            return lv <= rv
+        if op == ">":
+            return lv > rv
+        return lv >= rv
+
+    def eval_bool(self, expr: BoolExpr, env: Env,
+                  context: Optional[SNode]) -> bool:
+        if expr.op == "not":
+            return not is_truthy(
+                self.eval_expr(expr.operands[0], env, context)
+            )
+        results = (
+            is_truthy(self.eval_expr(op, env, context))
+            for op in expr.operands
+        )
+        return any(results) if expr.op == "or" else all(results)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    def construct(self, ctor: ElementCtor, env: Env,
+                  context: Optional[SNode]) -> SNode:
+        node = SNode(ctor.tag, attrs=dict(ctor.attrs))
+        for item in ctor.content:
+            value = self.eval_expr(item, env, context)
+            for v in as_sequence(value):
+                if isinstance(v, SNode):
+                    node.add_child(v.deep_copy())
+                else:
+                    # Whitespace split only: numeric text like "5.6" must
+                    # survive verbatim (term tokenization would split it).
+                    node.words.extend(to_text(v).split())
+        # Propagate a score child/attribute convention: if the element
+        # has a <score> child, mirror it onto the node score so Sortby
+        # and downstream operators see it.
+        for c in node.children:
+            if c.tag == "score":
+                num = to_number(c)
+                if num is not None:
+                    node.score = num
+                break
+        return node
+
+
+def evaluate_query(store: XMLStore, query: Query,
+                   registry: Optional[FunctionRegistry] = None) -> List[STree]:
+    """Evaluate a parsed query against a store."""
+    return QueryEvaluator(store, registry).evaluate(query)
+
+
+def run_query(store: XMLStore, source: str,
+              registry: Optional[FunctionRegistry] = None) -> List[STree]:
+    """Parse and evaluate a query string."""
+    return evaluate_query(store, parse_query(source), registry)

@@ -1,0 +1,196 @@
+"""User-function registry for the query language.
+
+The paper's central language claim is that scoring is *declarative and
+user-pluggable*: queries name scoring functions (``ScoreFoo``) and pick
+criteria (``PickFoo``) that the engine calls back.  The registry maps
+those names to Python callables; :func:`default_registry` preloads the
+Figure 9 functions.
+
+Scoring functions receive their evaluated arguments (data nodes, term
+sets as lists of phrase strings, numbers) and return a float.  Pick
+criteria are :class:`~repro.core.pick.PickCriterion` factories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.pick import PickCriterion
+from repro.core.scoring import (
+    TfIdfScorer,
+    WeightedCountScorer,
+    score_bar,
+    score_sim,
+)
+from repro.core.trees import SNode
+from repro.errors import QueryCompileError
+
+
+class QueryContext:
+    """Execution context handed to store-aware scoring functions (those
+    registered with ``needs_context=True``): gives access to the store
+    and its indexes, e.g. for idf statistics."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+
+    @property
+    def index(self):
+        return self.store.index
+
+
+class FunctionRegistry:
+    """Named scoring functions and pick criteria."""
+
+    def __init__(self) -> None:
+        self._score_fns: Dict[str, Callable[..., float]] = {}
+        self._pick_fns: Dict[str, Callable[..., PickCriterion]] = {}
+        self._score_factories: Dict[str, Callable[..., object]] = {}
+        self._needs_context: Dict[str, bool] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_score(self, name: str, fn: Callable[..., float],
+                       needs_context: bool = False) -> None:
+        """Register a scoring function callable as ``name`` in queries.
+        With ``needs_context`` the function receives a
+        :class:`QueryContext` as its first argument (for store statistics
+        such as idf)."""
+        self._score_fns[name] = fn
+        self._needs_context[name] = needs_context
+
+    def register_pick(self, name: str,
+                      factory: Callable[..., PickCriterion]) -> None:
+        """Register a pick-criterion factory callable as ``name``."""
+        self._pick_fns[name] = factory
+
+    def register_score_factory(self, name: str,
+                               factory: Callable[..., object]) -> None:
+        """Register a *simple scorer factory* enabling the plan compiler
+        to drive this scoring function with TermJoin.  The factory
+        receives ``(primary_terms, secondary_terms)`` and must return an
+        object with ``score_from_counts`` (see
+        :mod:`repro.access.scorers`) whose per-term semantics equal the
+        scoring function's."""
+        self._score_factories[name] = factory
+
+    # -- lookup ---------------------------------------------------------------
+
+    def score_function(self, name: str) -> Callable[..., float]:
+        try:
+            return self._score_fns[name]
+        except KeyError:
+            raise QueryCompileError(
+                f"unknown scoring function {name!r}; register it on the "
+                f"FunctionRegistry"
+            )
+
+    def pick_criterion(self, name: str, *args) -> PickCriterion:
+        try:
+            factory = self._pick_fns[name]
+        except KeyError:
+            raise QueryCompileError(
+                f"unknown pick criterion {name!r}; register it on the "
+                f"FunctionRegistry"
+            )
+        return factory(*args)
+
+    def has_score(self, name: str) -> bool:
+        return name in self._score_fns
+
+    def needs_context(self, name: str) -> bool:
+        """Does this scoring function take a QueryContext first?"""
+        return self._needs_context.get(name, False)
+
+    def has_pick(self, name: str) -> bool:
+        return name in self._pick_fns
+
+    def score_factory(self, name: str) -> Callable[..., object]:
+        try:
+            return self._score_factories[name]
+        except KeyError:
+            raise QueryCompileError(
+                f"scoring function {name!r} has no simple-scorer factory; "
+                f"the query cannot be compiled to TermJoin (use the "
+                f"evaluator, or register_score_factory)"
+            )
+
+
+# ----------------------------------------------------------------------
+# The Figure 9 functions
+# ----------------------------------------------------------------------
+
+def score_foo_fn(node: SNode, primary: Sequence[str],
+                 secondary: Sequence[str] = ()) -> float:
+    """``ScoreFoo``: weighted phrase counts over the node's subtree text
+    (0.8 / 0.6 weights, light plural stemming)."""
+    scorer = WeightedCountScorer(
+        primary=list(primary), secondary=list(secondary), stem=True
+    )
+    return scorer.score_node(node)
+
+
+def score_sim_fn(a: SNode, b: SNode) -> float:
+    """``ScoreSim``: distinct-common-word similarity."""
+    return score_sim(a, b)
+
+
+def score_bar_fn(score1: float, score2: float) -> float:
+    """``ScoreBar``: combine join score with content score."""
+    return score_bar(float(score1), float(score2))
+
+
+def pick_foo_factory(*_args, relevance_threshold: float = 0.8,
+                     qualification: float = 0.5) -> PickCriterion:
+    """``PickFoo``: the paper's default criterion (relevance ≥ 0.8, more
+    than 50% of children relevant, parent/child redundancy elimination).
+
+    The query-level variant ignores zero-scored children in the
+    qualification denominator, which is what the projection's drop-zero
+    step provides on the algebra path — with it, the query and algebra
+    paths pick identical nodes (Fig. 8)."""
+    return PickCriterion(
+        relevance_threshold=relevance_threshold,
+        qualification=qualification,
+        ignore_zero_children=True,
+    )
+
+
+def score_foo_exact_fn(node: SNode, primary: Sequence[str],
+                       secondary: Sequence[str] = ()) -> float:
+    """``ScoreFooExact``: like ``ScoreFoo`` but without stemming, so its
+    per-term semantics match the inverted index exactly — this is the
+    variant the plan compiler can lower onto TermJoin."""
+    scorer = WeightedCountScorer(
+        primary=list(primary), secondary=list(secondary), stem=False
+    )
+    return scorer.score_node(node)
+
+
+def _score_foo_exact_factory(primary: Sequence[str],
+                             secondary: Sequence[str]) -> WeightedCountScorer:
+    return WeightedCountScorer(
+        primary=list(primary), secondary=list(secondary), stem=False
+    )
+
+
+def tfidf_fn(ctx: QueryContext, node: SNode,
+             terms: Sequence[str]) -> float:
+    """``TfIdf``: the tf·idf scoring §3.1 suggests, with idf read from
+    the store's inverted index (hence the context)."""
+    flat = [t.lower() for t in terms]
+    scorer = TfIdfScorer(flat, idf={t: ctx.index.idf(t) for t in flat})
+    return scorer.score_node(node)
+
+
+def default_registry() -> FunctionRegistry:
+    """Registry preloaded with the paper's user functions."""
+    reg = FunctionRegistry()
+    reg.register_score("ScoreFoo", score_foo_fn)
+    reg.register_score("ScoreFooExact", score_foo_exact_fn)
+    reg.register_score_factory("ScoreFooExact", _score_foo_exact_factory)
+    reg.register_score("ScoreSim", score_sim_fn)
+    reg.register_score("ScoreBar", score_bar_fn)
+    reg.register_score("TfIdf", tfidf_fn, needs_context=True)
+    reg.register_pick("PickFoo", pick_foo_factory)
+    return reg

@@ -1,0 +1,173 @@
+"""AST → query-text pretty printer.
+
+``unparse(query)`` renders an AST back into valid extended-XQuery
+surface syntax; ``parse(unparse(parse(q)))`` equals ``parse(q)`` (the
+roundtrip property the tests assert).  Used by the CLI and by error
+messages that want to show a normalized query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.query.ast import (
+    BoolExpr,
+    Comparison,
+    ContainsVar,
+    DocCall,
+    ElementCtor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FuncCall,
+    LetClause,
+    Literal,
+    PathExpr,
+    PickClause,
+    Query,
+    ScoreClause,
+    Step,
+    TermSet,
+    TextContent,
+    ThresholdClause,
+    VarRef,
+    WhereClause,
+)
+
+
+def unparse(query: Query) -> str:
+    """Render a parsed query back to source text."""
+    return _expr(query.body)
+
+
+def _string(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _number(value: float) -> str:
+    """Render a float as a plain decimal the lexer accepts (no exponent
+    notation), preserving the exact value."""
+    s = f"{value:g}"
+    if "e" in s or "E" in s:
+        s = f"{value:.340f}".rstrip("0")
+        if s.endswith("."):
+            s += "0"
+    return s
+
+
+def _step(step: Step) -> str:
+    if step.axis == "attribute":
+        return f"@{step.test}"
+    if step.axis == "text":
+        return "text()"
+    base = step.test
+    if step.axis == "descendant-or-self":
+        base = "descendant-or-self::*"
+    preds = "".join(f"[{_expr(p)}]" for p in step.predicates)
+    return base + preds
+
+
+def _path(path: PathExpr) -> str:
+    if isinstance(path.root, DocCall):
+        out = f"document({_string(path.root.name)})"
+    elif isinstance(path.root, VarRef):
+        out = f"${path.root.name}"
+    else:
+        out = ""
+    for step in path.steps:
+        sep = "//" if step.axis in ("descendant", "descendant-or-self") \
+            else "/"
+        if step.axis in ("attribute", "text"):
+            sep = "/"
+        out += sep + _step(step)
+    return out
+
+
+def _expr(expr: Expr) -> str:
+    if isinstance(expr, FLWOR):
+        return _flwor(expr)
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, float):
+            return _number(expr.value)
+        return _string(str(expr.value))
+    if isinstance(expr, TermSet):
+        inner = ", ".join(_string(p) for p in expr.phrases)
+        return "{" + inner + "}"
+    if isinstance(expr, VarRef):
+        return f"${expr.name}"
+    if isinstance(expr, DocCall):
+        return f"document({_string(expr.name)})"
+    if isinstance(expr, PathExpr):
+        return _path(expr)
+    if isinstance(expr, FuncCall):
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, Comparison):
+        return f"{_expr(expr.left)} {expr.op} {_expr(expr.right)}"
+    if isinstance(expr, BoolExpr):
+        if expr.op == "not":
+            return f"not({_expr(expr.operands[0])})"
+        sep = f" {expr.op} "
+        return sep.join(_expr(op) for op in expr.operands)
+    if isinstance(expr, ContainsVar):
+        return f"//${expr.var}"
+    if isinstance(expr, ElementCtor):
+        return _ctor(expr)
+    if isinstance(expr, TextContent):
+        return expr.text
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def _ctor(ctor: ElementCtor) -> str:
+    attrs = "".join(f' {k}={_string(v)}' for k, v in ctor.attrs)
+    parts: List[str] = [f"<{ctor.tag}{attrs}>"]
+    for item in ctor.content:
+        if isinstance(item, TextContent):
+            parts.append(item.text)
+        elif isinstance(item, ElementCtor):
+            parts.append(_ctor(item))
+        elif isinstance(item, FLWOR):
+            parts.append(_flwor(item))
+        elif isinstance(item, FuncCall):
+            parts.append(_expr(item))
+        elif isinstance(item, (PathExpr, VarRef)):
+            parts.append(_expr(item))
+        else:
+            parts.append("{ " + _expr(item) + " }")
+    parts.append(f"</{ctor.tag}>")
+    return " ".join(parts)
+
+
+def _flwor(flwor: FLWOR) -> str:
+    lines: List[str] = []
+    for clause in flwor.clauses:
+        if isinstance(clause, ForClause):
+            lines.append(f"For ${clause.var} in {_expr(clause.source)}")
+        elif isinstance(clause, LetClause):
+            source = _expr(clause.source)
+            if isinstance(clause.source, (FLWOR, ElementCtor)):
+                source = f"({source})"
+            lines.append(f"Let ${clause.var} := {source}")
+        elif isinstance(clause, WhereClause):
+            lines.append(f"Where {_expr(clause.condition)}")
+        elif isinstance(clause, ScoreClause):
+            lines.append(
+                f"Score ${clause.var} using {_expr(clause.function)}"
+            )
+        elif isinstance(clause, PickClause):
+            lines.append(
+                f"Pick ${clause.var} using {_expr(clause.function)}"
+            )
+    ret = _expr(flwor.return_expr)
+    if isinstance(flwor.return_expr, FLWOR):
+        ret = f"({ret})"
+    lines.append(f"Return {ret}")
+    if flwor.sortby is not None:
+        lines.append(f"Sortby({flwor.sortby.key})")
+    if flwor.threshold is not None:
+        t = f"Threshold {_expr(flwor.threshold.condition)}"
+        if flwor.threshold.stop_after is not None:
+            t += f" stop after {flwor.threshold.stop_after}"
+        lines.append(t)
+    return "\n".join(lines)

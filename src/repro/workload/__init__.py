@@ -1,0 +1,45 @@
+"""Synthetic INEX-like workload generation.
+
+The paper evaluates on the INEX collection (IEEE articles, 18M elements).
+That corpus is not redistributable, and the experiments only depend on
+(a) the hierarchical shape of technical articles and (b) exact control of
+per-term and per-phrase corpus frequencies — which this package provides:
+
+- :mod:`repro.workload.corpus` — deterministic article generator with a
+  Zipf background vocabulary and exact-frequency term/phrase planting;
+- :mod:`repro.workload.trees` — synthetic scored trees for the Pick
+  experiment;
+- :mod:`repro.workload.benchspec` — the parameter grids of every table
+  in §6, mapped to planted-term specs.
+"""
+
+from repro.workload.corpus import CorpusSpec, generate_corpus
+from repro.workload.trees import random_scored_tree
+from repro.workload.benchspec import (
+    TABLE1_FREQUENCIES,
+    TABLE3_TERM2_FREQUENCIES,
+    TABLE4_PHRASE_SIZES,
+    TABLE5_PHRASES,
+    table123_spec,
+    table4_spec,
+    table5_spec,
+)
+from repro.workload.relevance import (
+    build_relevance_workload,
+    score_quality_experiment,
+)
+
+__all__ = [
+    "CorpusSpec",
+    "generate_corpus",
+    "random_scored_tree",
+    "TABLE1_FREQUENCIES",
+    "TABLE3_TERM2_FREQUENCIES",
+    "TABLE4_PHRASE_SIZES",
+    "TABLE5_PHRASES",
+    "table123_spec",
+    "table4_spec",
+    "table5_spec",
+    "build_relevance_workload",
+    "score_quality_experiment",
+]

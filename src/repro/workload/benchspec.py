@@ -1,0 +1,184 @@
+"""Parameter grids for every experiment in §6, mapped to corpus specs.
+
+Each ``table*_spec`` function returns ``(CorpusSpec, rows)`` where the
+rows carry the paper's sweep parameter (term frequency, phrase size, …)
+plus the planted terms realizing it.  A ``scale`` factor shrinks all
+planted frequencies proportionally (used by the test suite to run the
+same code on tiny corpora; the benchmarks use ``scale=1.0`` = the paper's
+frequencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workload.corpus import CorpusSpec
+
+#: Table 1/2 sweep: approximate frequency of both terms of the query.
+TABLE1_FREQUENCIES = [
+    20, 100, 200, 300, 500, 1000, 2000, 3000, 5500, 7000, 10000,
+]
+
+#: Table 3 sweep: term1 fixed at 1,000, term2 frequency varies.
+TABLE3_TERM1_FREQUENCY = 1000
+TABLE3_TERM2_FREQUENCIES = [20, 200, 1000, 3000, 7000]
+
+#: Table 4 sweep: number of terms, each with frequency ≈ 1,500.
+TABLE4_PHRASE_SIZES = [2, 3, 4, 5, 6, 7]
+TABLE4_TERM_FREQUENCY = 1500
+
+#: Table 5: (term1 freq, term2 freq, result size) per query, verbatim
+#: from the paper.  Equal frequencies across rows denote the *same* term.
+TABLE5_PHRASES: List[Tuple[int, int, int]] = [
+    (121076, 44930, 27991),
+    (121076, 79677, 462),
+    (107269, 146477, 1219),
+    (107269, 79677, 1212),
+    (98405, 146477, 877),
+    (121076, 146477, 1189),
+    (90482, 68801, 116),
+    (121076, 45988, 34),
+    (121076, 107269, 320),
+    (98405, 28044, 455),
+    (146477, 68801, 1372),
+    (121076, 68801, 249),
+    (98405, 107269, 17),
+]
+
+#: Pick experiment input sizes (the paper reports 200 → 55,000 nodes).
+PICK_INPUT_SIZES = [200, 1000, 5000, 15000, 30000, 55000]
+
+
+@dataclass(frozen=True)
+class TermRow:
+    """One sweep row: the paper's nominal parameter and the terms that
+    realize it in the synthetic corpus."""
+
+    label: int          # the paper's nominal frequency / phrase size
+    terms: Tuple[str, ...]
+    planted: Tuple[int, ...]  # actual planted frequency per term
+
+
+def _scaled(freq: int, scale: float) -> int:
+    return max(4, int(round(freq * scale)))
+
+
+def table123_spec(
+    scale: float = 1.0, n_articles: int = 600, seed: int = 1234
+) -> Tuple[CorpusSpec, Dict[str, List[TermRow]]]:
+    """One corpus serving Tables 1, 2 and 3.
+
+    Plants a term pair per Table-1 frequency, a fixed term1 plus a term2
+    per Table-3 frequency, and returns rows keyed ``"table1"`` /
+    ``"table3"``.
+    """
+    planted: Dict[str, int] = {}
+    t1_rows: List[TermRow] = []
+    for f in TABLE1_FREQUENCIES:
+        sf = _scaled(f, scale)
+        ta, tb = f"qa{f}", f"qb{f}"
+        planted[ta] = sf
+        planted[tb] = sf
+        t1_rows.append(TermRow(f, (ta, tb), (sf, sf)))
+
+    t3_rows: List[TermRow] = []
+    fixed = "qfix1000"
+    fixed_f = _scaled(TABLE3_TERM1_FREQUENCY, scale)
+    planted[fixed] = fixed_f
+    for f in TABLE3_TERM2_FREQUENCIES:
+        sf = _scaled(f, scale)
+        tv = f"qv{f}"
+        planted[tv] = sf
+        t3_rows.append(TermRow(f, (fixed, tv), (fixed_f, sf)))
+
+    spec = CorpusSpec(
+        n_articles=max(4, int(n_articles * max(scale, 0.02))),
+        planted_terms=planted,
+        seed=seed,
+    )
+    return spec, {"table1": t1_rows, "table3": t3_rows}
+
+
+def table4_spec(
+    scale: float = 1.0, n_articles: int = 400, seed: int = 5678
+) -> Tuple[CorpusSpec, List[TermRow]]:
+    """Corpus and rows for Table 4: queries of 2..7 terms, every term
+    planted at ≈1,500 occurrences.  Row *k* uses the first *k* terms, as
+    the paper 'kept adding one term at a time'."""
+    sf = _scaled(TABLE4_TERM_FREQUENCY, scale)
+    terms = [f"qt4x{i}" for i in range(max(TABLE4_PHRASE_SIZES))]
+    planted = {t: sf for t in terms}
+    rows = [
+        TermRow(k, tuple(terms[:k]), tuple([sf] * k))
+        for k in TABLE4_PHRASE_SIZES
+    ]
+    spec = CorpusSpec(
+        n_articles=max(4, int(n_articles * max(scale, 0.02))),
+        planted_terms=planted,
+        seed=seed,
+    )
+    return spec, rows
+
+
+@dataclass(frozen=True)
+class PhraseRow:
+    """One Table-5 row: the phrase's two terms, their paper-nominal
+    frequencies, and the planted result size (phrase occurrences)."""
+
+    query: int
+    terms: Tuple[str, str]
+    nominal_freqs: Tuple[int, int]
+    planted_freqs: Tuple[int, int]
+    result_size: int
+
+
+def table5_spec(
+    scale: float = 0.05, n_articles: int = 400, seed: int = 9012
+) -> Tuple[CorpusSpec, List[PhraseRow]]:
+    """Corpus and rows for Table 5.
+
+    The paper's phrase terms are extremely frequent (28k–146k
+    occurrences); the default ``scale=0.05`` shrinks them 20× while
+    preserving every ratio (frequencies *and* result sizes scale
+    together), which EXPERIMENTS.md documents.  Terms with equal nominal
+    frequency across rows are the same term, as in the paper.
+    """
+    distinct_freqs = sorted(
+        {f for row in TABLE5_PHRASES for f in row[:2]}
+    )
+    term_of = {f: f"u{f}" for f in distinct_freqs}
+    phrase_counts: Dict[Tuple[str, ...], int] = {}
+    phrase_budget: Dict[str, int] = {t: 0 for t in term_of.values()}
+    rows: List[PhraseRow] = []
+    for qi, (f1, f2, rsize) in enumerate(TABLE5_PHRASES, start=1):
+        t1, t2 = term_of[f1], term_of[f2]
+        planted_r = max(1, int(round(rsize * scale)))
+        phrase_counts[(t1, t2)] = planted_r
+        phrase_budget[t1] += planted_r
+        phrase_budget[t2] += planted_r
+        rows.append(
+            PhraseRow(
+                query=qi,
+                terms=(t1, t2),
+                nominal_freqs=(f1, f2),
+                planted_freqs=(_scaled(f1, scale), _scaled(f2, scale)),
+                result_size=planted_r,
+            )
+        )
+    planted_terms: Dict[str, int] = {}
+    for f, t in term_of.items():
+        singles = _scaled(f, scale) - phrase_budget[t]
+        if singles < 0:
+            raise ValueError(
+                f"scale {scale} leaves term {t} with negative single "
+                f"budget; raise the scale"
+            )
+        planted_terms[t] = singles
+    spec = CorpusSpec(
+        n_articles=max(4, int(n_articles * max(scale * 5, 0.02))),
+        planted_terms=planted_terms,
+        planted_phrases=phrase_counts,
+        seed=seed,
+    )
+    return spec, rows

@@ -1,0 +1,155 @@
+"""Deterministic synthetic corpus generator.
+
+Articles follow the INEX/IEEE shape the paper's running example uses:
+
+::
+
+    article
+      article-title
+      author (fname, sname)
+      chapter*
+        ct
+        section*
+          section-title
+          p*
+
+Background text is drawn from a Zipf-weighted vocabulary (``w0``, ``w1``,
+…), and *planted* terms/phrases are inserted at uniformly random positions
+with **exact** total counts — the experiments sweep term frequency, so the
+generator makes frequency a first-class input rather than a property to
+hunt for in found data.
+
+Everything is driven by one :class:`random.Random` seeded from the spec,
+so corpora are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.xmldb.builder import DocumentBuilder
+from repro.xmldb.store import XMLStore
+
+FIRST_NAMES = ["jane", "john", "wei", "maria", "ahmed", "sara", "ivan", "mei"]
+LAST_NAMES = ["doe", "smith", "chen", "garcia", "khan", "novak", "tanaka"]
+
+
+@dataclass
+class CorpusSpec:
+    """Shape and content parameters of a synthetic corpus."""
+
+    n_articles: int = 100
+    chapters_per_article: Tuple[int, int] = (2, 4)
+    sections_per_chapter: Tuple[int, int] = (2, 4)
+    paragraphs_per_section: Tuple[int, int] = (3, 6)
+    words_per_paragraph: Tuple[int, int] = (10, 30)
+    title_words: Tuple[int, int] = (2, 5)
+    vocabulary_size: int = 20000
+    #: term -> exact corpus frequency to plant
+    planted_terms: Dict[str, int] = field(default_factory=dict)
+    #: phrase (tuple of terms) -> exact adjacent-occurrence count
+    planted_phrases: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+    seed: int = 42
+
+
+class _Vocabulary:
+    """Zipf-weighted background vocabulary."""
+
+    def __init__(self, size: int, rng: random.Random):
+        self.words = [f"w{i}" for i in range(size)]
+        weights = [1.0 / (rank + 10) for rank in range(size)]
+        total = sum(weights)
+        cum = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cum.append(acc / total)
+        self._cum = cum
+        self._rng = rng
+
+    def sample(self, k: int) -> List[str]:
+        return self._rng.choices(self.words, cum_weights=self._cum, k=k)
+
+
+def generate_corpus(spec: CorpusSpec) -> XMLStore:
+    """Generate a store of articles per ``spec`` (deterministic)."""
+    rng = random.Random(spec.seed)
+    vocab = _Vocabulary(spec.vocabulary_size, rng)
+
+    # Phase 1: structural skeleton with background text.  Each text slot
+    # is a mutable word list we can plant into afterwards.
+    articles: List[dict] = []
+    paragraph_slots: List[List[str]] = []  # all plantable text slots
+
+    def span(lo_hi: Tuple[int, int]) -> int:
+        return rng.randint(*lo_hi)
+
+    for _ in range(spec.n_articles):
+        art = {
+            "title": vocab.sample(span(spec.title_words)),
+            "fname": rng.choice(FIRST_NAMES),
+            "sname": rng.choice(LAST_NAMES),
+            "chapters": [],
+        }
+        for _c in range(span(spec.chapters_per_article)):
+            chapter = {
+                "ct": vocab.sample(span(spec.title_words)),
+                "sections": [],
+            }
+            for _s in range(span(spec.sections_per_chapter)):
+                section = {
+                    "st": vocab.sample(span(spec.title_words)),
+                    "paragraphs": [],
+                }
+                for _p in range(span(spec.paragraphs_per_section)):
+                    para = vocab.sample(span(spec.words_per_paragraph))
+                    section["paragraphs"].append(para)
+                    paragraph_slots.append(para)
+                chapter["sections"].append(section)
+            art["chapters"].append(chapter)
+        articles.append(art)
+
+    if not paragraph_slots and (spec.planted_terms or spec.planted_phrases):
+        raise ValueError("no paragraphs to plant terms into")
+
+    # Phase 2: exact-frequency planting.  Single terms first, phrases
+    # last: a later insertion landing inside an already-planted phrase
+    # would split its adjacency, so phrases go in when no further
+    # insertions follow (phrase-phrase splits remain possible but rare;
+    # the harness reports *measured* result sizes for this reason).
+    for term, count in spec.planted_terms.items():
+        for _ in range(count):
+            para = rng.choice(paragraph_slots)
+            para.insert(rng.randrange(len(para) + 1), term)
+    for phrase, count in spec.planted_phrases.items():
+        block = list(phrase)
+        for _ in range(count):
+            para = rng.choice(paragraph_slots)
+            i = rng.randrange(len(para) + 1)
+            para[i:i] = block
+
+    # Phase 3: build one document per article.
+    store = XMLStore()
+    for i, art in enumerate(articles):
+        b = DocumentBuilder()
+        b.start_element("article")
+        b.element("article-title", " ".join(art["title"]))
+        b.start_element("author", {"id": "first"})
+        b.element("fname", art["fname"])
+        b.element("sname", art["sname"])
+        b.end_element()
+        for chapter in art["chapters"]:
+            b.start_element("chapter")
+            b.element("ct", " ".join(chapter["ct"]))
+            for section in chapter["sections"]:
+                b.start_element("section")
+                b.element("section-title", " ".join(section["st"]))
+                for para in section["paragraphs"]:
+                    b.element("p", " ".join(para))
+                b.end_element()
+            b.end_element()
+        b.end_element()
+        store.add_document(b.finish(f"article{i:05d}.xml", doc_id=i))
+    return store

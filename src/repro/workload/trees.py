@@ -1,0 +1,47 @@
+"""Synthetic scored trees for the Pick experiment (§6, in-text).
+
+The paper evaluates Pick on inputs of 200 to 55,000 nodes with the
+parent/child redundancy-elimination criterion.  These helpers build random
+scored trees of an exact size with a controllable relevant-score fraction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.trees import SNode, STree
+
+
+def random_scored_tree(
+    n_nodes: int,
+    seed: int = 7,
+    max_fanout: int = 8,
+    relevant_fraction: float = 0.3,
+    relevance_threshold: float = 0.8,
+) -> STree:
+    """A random tree with exactly ``n_nodes`` nodes, every node scored:
+    about ``relevant_fraction`` of nodes score above
+    ``relevance_threshold`` (uniform in [threshold, threshold+2]) and the
+    rest below (uniform in [0, threshold))."""
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    rng = random.Random(seed)
+
+    def make_score() -> float:
+        if rng.random() < relevant_fraction:
+            return relevance_threshold + rng.random() * 2.0
+        return rng.random() * relevance_threshold * 0.999
+
+    root = SNode("n0", score=make_score())
+    nodes = [root]
+    open_nodes = [root]  # nodes that may still take children
+    for i in range(1, n_nodes):
+        parent = rng.choice(open_nodes)
+        child = SNode(f"n{i}", score=make_score())
+        parent.add_child(child)
+        nodes.append(child)
+        open_nodes.append(child)
+        if len(parent.children) >= max_fanout:
+            open_nodes.remove(parent)
+    return STree(root)

@@ -1,0 +1,168 @@
+"""Programmatic construction of region-encoded documents.
+
+:class:`DocumentBuilder` is the single place region numbering is
+implemented; both the XML parser and the synthetic-workload generator drive
+it, so their documents are numbered identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TIXError
+from repro.xmldb.document import ContentItem, Document, NO_PARENT
+from repro.xmldb.text import tokenize_text
+
+
+class DocumentBuilder:
+    """Event-style builder: ``start_element`` / ``text`` / ``end_element``.
+
+    One counter drives the region numbering: element opens, individual
+    words, and element closes each consume one value, in document order.
+
+    Example::
+
+        b = DocumentBuilder()
+        b.start_element("article")
+        b.start_element("title")
+        b.text("Internet Technologies")
+        b.end_element()
+        b.end_element()
+        doc = b.finish("articles.xml")
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._stack: List[int] = []  # node ids of open elements
+        self._tags: List[str] = []
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._levels: List[int] = []
+        self._parents: List[int] = []
+        self._attrs: Dict[int, Dict[str, str]] = {}
+        self._content: List[List[ContentItem]] = []
+        self._word_terms: List[str] = []
+        self._word_pos: List[int] = []
+        self._word_node: List[int] = []
+        self._word_offset: List[int] = []
+        # words in the *direct* text of each currently open element
+        self._direct_word_count: Dict[int, int] = {}
+        self._finished = False
+
+    def _next_key(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def start_element(self, tag: str, attrs: Optional[Dict[str, str]] = None) -> int:
+        """Open an element; returns its node id."""
+        if self._finished:
+            raise TIXError("builder already finished")
+        if not self._stack and self._tags:
+            raise TIXError("document may only have one root element")
+        node_id = len(self._tags)
+        self._tags.append(tag)
+        self._starts.append(self._next_key())
+        self._ends.append(-1)  # patched in end_element
+        self._levels.append(len(self._stack))
+        parent = self._stack[-1] if self._stack else NO_PARENT
+        self._parents.append(parent)
+        if attrs:
+            self._attrs[node_id] = dict(attrs)
+        self._content.append([])
+        if parent != NO_PARENT:
+            self._content[parent].append(node_id)
+        self._stack.append(node_id)
+        self._direct_word_count[node_id] = 0
+        return node_id
+
+    def text(self, text: str) -> None:
+        """Append a text segment to the currently open element.
+
+        The raw segment is kept for serialization; its words are numbered
+        and appended to the flat word table.
+        """
+        if not self._stack:
+            raise TIXError("text outside of any element")
+        node_id = self._stack[-1]
+        self._content[node_id].append(text)
+        offset = self._direct_word_count[node_id]
+        for term in tokenize_text(text):
+            self._word_terms.append(term)
+            self._word_pos.append(self._next_key())
+            self._word_node.append(node_id)
+            self._word_offset.append(offset)
+            offset += 1
+        self._direct_word_count[node_id] = offset
+
+    def end_element(self) -> int:
+        """Close the innermost open element; returns its node id."""
+        if not self._stack:
+            raise TIXError("end_element with no open element")
+        node_id = self._stack.pop()
+        self._ends[node_id] = self._next_key()
+        del self._direct_word_count[node_id]
+        return node_id
+
+    # Convenience for generator / test code --------------------------------
+
+    def element(self, tag: str, text: Optional[str] = None,
+                attrs: Optional[Dict[str, str]] = None) -> int:
+        """Open, optionally fill with text, and close an element."""
+        nid = self.start_element(tag, attrs)
+        if text is not None:
+            self.text(text)
+        self.end_element()
+        return nid
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    # Finish
+    # ------------------------------------------------------------------
+
+    def finish(self, name: str, doc_id: int = 0) -> Document:
+        """Freeze the builder into an immutable :class:`Document`."""
+        if self._stack:
+            raise TIXError(
+                f"unclosed elements at finish: "
+                f"{[self._tags[n] for n in self._stack]}"
+            )
+        if not self._tags:
+            raise TIXError("empty document")
+        self._finished = True
+        word_slices = self._compute_word_slices()
+        return Document(
+            name=name,
+            doc_id=doc_id,
+            tags=self._tags,
+            starts=self._starts,
+            ends=self._ends,
+            levels=self._levels,
+            parents=self._parents,
+            attrs=self._attrs,
+            content=self._content,
+            word_terms=self._word_terms,
+            word_pos=self._word_pos,
+            word_node=self._word_node,
+            word_offset=self._word_offset,
+            word_slices=word_slices,
+        )
+
+    def _compute_word_slices(self) -> List[Tuple[int, int]]:
+        """Per-node [lo, hi) slice of the flat word table covering the
+        node's subtree.  Valid because the table is ascending in ``pos``
+        and subtree word positions form the open interval (start, end)."""
+        slices: List[Tuple[int, int]] = []
+        for nid in range(len(self._tags)):
+            lo = bisect_left(self._word_pos, self._starts[nid])
+            hi = bisect_left(self._word_pos, self._ends[nid])
+            slices.append((lo, hi))
+        return slices

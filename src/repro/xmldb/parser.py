@@ -1,0 +1,85 @@
+"""XML parser: token stream → region-encoded :class:`Document`.
+
+The parser enforces well-formedness (single root, matching tags, no text
+outside the root) and delegates numbering to the shared
+:class:`~repro.xmldb.builder.DocumentBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import XMLParseError
+from repro.xmldb.builder import DocumentBuilder
+from repro.xmldb.document import Document
+from repro.xmldb.tokenizer import TokenType, XMLTokenizer
+
+
+def parse_document(source: str, name: str = "document.xml",
+                   doc_id: int = 0) -> Document:
+    """Parse an XML string into a :class:`Document`.
+
+    Raises :class:`~repro.errors.XMLParseError` on malformed input, with
+    line/column information.
+    """
+    builder = DocumentBuilder()
+    open_tags: List[str] = []
+    seen_root = False
+
+    for token in XMLTokenizer(source).tokens():
+        if token.type is TokenType.START_TAG:
+            tag, attrs, self_closing = token.value  # type: ignore[misc]
+            if not open_tags and seen_root:
+                raise XMLParseError(
+                    "multiple root elements", token.line, token.column
+                )
+            seen_root = True
+            builder.start_element(tag, attrs or None)
+            if self_closing:
+                builder.end_element()
+            else:
+                open_tags.append(tag)
+        elif token.type is TokenType.END_TAG:
+            if not open_tags:
+                raise XMLParseError(
+                    f"unexpected closing tag </{token.value}>",
+                    token.line, token.column,
+                )
+            expected = open_tags.pop()
+            if token.value != expected:
+                raise XMLParseError(
+                    f"mismatched closing tag </{token.value}>, "
+                    f"expected </{expected}>",
+                    token.line, token.column,
+                )
+            builder.end_element()
+        elif token.type is TokenType.TEXT:
+            text = token.value  # type: ignore[assignment]
+            if open_tags:
+                builder.text(text)  # type: ignore[arg-type]
+            elif str(text).strip():
+                raise XMLParseError(
+                    "text content outside the root element",
+                    token.line, token.column,
+                )
+        else:  # EOF
+            if open_tags:
+                raise XMLParseError(
+                    f"unclosed element <{open_tags[-1]}> at end of input",
+                    token.line, token.column,
+                )
+
+    if not seen_root:
+        raise XMLParseError("no root element found")
+    return builder.finish(name, doc_id)
+
+
+def parse_fragment(source: str, name: str = "fragment.xml",
+                   doc_id: int = 0) -> Document:
+    """Parse a fragment that may have multiple top-level elements by
+    wrapping it in a synthetic ``<root>`` element.
+
+    Used by tests and by the Query-3 style product construction where a
+    ``<root>`` wrapper appears in the paper's own XQuery.
+    """
+    return parse_document(f"<root>{source}</root>", name, doc_id)

@@ -1,0 +1,84 @@
+"""Store persistence: save/load an :class:`~repro.xmldb.store.XMLStore`
+to disk.
+
+The on-disk layout is one directory with a JSON manifest and one XML file
+per document.  Loading re-parses the XML, which regenerates identical
+region numbering (the builder is deterministic), so persisted stores are
+bit-for-bit equivalent to their originals — the round-trip tests assert
+tags, regions and word tables match.
+
+This is deliberately a *logical* dump (documents as XML), not a binary
+page dump: it keeps the format durable, diffable and independent of the
+in-memory layout, at the cost of re-indexing on load (indexes are lazy
+and rebuild on first use anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+from repro.errors import TIXError
+from repro.xmldb.store import XMLStore
+
+MANIFEST_NAME = "store.json"
+FORMAT_VERSION = 1
+
+
+def save_store(store: XMLStore, directory: str) -> None:
+    """Write ``store`` to ``directory`` (created if missing).
+
+    Layout::
+
+        directory/
+          store.json          # manifest: version + document list
+          doc00000.xml        # one file per document, load order
+          …
+    """
+    os.makedirs(directory, exist_ok=True)
+    documents = []
+    for doc in store.documents():
+        filename = f"doc{doc.doc_id:05d}.xml"
+        path = os.path.join(directory, filename)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(doc.serialize())
+        documents.append({"name": doc.name, "file": filename})
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "documents": documents,
+    }
+    with open(os.path.join(directory, MANIFEST_NAME), "w",
+              encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2)
+
+
+def load_store(directory: str) -> XMLStore:
+    """Load a store previously written by :func:`save_store`."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as f:
+            manifest = json.load(f)
+    except FileNotFoundError:
+        raise TIXError(f"no store manifest at {manifest_path}")
+    except json.JSONDecodeError as exc:
+        raise TIXError(f"corrupt store manifest: {exc}")
+
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TIXError(
+            f"unsupported store format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    store = XMLStore()
+    for entry in manifest.get("documents", []):
+        path = os.path.join(directory, entry["file"])
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                source = f.read()
+        except FileNotFoundError:
+            raise TIXError(
+                f"manifest references missing document file {path}"
+            )
+        store.load(entry["name"], source)
+    return store

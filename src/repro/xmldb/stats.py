@@ -1,0 +1,154 @@
+"""Corpus statistics and histograms.
+
+Two consumers:
+
+- the benchmark workload builders, which need per-term corpus frequencies
+  to select terms with target frequencies (the paper sweeps term frequency
+  from 20 to 10,000);
+- the Pick access method, whose auxiliary data (§5.3) is a histogram of
+  data IR-node scores that lets a user express "top X% relevant" without
+  knowing the absolute score distribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xmldb.store import XMLStore
+
+
+@dataclass
+class StoreStatistics:
+    """Aggregate statistics over an :class:`~repro.xmldb.store.XMLStore`."""
+
+    term_frequency: Dict[str, int]
+    """Total occurrences of each term across the corpus."""
+
+    tag_counts: Dict[str, int]
+    """Number of elements per tag."""
+
+    n_elements: int
+    n_words: int
+    max_fanout: int
+    avg_fanout: float
+    max_depth: int
+
+    @classmethod
+    def build(cls, store: "XMLStore") -> "StoreStatistics":
+        term_freq: Counter = Counter()
+        tag_counts: Counter = Counter()
+        max_fanout = 0
+        total_children = 0
+        internal_nodes = 0
+        max_depth = 0
+        for doc in store.documents():
+            term_freq.update(doc.word_terms)
+            tag_counts.update(doc.tags)
+            for nid in range(len(doc)):
+                k = doc.n_children(nid)
+                if k:
+                    internal_nodes += 1
+                    total_children += k
+                    if k > max_fanout:
+                        max_fanout = k
+            if doc.levels:
+                max_depth = max(max_depth, max(doc.levels))
+        return cls(
+            term_frequency=dict(term_freq),
+            tag_counts=dict(tag_counts),
+            n_elements=store.n_elements,
+            n_words=store.n_words,
+            max_fanout=max_fanout,
+            avg_fanout=(total_children / internal_nodes) if internal_nodes else 0.0,
+            max_depth=max_depth,
+        )
+
+    def frequency(self, term: str) -> int:
+        """Corpus frequency of ``term`` (0 if absent)."""
+        return self.term_frequency.get(term, 0)
+
+    def terms_with_frequency(
+        self, target: int, tolerance: float = 0.25
+    ) -> List[str]:
+        """Terms whose corpus frequency is within ``tolerance`` (relative)
+        of ``target``, sorted by distance to the target.  Used by benchmark
+        workload selection when planted terms are not used."""
+        lo = target * (1.0 - tolerance)
+        hi = target * (1.0 + tolerance)
+        candidates = [
+            (abs(freq - target), term)
+            for term, freq in self.term_frequency.items()
+            if lo <= freq <= hi
+        ]
+        candidates.sort()
+        return [term for _, term in candidates]
+
+
+class ScoreHistogram:
+    """Equi-width histogram over a set of scores.
+
+    This is the Pick auxiliary structure from §5.3: given a qualification
+    like "the top 20% of scored nodes are relevant", the histogram converts
+    the percentage into an absolute score threshold without a full sort.
+    """
+
+    def __init__(self, scores: Sequence[float], n_buckets: int = 32):
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self.n_buckets = n_buckets
+        self.total = len(scores)
+        if self.total == 0:
+            self.lo = 0.0
+            self.hi = 1.0
+            self.counts = [0] * n_buckets
+            return
+        self.lo = min(scores)
+        self.hi = max(scores)
+        width = (self.hi - self.lo) or 1.0
+        self.counts = [0] * n_buckets
+        for s in scores:
+            b = int((s - self.lo) / width * n_buckets)
+            if b == n_buckets:  # max score lands in the last bucket
+                b -= 1
+            self.counts[b] += 1
+
+    def bucket_bounds(self, b: int) -> Tuple[float, float]:
+        """[lo, hi) score range of bucket ``b``."""
+        width = (self.hi - self.lo) / self.n_buckets or 1.0 / self.n_buckets
+        return self.lo + b * width, self.lo + (b + 1) * width
+
+    def threshold_for_top_fraction(self, fraction: float) -> float:
+        """Smallest score ``t`` such that (approximately) ``fraction`` of
+        all scores are ``>= t``.  The answer is conservative: it returns
+        the lower bound of the bucket where the cumulative count crosses
+        the target, so at least the requested fraction qualifies."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.total == 0:
+            return 0.0
+        target = fraction * self.total
+        cum = 0
+        for b in range(self.n_buckets - 1, -1, -1):
+            cum += self.counts[b]
+            if cum >= target:
+                return self.bucket_bounds(b)[0]
+        return self.lo
+
+    def count_at_least(self, threshold: float) -> int:
+        """Approximate number of scores ``>= threshold`` (bucket
+        resolution; exact at bucket boundaries)."""
+        if self.total == 0:
+            return 0
+        n = 0
+        for b in range(self.n_buckets):
+            blo, bhi = self.bucket_bounds(b)
+            if blo >= threshold:
+                n += self.counts[b]
+            elif bhi > threshold:
+                # Partial bucket: assume uniform within the bucket.
+                frac = (bhi - threshold) / (bhi - blo)
+                n += int(round(self.counts[b] * frac))
+        return n

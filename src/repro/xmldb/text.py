@@ -1,0 +1,49 @@
+"""Text tokenization shared by the parser, the inverted index, and scoring.
+
+The tokenizer is deliberately simple and deterministic: terms are maximal
+runs of ASCII letters and digits, lowercased.  Everything else (punctuation,
+whitespace, unicode symbols) is a separator.  Both the index build and the
+query side must use the same function, so it lives here in one place.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_TERM_RE = re.compile(r"[A-Za-z0-9]+")
+
+#: Characters XML requires to be escaped in text content.
+_XML_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_XML_ATTR_ESCAPES = {**_XML_ESCAPES, '"': "&quot;"}
+
+
+def tokenize_text(text: str) -> List[str]:
+    """Split ``text`` into lowercase terms.
+
+    >>> tokenize_text("Search Engine basics, 2nd ed.")
+    ['search', 'engine', 'basics', '2nd', 'ed']
+    """
+    return [m.group(0).lower() for m in _TERM_RE.finditer(text)]
+
+
+def tokenize_with_spans(text: str) -> List[Tuple[str, int, int]]:
+    """Like :func:`tokenize_text` but returns ``(term, start, end)`` character
+    spans, used by tests that check offset bookkeeping."""
+    return [(m.group(0).lower(), m.start(), m.end()) for m in _TERM_RE.finditer(text)]
+
+
+def tokenize_phrase(phrase: str) -> List[str]:
+    """Tokenize a query phrase.  Identical to document tokenization so that
+    a phrase matches itself when planted in a document."""
+    return tokenize_text(phrase)
+
+
+def escape_text(text: str) -> str:
+    """Escape text content for XML serialization."""
+    return "".join(_XML_ESCAPES.get(c, c) for c in text)
+
+
+def escape_attr(value: str) -> str:
+    """Escape an attribute value for XML serialization (double-quoted)."""
+    return "".join(_XML_ATTR_ESCAPES.get(c, c) for c in value)

@@ -1,0 +1,231 @@
+"""A from-scratch XML tokenizer.
+
+Covers the subset of XML the reproduction needs: elements with attributes,
+text with the five predefined entities plus numeric character references,
+comments, CDATA sections, processing instructions, and an optional XML
+declaration and DOCTYPE (both skipped).  Namespaces are passed through as
+plain tag names (``ns:tag``).
+
+The tokenizer yields a flat stream of tokens; :mod:`repro.xmldb.parser`
+turns the stream into a :class:`~repro.xmldb.document.Document` via the
+shared :class:`~repro.xmldb.builder.DocumentBuilder`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import XMLParseError
+
+_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_.\-:]*")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+_ENTITY_RE = re.compile(r"&(#x?[0-9A-Fa-f]+|[A-Za-z]+);")
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+class TokenType(Enum):
+    """Kinds of tokens produced by :class:`XMLTokenizer`."""
+
+    START_TAG = auto()   # value = (tag, attrs, self_closing)
+    END_TAG = auto()     # value = tag
+    TEXT = auto()        # value = decoded text
+    EOF = auto()
+
+
+@dataclass
+class Token:
+    """One token with its source location (1-based line/column)."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+
+def decode_entities(raw: str, line: int = 0, column: int = 0) -> str:
+    """Replace predefined entities and character references in ``raw``."""
+
+    def repl(m: "re.Match[str]") -> str:
+        body = m.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        try:
+            return _PREDEFINED_ENTITIES[body]
+        except KeyError:
+            raise XMLParseError(f"unknown entity &{body};", line, column) from None
+
+    return _ENTITY_RE.sub(repl, raw)
+
+
+class XMLTokenizer:
+    """Single-pass tokenizer over an XML source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # ------------------------------------------------------------------
+    # Low-level cursor helpers
+    # ------------------------------------------------------------------
+
+    def _advance(self, n: int) -> None:
+        chunk = self.source[self.pos: self.pos + n]
+        newlines = chunk.count("\n")
+        if newlines:
+            self.line += newlines
+            self.col = n - chunk.rfind("\n")
+        else:
+            self.col += n
+        self.pos += n
+
+    def _error(self, message: str) -> XMLParseError:
+        return XMLParseError(message, self.line, self.col)
+
+    def _expect(self, literal: str) -> None:
+        if not self.source.startswith(literal, self.pos):
+            raise self._error(f"expected {literal!r}")
+        self._advance(len(literal))
+
+    def _skip_until(self, terminator: str, what: str) -> None:
+        end = self.source.find(terminator, self.pos)
+        if end < 0:
+            raise self._error(f"unterminated {what}")
+        self._advance(end - self.pos + len(terminator))
+
+    def _skip_ws(self) -> None:
+        m = _WS_RE.match(self.source, self.pos)
+        if m:
+            self._advance(m.end() - m.start())
+
+    def _read_name(self) -> str:
+        m = _NAME_RE.match(self.source, self.pos)
+        if not m:
+            raise self._error("expected a name")
+        self._advance(m.end() - m.start())
+        return m.group(0)
+
+    # ------------------------------------------------------------------
+    # Token production
+    # ------------------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until EOF.  Inter-token whitespace outside the root
+        element is emitted as TEXT and filtered by the parser."""
+        src = self.source
+        n = len(src)
+        while self.pos < n:
+            line, col = self.line, self.col
+            if src[self.pos] == "<":
+                tok = self._read_markup(line, col)
+                if tok is not None:
+                    yield tok
+            else:
+                end = src.find("<", self.pos)
+                if end < 0:
+                    end = n
+                raw = src[self.pos: end]
+                self._advance(end - self.pos)
+                yield Token(TokenType.TEXT, decode_entities(raw, line, col), line, col)
+        yield Token(TokenType.EOF, None, self.line, self.col)
+
+    def _read_markup(self, line: int, col: int) -> Optional[Token]:
+        src = self.source
+        if src.startswith("<!--", self.pos):
+            self._advance(4)
+            self._skip_until("-->", "comment")
+            return None
+        if src.startswith("<![CDATA[", self.pos):
+            self._advance(9)
+            end = src.find("]]>", self.pos)
+            if end < 0:
+                raise self._error("unterminated CDATA section")
+            raw = src[self.pos: end]
+            self._advance(end - self.pos + 3)
+            return Token(TokenType.TEXT, raw, line, col)
+        if src.startswith("<!DOCTYPE", self.pos):
+            # Skip to the matching '>' (internal subsets in brackets too).
+            depth = 0
+            i = self.pos
+            while i < len(src):
+                c = src[i]
+                if c == "[":
+                    depth += 1
+                elif c == "]":
+                    depth -= 1
+                elif c == ">" and depth <= 0:
+                    self._advance(i - self.pos + 1)
+                    return None
+                i += 1
+            raise self._error("unterminated DOCTYPE")
+        if src.startswith("<?", self.pos):
+            self._advance(2)
+            self._skip_until("?>", "processing instruction")
+            return None
+        if src.startswith("</", self.pos):
+            self._advance(2)
+            tag = self._read_name()
+            self._skip_ws()
+            self._expect(">")
+            return Token(TokenType.END_TAG, tag, line, col)
+        # Start tag
+        self._expect("<")
+        tag = self._read_name()
+        attrs = self._read_attributes()
+        self._skip_ws()
+        self_closing = False
+        if src.startswith("/>", self.pos):
+            self._advance(2)
+            self_closing = True
+        else:
+            self._expect(">")
+        return Token(TokenType.START_TAG, (tag, attrs, self_closing), line, col)
+
+    def _read_attributes(self) -> Dict[str, str]:
+        attrs: Dict[str, str] = {}
+        while True:
+            self._skip_ws()
+            if self.pos >= len(self.source):
+                raise self._error("unterminated start tag")
+            c = self.source[self.pos]
+            if c in (">", "/"):
+                return attrs
+            line, col = self.line, self.col
+            name = self._read_name()
+            self._skip_ws()
+            self._expect("=")
+            self._skip_ws()
+            value = self._read_attr_value()
+            if name in attrs:
+                raise XMLParseError(f"duplicate attribute {name!r}", line, col)
+            attrs[name] = value
+
+    def _read_attr_value(self) -> str:
+        if self.pos >= len(self.source):
+            raise self._error("unterminated attribute value")
+        quote = self.source[self.pos]
+        if quote not in ("'", '"'):
+            raise self._error("attribute value must be quoted")
+        line, col = self.line, self.col
+        self._advance(1)
+        end = self.source.find(quote, self.pos)
+        if end < 0:
+            raise self._error("unterminated attribute value")
+        raw = self.source[self.pos: end]
+        self._advance(end - self.pos + 1)
+        if "<" in raw:
+            raise XMLParseError("'<' not allowed in attribute value", line, col)
+        return decode_entities(raw, line, col)

@@ -1,0 +1,81 @@
+"""Shared fixtures: the Figure 1 example store, small synthetic corpora,
+and helper factories used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exampledata import example_store
+from repro.workload import CorpusSpec, generate_corpus
+from repro.xmldb.builder import DocumentBuilder
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def store() -> XMLStore:
+    """Fresh Figure-1 example store per test."""
+    return example_store()
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> XMLStore:
+    """A small synthetic corpus with planted terms (shared, read-only)."""
+    spec = CorpusSpec(
+        n_articles=12,
+        planted_terms={"alpha": 40, "beta": 25, "gamma": 10, "solo": 1},
+        planted_phrases={("px", "py"): 8},
+        seed=99,
+    )
+    return generate_corpus(spec)
+
+
+def build_random_document(rng: random.Random, n_elements: int,
+                          vocab=("red", "green", "blue", "cyan", "teal"),
+                          doc_id: int = 0, name: str = "rand.xml"):
+    """Random well-formed document with ~n_elements elements and random
+    short texts — the workhorse generator for oracle-comparison tests."""
+    b = DocumentBuilder()
+    b.start_element("root")
+    depth = 1
+    made = 1
+    while made < n_elements:
+        action = rng.random()
+        if action < 0.45 and depth < 12:
+            b.start_element(rng.choice(["a", "b", "c", "d"]))
+            depth += 1
+            made += 1
+            if rng.random() < 0.7:
+                b.text(" ".join(
+                    rng.choice(vocab) for _ in range(rng.randrange(0, 5))
+                ))
+        elif action < 0.8 and depth > 1:
+            b.end_element()
+            depth -= 1
+        else:
+            b.text(" ".join(
+                rng.choice(vocab) for _ in range(rng.randrange(1, 4))
+            ))
+    while depth > 0:
+        b.end_element()
+        depth -= 1
+    return b.finish(name, doc_id)
+
+
+@pytest.fixture()
+def random_store_factory():
+    """Factory building stores of random documents for a given seed."""
+
+    def make(seed: int, n_docs: int = 2, n_elements: int = 40) -> XMLStore:
+        rng = random.Random(seed)
+        s = XMLStore()
+        for d in range(n_docs):
+            s.add_document(
+                build_random_document(
+                    rng, n_elements, doc_id=d, name=f"rand{d}.xml"
+                )
+            )
+        return s
+
+    return make

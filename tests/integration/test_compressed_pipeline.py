@@ -1,0 +1,76 @@
+"""End-to-end runs over a varint-compressed inverted index: the whole
+stack (query language, NEXI, access methods) must be oblivious to the
+index representation."""
+
+import pytest
+
+from repro.exampledata import example_store
+from repro.nexi import run_nexi
+from repro.query import run_query
+
+QUERY2 = '''
+For $a := document("articles.xml")//article[/author/sname/text()="Doe"]/
+        descendant-or-self::*
+Score $a using ScoreFoo($a, {"search engine"},
+        {"internet", "information retrieval"})
+Pick $a using PickFoo($a)
+Return <result><score>{ $a/@score }</score>{ $a }</result>
+Sortby(score)
+Threshold $a/@score > 4 stop after 5
+'''
+
+
+@pytest.fixture()
+def stores():
+    plain = example_store()
+    compressed = example_store()
+    compressed.enable_index_compression()
+    return plain, compressed
+
+
+class TestCompressedEquivalence:
+    def test_query_language(self, stores):
+        plain, compressed = stores
+        a = [(t.score, t.root.children[1].tag)
+             for t in run_query(plain, QUERY2)]
+        b = [(t.score, t.root.children[1].tag)
+             for t in run_query(compressed, QUERY2)]
+        assert a == b
+
+    def test_nexi(self, stores):
+        plain, compressed = stores
+        topic = '//article//section[about(., "search engine")]'
+        a = [(h.node_id, h.score) for h in run_nexi(plain, topic)]
+        b = [(h.node_id, h.score) for h in run_nexi(compressed, topic)]
+        assert a == b
+
+    def test_compiled_plan(self, stores):
+        from repro.query import parse_query
+        from repro.query.compiler import run_compiled
+
+        plain, compressed = stores
+        q = parse_query('''
+            For $a in document("articles.xml")//article/
+                    descendant-or-self::*
+            Score $a using ScoreFooExact($a, {"search"}, {"retrieval"})
+            Return $a
+            Sortby(score)
+            Threshold $a/@score > 0 stop after 5
+        ''')
+        a = sorted(t.score for t in run_compiled(plain, q))
+        b = sorted(t.score for t in run_compiled(compressed, q))
+        assert a == pytest.approx(b)
+
+    def test_compression_actually_on(self, stores):
+        from repro.index.compress import CompressedInvertedIndex
+
+        _plain, compressed = stores
+        assert isinstance(compressed.index, CompressedInvertedIndex)
+        assert compressed.index.compression_ratio() > 1.5
+
+    def test_synthetic_corpus_ratio(self, small_corpus):
+        """On a realistic corpus the varint lists shrink considerably."""
+        from repro.index.compress import CompressedInvertedIndex
+
+        comp = CompressedInvertedIndex.from_index(small_corpus.index)
+        assert comp.compression_ratio() > 3.0

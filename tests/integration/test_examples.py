@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion and prints what
+its docstring promises."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", ["ranked hits", "TermJoin's best element"]),
+    ("examples/paper_walkthrough.py",
+     ["Figure 6", "Figure 8", "chapter", "2.8"]),
+    ("examples/literature_search.py",
+     ["physical plan", "top 5 elements", "logical I/O", "Pick"]),
+    ("examples/similarity_join.py",
+     ["extended XQuery front end", "algebra", "trail running shoes"]),
+    ("examples/inex_topics.py",
+     ["CO topic", "CAS", "granularities retrieved"]),
+]
+
+
+@pytest.mark.parametrize("path,expected", EXAMPLES,
+                         ids=[p for p, _e in EXAMPLES])
+def test_example_runs(path, expected, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    for needle in expected:
+        assert needle in out, f"{path} output missing {needle!r}"

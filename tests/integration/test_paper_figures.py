@@ -1,0 +1,214 @@
+"""Figure-level reproduction tests: the exact result trees and scores of
+Figures 5, 6, 7, 8 and the Example 3.1 walk-through, computed from the
+Figure 1 example database with the Figure 9 user functions."""
+
+import pytest
+
+from repro.core import (
+    scored_join,
+    scored_projection,
+    scored_selection,
+    sort_by_score,
+    tree_from_document,
+)
+from repro.core.operators import pick, top_k_trees
+from repro.core.pattern import (
+    EdgeType,
+    ExistingScore,
+    FromLabel,
+    PatternNode,
+    ScoredPatternTree,
+)
+from repro.exampledata import (
+    A,
+    example_store,
+    pickfoo_criterion,
+    query2_pattern,
+    query3_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return example_store()
+
+
+@pytest.fixture()
+def articles_tree(store):
+    return tree_from_document(store.document("articles.xml"))
+
+
+class TestFigure1:
+    def test_twenty_elements_in_paper_order(self, store):
+        doc = store.document("articles.xml")
+        assert len(doc) == 20
+        expected = [
+            "article", "article-title", "author", "fname", "sname",
+            "chapter", "ct", "chapter", "ct", "chapter", "ct",
+            "section", "section-title", "section", "section-title",
+            "section", "section-title", "p", "p", "p",
+        ]
+        assert doc.tags == expected
+
+    def test_reviews_structure(self, store):
+        doc = store.document("reviews.xml")
+        assert doc.tags.count("review") == 2
+        assert doc.attr(doc.find_by_tag("review")[0], "id") == "1"
+
+
+class TestFigure5Selection:
+    """Three representative result trees of Query 2 with Selection."""
+
+    @pytest.fixture()
+    def sketches(self, articles_tree):
+        sel = scored_selection([articles_tree], query2_pattern())
+        return [t.sketch() for t in sel]
+
+    def test_part_a_paragraph_witness(self, sketches):
+        assert "article[0.8](author(sname),p[0.8])" in sketches
+
+    def test_part_b_section_witness(self, sketches):
+        assert "article[3.6](author(sname),section[3.6])" in sketches
+
+    def test_part_c_self_binding_witness(self, sketches):
+        # $4 bound to the article itself: the ad* self-match appears as a
+        # separate leaf copy (Fig. 5(c))
+        assert "article[5.6](article[5.6],author(sname))" in sketches
+
+    def test_full_collection_size(self, sketches):
+        # one witness per descendant-or-self node of the article
+        assert len(sketches) == 20
+
+
+class TestFigure6Projection:
+    def test_exact_tree(self, articles_tree):
+        out = scored_projection(
+            [articles_tree], query2_pattern(), ["$1", "$3", "$4"]
+        )
+        assert len(out) == 1
+        assert out[0].sketch() == (
+            "article[5.6](article-title[0.6],sname,"
+            "chapter[5](section[0.8](section-title[0.8]),"
+            "section[0.6](section-title[0.6]),"
+            "section[3.6](p[0.8],p[1.4],p[1.4])))"
+        )
+
+    def test_paper_node_scores(self, articles_tree, store):
+        out = scored_projection(
+            [articles_tree], query2_pattern(), ["$1", "$3", "$4"]
+        )
+        scores = {
+            n.source[1]: n.score
+            for n in out[0].nodes() if n.score is not None
+        }
+        assert scores[A[1]] == pytest.approx(5.6)    # article
+        assert scores[A[2]] == pytest.approx(0.6)    # article-title
+        assert scores[A[10]] == pytest.approx(5.0)   # chapter 3
+        assert scores[A[12]] == pytest.approx(0.8)   # section 1
+        assert scores[A[16]] == pytest.approx(3.6)   # Examples section
+        assert scores[A[18]] == pytest.approx(0.8)   # p
+        assert scores[A[19]] == pytest.approx(1.4)   # p
+        assert scores[A[20]] == pytest.approx(1.4)   # p
+
+    def test_zero_score_nodes_removed(self, articles_tree):
+        out = scored_projection(
+            [articles_tree], query2_pattern(), ["$1", "$3", "$4"]
+        )
+        ids = {n.source[1] for n in out[0].nodes()}
+        assert A[17] not in ids   # 'Examples' section-title scores 0
+        assert A[6] not in ids    # chapter 1
+        assert A[3] not in ids    # author not in PL
+
+
+class TestFigure8Pick:
+    @pytest.fixture()
+    def picked(self, articles_tree):
+        proj = scored_projection(
+            [articles_tree], query2_pattern(), ["$1", "$3", "$4"]
+        )
+        return pick(proj, "$4", pickfoo_criterion(),
+                    pattern=query2_pattern())
+
+    def test_exact_tree(self, picked):
+        assert picked[0].sketch() == (
+            "article[5](sname,chapter[5](section-title[0.8],"
+            "p[0.8],p[1.4],p[1.4]))"
+        )
+
+    def test_article_score_recomputed_dynamically(self, picked):
+        # 5.6 → 5.0 after the Pick pruning (§3.2.2 / §3.3.2)
+        assert picked[0].root.score == pytest.approx(5.0)
+
+    def test_sections_dropped_because_parent_picked(self, picked):
+        ids = {n.source[1] for n in picked[0].nodes()}
+        assert A[12] not in ids and A[16] not in ids
+        assert A[10] in ids  # the picked chapter
+
+    def test_low_scored_leaves_dropped(self, picked):
+        ids = {n.source[1] for n in picked[0].nodes()}
+        assert A[2] not in ids    # article-title 0.6 < 0.8
+        assert A[15] not in ids   # section-title 0.6
+
+
+class TestExample31:
+    """The four-step walkthrough: projection → pick → selection →
+    threshold, ending at chapter #a10."""
+
+    def test_top_result_is_chapter_a10(self, store, articles_tree):
+        pattern = query2_pattern()
+        proj = scored_projection(
+            [articles_tree], pattern, ["$1", "$3", "$4"]
+        )
+        picked = pick(proj, "$4", pickfoo_criterion(), pattern=pattern)
+
+        p1 = PatternNode("$1", tag="article")
+        p1.add_child(
+            PatternNode("$4", predicate=lambda n: (
+                n.score is not None and n.tag != "article"
+            )),
+            EdgeType.ADS,
+        )
+        keep = ScoredPatternTree(p1, scoring={
+            "$4": ExistingScore(), "$1": FromLabel("$4"),
+        })
+        witnesses = scored_selection(picked, keep)
+        assert len(witnesses) == 5  # five primary data IR-nodes
+
+        top = top_k_trees(witnesses, 1)[0]
+        best = [n for n in top.nodes() if "$4" in n.labels][0]
+        assert best.source == (0, A[10])
+        assert best.score == pytest.approx(5.0)
+
+
+class TestFigure7Join:
+    def test_join_produces_the_figure7_tree(self, store, articles_tree):
+        reviews = store.document("reviews.xml")
+        rtrees = [
+            tree_from_document(reviews, nid)
+            for nid in reviews.find_by_tag("review")
+        ]
+        joined = scored_join([articles_tree], rtrees, query3_pattern())
+        fig7 = [
+            t for t in joined
+            if t.score == pytest.approx(2.8) and any(
+                n.source == (0, A[18]) for n in t.nodes() if n.source
+            )
+        ]
+        assert fig7, "the Figure 7 witness (root 2.8 via p#a18) exists"
+        tags = [n.tag for n in fig7[0].nodes()]
+        assert tags[0] == "tix_prod_root"
+        assert "review" in tags and "title" in tags
+
+    def test_join_score_semantics(self, store, articles_tree):
+        # ScoreBar gates on the content score: pairs whose $6 scores 0
+        # get root score 0, never 2.0 alone.
+        reviews = store.document("reviews.xml")
+        rtrees = [
+            tree_from_document(reviews, nid)
+            for nid in reviews.find_by_tag("review")
+        ]
+        joined = scored_join([articles_tree], rtrees, query3_pattern())
+        assert all(t.score != pytest.approx(2.0) for t in joined)
+        best = sort_by_score(joined)[0]
+        # max = simScore(2) + article's own ScoreFoo (5.6)
+        assert best.score == pytest.approx(7.6)

@@ -1,0 +1,117 @@
+"""End-to-end reproduction of the Figure 10 queries through the
+extended-XQuery front end."""
+
+import pytest
+
+from repro.exampledata import example_store
+from repro.query import run_query
+
+
+@pytest.fixture(scope="module")
+def store():
+    return example_store()
+
+
+QUERY1 = '''
+For $a in document("articles.xml")//article/descendant-or-self::*
+Score $a using ScoreFoo($a, {"search engine"},
+        {"internet", "information retrieval"})
+Pick $a using PickFoo($a)
+Return <result><score>{ $a/@score }</score>{ $a }</result>
+Sortby(score)
+Threshold $a/@score > 0 stop after 5
+'''
+
+QUERY2 = '''
+For $a := document("articles.xml")//
+        article[/author/sname/text()="Doe"]/
+        descendant-or-self::*
+Score $a using ScoreFoo($a, {"search engine"},
+        {"internet", "information retrieval"})
+Pick $a using PickFoo($a)
+Return <result><score>{ $a/@score }</score>{ $a }</result>
+Sortby(score)
+Threshold $a/@score > 4 stop after 5
+'''
+
+QUERY3 = '''
+Let $c :=
+ (<root>
+  For $a in document("articles.xml")//article[/author/sname/text()="Doe"]
+  For $b in document("reviews.xml")//review
+  For $at in $a/article-title
+  For $bt in $b/title
+  Return
+    <tix_prod_root>
+      <simScore>ScoreSim($at, $bt)</simScore>
+      { $a }
+      { $b }
+    </tix_prod_root>
+  Threshold simScore > 1
+ </root>)
+For $d := $c//tix_prod_root/article/descendant-or-self::*
+Score $d using ScoreFoo($d, {"search engine"},
+        {"internet", "information retrieval"})
+Pick $d using PickFoo($d)
+For $e := $c//tix_prod_root[//$d]
+Score $e using ScoreBar(decimal($d/@score), decimal($e/simScore))
+Return
+  <tix_prod_root>
+    <score>{ $e/@score }</score>
+    { $d }
+    { $e/review }
+  </tix_prod_root>
+Sortby(score)
+'''
+
+
+class TestQuery1:
+    def test_picked_ranked_results(self, store):
+        out = run_query(store, QUERY1)
+        got = [(t.score, t.root.children[1].tag) for t in out]
+        assert got[0] == (pytest.approx(5.0), "chapter")
+        assert len(out) == 5
+        scores = [s for s, _t in got]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_results_wrapped_with_score_element(self, store):
+        out = run_query(store, QUERY1)
+        for t in out:
+            assert t.root.tag == "result"
+            assert t.root.children[0].tag == "score"
+
+
+class TestQuery2:
+    def test_single_answer_chapter(self, store):
+        out = run_query(store, QUERY2)
+        assert len(out) == 1
+        assert out[0].score == pytest.approx(5.0)
+        returned = out[0].root.children[1]
+        assert returned.tag == "chapter"
+        # the chapter subtree is the paper's #a10 subtree
+        assert "newsinessence" in returned.alltext()
+
+    def test_author_predicate_filters(self, store):
+        no_match = QUERY2.replace('"Doe"', '"Smith"')
+        assert run_query(store, no_match) == []
+
+
+class TestQuery3:
+    def test_ranked_join_results(self, store):
+        out = run_query(store, QUERY3)
+        got = [(round(t.score, 4), [c.tag for c in t.root.children])
+               for t in out]
+        # chapter answer combined with the similar-titled review wins
+        assert got[0][0] == pytest.approx(7.0)
+        assert got[0][1] == ["score", "chapter", "review"]
+        scores = [s for s, _k in got]
+        assert scores == sorted(scores, reverse=True)
+        # the Figure 7 score (2.8 = simScore 2 + p#a18's 0.8) appears
+        assert 2.8 in scores
+
+    def test_only_similar_titled_review_joins(self, store):
+        out = run_query(store, QUERY3)
+        for t in out:
+            review = [c for c in t.root.children if c.tag == "review"][0]
+            title_words = review.find_by_tag("title")[0].words
+            assert title_words == ["internet", "technologies"]

@@ -1,0 +1,121 @@
+"""Cross-layer equivalence: engine plans vs algebra operators vs query
+evaluator vs compiled plans, on the example store and a synthetic
+corpus."""
+
+import pytest
+
+from repro.access.termjoin import TermJoin
+from repro.core import scored_projection, scored_selection, tree_from_document
+from repro.core.operators import pick as algebra_pick
+from repro.core.scoring import WeightedCountScorer
+from repro.engine import (
+    DocumentSource,
+    PickOp,
+    Project,
+    Select,
+    Sort,
+    TermJoinScan,
+    execute,
+)
+from repro.exampledata import (
+    example_store,
+    pickfoo_criterion,
+    query2_pattern,
+)
+from repro.query import parse_query, run_query
+from repro.query.compiler import run_compiled
+from repro.workload import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def store():
+    return example_store()
+
+
+class TestEngineVsAlgebra:
+    def test_select(self, store):
+        pat = query2_pattern()
+        tree = tree_from_document(store.document("articles.xml"))
+        algebra = [t.sketch() for t in scored_selection([tree], pat)]
+        engine = [
+            t.sketch()
+            for t in execute(Select(DocumentSource(store, "articles.xml"),
+                                    pat))
+        ]
+        assert engine == algebra
+
+    def test_project_pick_chain(self, store):
+        pat = query2_pattern()
+        tree = tree_from_document(store.document("articles.xml"))
+        algebra = algebra_pick(
+            scored_projection([tree], pat, ["$1", "$3", "$4"]),
+            "$4", pickfoo_criterion(), pattern=pat,
+        )
+        engine = execute(PickOp(
+            Project(DocumentSource(store, "articles.xml"), pat,
+                    ["$1", "$3", "$4"]),
+            "$4", pickfoo_criterion(), pat,
+        ))
+        assert [t.sketch() for t in engine] == \
+            [t.sketch() for t in algebra]
+
+
+class TestCompiledVsEvaluator:
+    QUERY = '''
+    For $a in document("articles.xml")//article/descendant-or-self::*
+    Score $a using ScoreFooExact($a, {"search"}, {"retrieval"})
+    Return <r><score>{ $a/@score }</score>{ $a }</r>
+    Sortby(score)
+    Threshold $a/@score > 0.5 stop after 6
+    '''
+
+    def test_same_scores(self, store):
+        ev = sorted(t.score for t in run_query(store, self.QUERY))
+        comp = sorted(
+            t.score for t in run_compiled(store, parse_query(self.QUERY))
+        )
+        assert comp == pytest.approx(ev)
+
+    def test_same_elements(self, store):
+        ev = run_query(store, self.QUERY)
+        ev_tags = sorted(t.root.children[1].tag for t in ev)
+        comp = run_compiled(store, parse_query(self.QUERY))
+        comp_tags = sorted(t.root.tag for t in comp)
+        assert comp_tags == ev_tags
+
+
+class TestSyntheticCorpusEndToEnd:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(CorpusSpec(
+            n_articles=6,
+            planted_terms={"needle": 30, "haystack": 12},
+            seed=21,
+        ))
+
+    def test_termjoin_pipeline_ranks_planted_terms(self, corpus):
+        scorer = WeightedCountScorer(["needle"], ["haystack"])
+        plan = Sort(TermJoinScan(
+            corpus, ["needle", "haystack"], TermJoin(corpus, scorer)
+        ))
+        out = execute(plan)
+        assert out, "planted terms must be found"
+        scores = [t.score for t in out]
+        assert scores == sorted(scores, reverse=True)
+        # the best-scoring element contains at least one needle
+        best = out[0]
+        doc = corpus.document(best.root.source[0])
+        assert "needle" in doc.subtree_words(best.root.source[1])
+
+    def test_query_language_on_synthetic_corpus(self, corpus):
+        name = corpus.document(0).name
+        out = run_query(corpus, f'''
+            For $a in document("{name}")//article/descendant-or-self::*
+            Score $a using ScoreFooExact($a, {{"needle"}})
+            Return <r><score>{{ $a/@score }}</score></r>
+            Sortby(score)
+            Threshold $a/@score > 0 stop after 3
+        ''')
+        assert len(out) <= 3
+        for t in out:
+            assert t.score > 0

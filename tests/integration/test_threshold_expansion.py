@@ -1,0 +1,54 @@
+"""The paper's claim that K-thresholding is expressible with standard
+operators (§3.3.1): the grouping expansion must agree with the dedicated
+Threshold operator."""
+
+import pytest
+
+from repro.core import scored_selection, tree_from_document
+from repro.core.operators import k_threshold_via_grouping, threshold
+from repro.exampledata import example_store, query2_pattern
+
+
+@pytest.fixture()
+def witnesses():
+    store = example_store()
+    tree = tree_from_document(store.document("articles.xml"))
+    return scored_selection([tree], query2_pattern())
+
+
+class TestExpansionEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 5, 10])
+    def test_same_score_multiset_without_ties_at_cut(self, witnesses, k):
+        via_operator = threshold(witnesses, "$4", top_k=k)
+        via_expansion = k_threshold_via_grouping(witnesses, "$4", k)
+
+        def best(tree):
+            return max(
+                n.score for n in tree.nodes()
+                if "$4" in n.labels and n.score is not None
+            )
+
+        op_scores = sorted((best(t) for t in via_operator), reverse=True)
+        ex_scores = sorted((best(t) for t in via_expansion), reverse=True)
+        # The operator keeps rank-k ties (score >= cutoff); the expansion
+        # cuts at exactly k members.  The top-k prefix always agrees.
+        assert ex_scores == op_scores[: len(ex_scores)]
+        assert len(via_expansion) == min(k, len(witnesses))
+        assert len(via_operator) >= len(via_expansion)
+
+    def test_expansion_orders_by_best_label_score(self, witnesses):
+        out = k_threshold_via_grouping(witnesses, "$4", len(witnesses))
+
+        def best(tree):
+            scores = [
+                n.score for n in tree.nodes()
+                if "$4" in n.labels and n.score is not None
+            ]
+            return max(scores) if scores else float("-inf")
+
+        values = [best(t) for t in out]
+        assert values == sorted(values, reverse=True)
+
+    def test_k_larger_than_collection(self, witnesses):
+        out = k_threshold_via_grouping(witnesses, "$4", 999)
+        assert len(out) == len(witnesses)

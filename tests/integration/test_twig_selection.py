@@ -1,0 +1,81 @@
+"""Integration: scored selection over the twig matching backend equals
+the backtracking backend, on the example store and random corpora."""
+
+import pytest
+
+from repro.core import scored_selection, tree_from_document
+from repro.core.pattern import (
+    EdgeType,
+    FromLabel,
+    PatternNode,
+    PhraseScore,
+    ScoredPatternTree,
+)
+from repro.core.scoring import WeightedCountScorer
+from repro.core.twigmatch import matcher_for
+from repro.exampledata import example_store
+from repro.workload import CorpusSpec, generate_corpus
+
+
+def chapter_pattern():
+    p1 = PatternNode("$1", tag="chapter")
+    p1.add_child(PatternNode("$2", tag="p"), EdgeType.AD)
+    return ScoredPatternTree(p1, scoring={
+        "$2": PhraseScore(WeightedCountScorer(["search"], ["retrieval"])),
+        "$1": FromLabel("$2"),
+    })
+
+
+class TestExampleStore:
+    def test_selection_equal(self):
+        store = example_store()
+        tree = tree_from_document(store.document("articles.xml"))
+        pattern = chapter_pattern()
+        plain = [t.sketch() for t in scored_selection([tree], pattern)]
+        twig = [
+            t.sketch() for t in scored_selection(
+                [tree], pattern, matcher=matcher_for(store)
+            )
+        ]
+        assert twig == plain
+        assert len(twig) == 3  # three p's under the third chapter
+
+    def test_inapplicable_pattern_falls_back(self):
+        from repro.exampledata import query2_pattern
+
+        store = example_store()
+        tree = tree_from_document(store.document("articles.xml"))
+        pattern = query2_pattern()  # has ad* + untagged node
+        plain = [t.sketch() for t in scored_selection([tree], pattern)]
+        auto = [
+            t.sketch() for t in scored_selection(
+                [tree], pattern, matcher=matcher_for(store)
+            )
+        ]
+        assert auto == plain
+
+
+class TestSyntheticCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(CorpusSpec(
+            n_articles=8, planted_terms={"needle": 25}, seed=3,
+        ))
+
+    def test_section_pattern_equal_across_documents(self, corpus):
+        p1 = PatternNode("$1", tag="section")
+        p1.add_child(PatternNode("$2", tag="p"), EdgeType.AD)
+        pattern = ScoredPatternTree(p1, scoring={
+            "$2": PhraseScore(WeightedCountScorer(["needle"])),
+            "$1": FromLabel("$2"),
+        })
+        matcher = matcher_for(corpus)
+        for doc in corpus.documents():
+            tree = tree_from_document(doc)
+            plain = [t.sketch() for t in scored_selection([tree], pattern)]
+            twig = [
+                t.sketch() for t in scored_selection(
+                    [tree], pattern, matcher=matcher
+                )
+            ]
+            assert twig == plain

@@ -1,0 +1,74 @@
+"""Shared hypothesis strategies: random region-encoded documents and
+random scored trees."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.trees import SNode, STree
+from repro.xmldb.builder import DocumentBuilder
+
+VOCAB = ["red", "green", "blue", "teal", "gray"]
+TAGS = ["a", "b", "c"]
+
+# A document described as a recursive structure:
+# node = (tag, text_words, [children])
+_node = st.deferred(
+    lambda: st.tuples(
+        st.sampled_from(TAGS),
+        st.lists(st.sampled_from(VOCAB), max_size=4),
+        st.lists(_node, max_size=3),
+    )
+)
+
+doc_shapes = st.tuples(
+    st.sampled_from(TAGS),
+    st.lists(st.sampled_from(VOCAB), max_size=4),
+    st.lists(_node, max_size=4),
+)
+
+
+def build_document(shape, name="prop.xml", doc_id=0):
+    """Materialize a shape drawn from ``doc_shapes`` as a Document."""
+    b = DocumentBuilder()
+
+    def emit(node):
+        tag, words, children = node
+        b.start_element(tag)
+        if words:
+            b.text(" ".join(words))
+        for child in children:
+            emit(child)
+        b.end_element()
+
+    emit(shape)
+    return b.finish(name, doc_id)
+
+
+def build_stree(shape) -> STree:
+    """Materialize a shape as a scored tree (unscored)."""
+
+    def emit(node) -> SNode:
+        tag, words, children = node
+        snode = SNode(tag, words=list(words))
+        for child in children:
+            snode.add_child(emit(child))
+        return snode
+
+    return STree(emit(shape))
+
+
+scored_tree_shapes = st.tuples(
+    doc_shapes,
+    st.lists(st.floats(min_value=0.0, max_value=3.0,
+                       allow_nan=False), min_size=1, max_size=64),
+)
+
+
+def build_scored_stree(shape_and_scores) -> STree:
+    """A scored tree whose node scores cycle through the drawn floats."""
+    shape, scores = shape_and_scores
+    tree = build_stree(shape)
+    for i, node in enumerate(tree.nodes()):
+        node.score = scores[i % len(scores)]
+    return tree

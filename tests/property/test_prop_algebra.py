@@ -1,0 +1,134 @@
+"""Property tests on the TIX algebra: selection/projection invariants,
+threshold semantics, scoring consistency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import find_embeddings
+from repro.core.operators import (
+    scored_projection,
+    scored_selection,
+    sort_by_score,
+    threshold,
+    top_k_trees,
+)
+from repro.core.pattern import (
+    EdgeType,
+    FromLabel,
+    PatternNode,
+    PhraseScore,
+    ScoredPatternTree,
+)
+from repro.core.scoring import WeightedCountScorer
+
+from .strategies import VOCAB, build_document, build_stree, doc_shapes
+
+
+def ir_pattern():
+    p1 = PatternNode("$1")
+    p1.add_child(PatternNode("$2"), EdgeType.ADS)
+    return ScoredPatternTree(p1, scoring={
+        "$2": PhraseScore(WeightedCountScorer(["red"], ["green"])),
+        "$1": FromLabel("$2"),
+    })
+
+
+@given(doc_shapes)
+@settings(max_examples=60, deadline=None)
+def test_selection_cardinality_equals_embeddings(shape):
+    tree = build_stree(shape)
+    pattern = ir_pattern()
+    matches = find_embeddings(pattern, tree)
+    out = scored_selection([tree], pattern)
+    assert len(out) == len(matches)
+
+
+@given(doc_shapes)
+@settings(max_examples=60, deadline=None)
+def test_selection_scores_equal_direct_scoring(shape):
+    # Use a document-backed tree so witness copies carry source refs and
+    # can be correlated with the original nodes (witness subtrees are
+    # truncated, so scoring the copy directly would be wrong).
+    from repro.core.trees import tree_from_document
+
+    doc = build_document(shape)
+    tree = tree_from_document(doc)
+    pattern = ir_pattern()
+    scorer = WeightedCountScorer(["red"], ["green"])
+    for witness in scored_selection([tree], pattern):
+        for node in witness.nodes():
+            if "$2" in node.labels:
+                assert node.source is not None
+                words = doc.subtree_words(node.source[1])
+                assert node.score == pytest.approx(
+                    scorer.score_words(words)
+                )
+
+
+@given(doc_shapes)
+@settings(max_examples=60, deadline=None)
+def test_projection_root_score_is_max_of_retained(shape):
+    tree = build_stree(shape)
+    pattern = ir_pattern()
+    out = scored_projection([tree], pattern, ["$1", "$2"])
+    for result in out:
+        scored = [
+            n.score for n in result.nodes()
+            if "$2" in n.labels and n.score is not None
+        ]
+        if scored and result.root.score is not None:
+            assert result.root.score == pytest.approx(max(scored))
+
+
+@given(doc_shapes)
+@settings(max_examples=60, deadline=None)
+def test_projection_drops_zero_scores(shape):
+    tree = build_stree(shape)
+    pattern = ir_pattern()
+    for result in scored_projection([tree], pattern, ["$1", "$2"]):
+        for node in result.nodes():
+            if node.labels <= {"$1", "$2"} and node.score is not None:
+                assert node.score > 0.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=10))
+@settings(max_examples=80)
+def test_top_k_trees_are_the_k_best(scores, k):
+    from repro.core.trees import SNode, STree
+
+    trees = [STree(SNode("t", score=s)) for s in scores]
+    out = top_k_trees(trees, k)
+    assert len(out) == min(k, len(scores))
+    best = sorted(scores, reverse=True)[: len(out)]
+    assert [t.score for t in out] == best
+
+
+@given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                min_size=1, max_size=30),
+       st.floats(min_value=0, max_value=10, allow_nan=False))
+@settings(max_examples=80)
+def test_threshold_v_keeps_exactly_above(scores, v):
+    from repro.core.trees import SNode, STree
+
+    trees = []
+    for s in scores:
+        node = SNode("t", score=s)
+        node.labels = {"$x"}
+        trees.append(STree(node))
+    out = threshold(trees, "$x", min_score=v)
+    assert len(out) == sum(1 for s in scores if s > v)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                min_size=1, max_size=30))
+@settings(max_examples=60)
+def test_sort_by_score_is_monotone(scores):
+    from repro.core.trees import SNode, STree
+
+    trees = [STree(SNode("t", score=s)) for s in scores]
+    out = sort_by_score(trees)
+    vals = [t.score for t in out]
+    assert vals == sorted(scores, reverse=True)

@@ -1,0 +1,76 @@
+"""Property tests: region-numbering invariants on random documents."""
+
+from hypothesis import given, settings
+
+from repro.xmldb.parser import parse_document
+
+from .strategies import build_document, doc_shapes
+
+
+@given(doc_shapes)
+@settings(max_examples=80)
+def test_regions_nest_properly(shape):
+    doc = build_document(shape)
+    for nid in range(len(doc)):
+        parent = doc.parents[nid]
+        if parent >= 0:
+            assert doc.starts[parent] < doc.starts[nid]
+            assert doc.ends[nid] < doc.ends[parent]
+            assert doc.levels[nid] == doc.levels[parent] + 1
+
+
+@given(doc_shapes)
+@settings(max_examples=80)
+def test_region_keys_unique_and_increasing(shape):
+    doc = build_document(shape)
+    keys = sorted(doc.starts + doc.ends + doc.word_pos)
+    assert len(keys) == len(set(keys))
+    assert doc.starts == sorted(doc.starts)  # preorder ids
+
+
+@given(doc_shapes)
+@settings(max_examples=80)
+def test_descendant_range_equals_containment(shape):
+    doc = build_document(shape)
+    for nid in range(len(doc)):
+        by_range = set(doc.descendants(nid))
+        by_region = {
+            other for other in range(len(doc))
+            if doc.is_ancestor(nid, other)
+        }
+        assert by_range == by_region
+
+
+@given(doc_shapes)
+@settings(max_examples=80)
+def test_subtree_words_equal_descendant_direct_words(shape):
+    doc = build_document(shape)
+    for nid in range(len(doc)):
+        collected = []
+        for member in doc.subtree(nid):
+            collected.extend(doc.direct_words(member))
+        # direct words concatenated in id order == flat slice, because
+        # word table is in document order and ids are preorder
+        assert sorted(collected) == sorted(doc.subtree_words(nid))
+
+
+@given(doc_shapes)
+@settings(max_examples=60)
+def test_serialize_parse_roundtrip(shape):
+    doc = build_document(shape)
+    again = parse_document(doc.serialize(), name=doc.name)
+    assert again.tags == doc.tags
+    assert again.parents == doc.parents
+    assert again.word_terms == doc.word_terms
+
+
+@given(doc_shapes)
+@settings(max_examples=80)
+def test_ancestors_of_pos_consistent(shape):
+    doc = build_document(shape)
+    for i in range(doc.n_words):
+        occ = doc.word_occurrence(i)
+        chain = doc.ancestors_of_pos(occ.pos)
+        assert chain[-1] == occ.node_id
+        for anc in chain[:-1]:
+            assert doc.is_ancestor(anc, occ.node_id)

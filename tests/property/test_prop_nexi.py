@@ -1,0 +1,75 @@
+"""Property tests for the NEXI front end: parser totality and
+evaluation invariants on random corpora."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuerySyntaxError
+from repro.nexi import parse_nexi, run_nexi
+from repro.xmldb.store import XMLStore
+
+from .strategies import TAGS, VOCAB, build_document, doc_shapes
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=150)
+def test_parser_total(text):
+    """Any input either parses or raises QuerySyntaxError."""
+    try:
+        parse_nexi(text)
+    except QuerySyntaxError:
+        pass
+
+
+@given(st.text(alphabet='/[]().,*"aboutandor ', max_size=80))
+@settings(max_examples=150)
+def test_parser_syntax_heavy_fuzz(text):
+    try:
+        parse_nexi(text)
+    except QuerySyntaxError:
+        pass
+
+
+def make_store(shape) -> XMLStore:
+    store = XMLStore()
+    store.add_document(build_document(shape))
+    return store
+
+
+@given(doc_shapes, st.sampled_from(TAGS), st.sampled_from(VOCAB))
+@settings(max_examples=60, deadline=None)
+def test_cas_hits_contain_the_terms(shape, tag, term):
+    store = make_store(shape)
+    hits = run_nexi(store, f'//{tag}[about(., {term})]')
+    doc = store.document(0)
+    for h in hits:
+        assert doc.tags[h.node_id] == tag
+        assert term in doc.subtree_words(h.node_id)
+        assert h.score > 0
+
+
+@given(doc_shapes, st.sampled_from(VOCAB))
+@settings(max_examples=60, deadline=None)
+def test_co_scores_monotone_and_complete(shape, term):
+    store = make_store(shape)
+    hits = run_nexi(store, term)
+    doc = store.document(0)
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+    # every element containing the term is retrieved
+    expected = {
+        nid for nid in range(len(doc))
+        if term in doc.subtree_words(nid)
+    }
+    assert {h.node_id for h in hits} == expected
+
+
+@given(doc_shapes, st.sampled_from(TAGS), st.sampled_from(VOCAB),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_top_k_is_prefix(shape, tag, term, k):
+    store = make_store(shape)
+    full = run_nexi(store, f'//{tag}[about(., {term})]')
+    cut = run_nexi(store, f'//{tag}[about(., {term})]', top_k=k)
+    assert cut == full[:k]

@@ -1,0 +1,62 @@
+"""Fuzz-style property tests: the XML parser and the query parser never
+crash with anything but their declared error types, and well-formed
+inputs round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuerySyntaxError, TIXError, XMLParseError
+from repro.query.parser import parse_query
+from repro.query.unparse import unparse
+from repro.xmldb.parser import parse_document
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200)
+def test_xml_parser_total(text):
+    """Arbitrary text either parses or raises XMLParseError — never any
+    other exception."""
+    try:
+        doc = parse_document(text)
+    except XMLParseError:
+        return
+    # If it parsed, the result must be coherent and serializable.
+    assert len(doc) >= 1
+    parse_document(doc.serialize())
+
+
+@given(st.text(
+    alphabet="<>/abc =\"'&;x!?-[]", max_size=120,
+))
+@settings(max_examples=200)
+def test_xml_parser_markup_heavy_fuzz(text):
+    """Markup-dense fuzz input exercises the tokenizer's error paths."""
+    try:
+        parse_document(text)
+    except XMLParseError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200)
+def test_query_parser_total(text):
+    """Arbitrary text either parses as a query or raises
+    QuerySyntaxError."""
+    try:
+        parse_query(text)
+    except QuerySyntaxError:
+        pass
+
+
+@given(st.text(
+    alphabet="FordLetScPikRun$abc(){}\"/@<>=.,:* \n0123456789",
+    max_size=150,
+))
+@settings(max_examples=200)
+def test_query_parser_keyword_heavy_fuzz(text):
+    try:
+        query = parse_query(text)
+    except QuerySyntaxError:
+        return
+    # Anything that parsed must unparse and re-parse to the same AST.
+    assert parse_query(unparse(query)) == query

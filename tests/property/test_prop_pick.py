@@ -1,0 +1,114 @@
+"""Property tests for Pick: core/access equivalence and the operator's
+invariants on random scored trees."""
+
+from hypothesis import given, settings
+
+from repro.access.pick import PickAccess
+from repro.core.pick import PickCriterion, compute_picked, pick_tree
+from repro.core.trees import STree
+
+from .strategies import build_scored_stree, scored_tree_shapes
+
+CRITERION = PickCriterion(relevance_threshold=0.8, qualification=0.5)
+
+
+def parent_map(tree: STree):
+    parents = {}
+
+    def walk(node, parent):
+        parents[id(node)] = parent
+        for c in node.children:
+            walk(c, node)
+
+    walk(tree.root, None)
+    return parents
+
+
+@given(scored_tree_shapes)
+@settings(max_examples=80, deadline=None)
+def test_access_equals_core(shape_scores):
+    tree = build_scored_stree(shape_scores)
+    candidates = {id(n) for n in tree.nodes()}
+    core = compute_picked(tree, candidates, CRITERION)
+    access = PickAccess(CRITERION)
+    assert {id(n) for n in access.picked_nodes(tree)} == core
+
+
+@given(scored_tree_shapes)
+@settings(max_examples=80, deadline=None)
+def test_no_parent_child_both_picked(shape_scores):
+    tree = build_scored_stree(shape_scores)
+    candidates = {id(n) for n in tree.nodes()}
+    picked = compute_picked(tree, candidates, CRITERION)
+    parents = parent_map(tree)
+    for node in tree.nodes():
+        if id(node) in picked:
+            parent = parents[id(node)]
+            if parent is not None:
+                assert id(parent) not in picked
+
+
+@given(scored_tree_shapes)
+@settings(max_examples=80, deadline=None)
+def test_picked_are_worth_returning(shape_scores):
+    tree = build_scored_stree(shape_scores)
+    candidates = {id(n) for n in tree.nodes()}
+    picked = compute_picked(tree, candidates, CRITERION)
+    for node in tree.nodes():
+        if id(node) in picked:
+            assert CRITERION.worth(node, node.children)
+
+
+@given(scored_tree_shapes)
+@settings(max_examples=80, deadline=None)
+def test_blocked_only_by_picked_parent(shape_scores):
+    """A worth-returning candidate is excluded only when its direct
+    parent was picked."""
+    tree = build_scored_stree(shape_scores)
+    candidates = {id(n) for n in tree.nodes()}
+    picked = compute_picked(tree, candidates, CRITERION)
+    parents = parent_map(tree)
+    for node in tree.nodes():
+        if id(node) not in picked and CRITERION.worth(node, node.children):
+            parent = parents[id(node)]
+            assert parent is not None and id(parent) in picked
+
+
+@given(scored_tree_shapes)
+@settings(max_examples=60, deadline=None)
+def test_pruned_tree_contains_exactly_survivors(shape_scores):
+    tree = build_scored_stree(shape_scores)
+    candidates = {id(n) for n in tree.nodes()}
+    picked = compute_picked(tree, candidates, CRITERION)
+    out = pick_tree(tree, candidates, CRITERION)
+    if not picked:
+        assert out is None or all(
+            n.score is None for n in out.nodes()
+        )
+        return
+    # The scored nodes of the output are exactly the picked candidates
+    # (clones are renumbered, so compare by (tag, score) multiset).
+    from collections import Counter
+
+    out_keys = Counter(
+        (n.tag, n.score) for n in out.nodes() if n.score is not None
+    )
+    picked_keys = Counter(
+        (n.tag, n.score) for n in tree.nodes() if id(n) in picked
+    )
+    assert out_keys == picked_keys
+
+
+@given(scored_tree_shapes)
+@settings(max_examples=60, deadline=None)
+def test_prune_preserves_ancestry_order(shape_scores):
+    tree = build_scored_stree(shape_scores)
+    candidates = {id(n) for n in tree.nodes()}
+    access = PickAccess(CRITERION)
+    _picked, out = access.run(tree)
+    if out is None:
+        return
+    # output preorder intervals must still nest consistently with the
+    # original document order
+    starts = [n.order_start for n in out.nodes()]
+    assert starts == sorted(starts)

@@ -1,0 +1,70 @@
+"""Property tests: twig joins equal the brute-force oracle on random
+documents and random small twigs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.twig import TwigNode, naive_twig_join, path_stack, twig_join
+from repro.xmldb.store import XMLStore
+
+from .strategies import TAGS, build_document, doc_shapes
+
+
+def norm(matches):
+    return sorted(tuple(sorted(m.items())) for m in matches)
+
+
+def make_store(shape) -> XMLStore:
+    store = XMLStore()
+    store.add_document(build_document(shape))
+    return store
+
+
+path_specs = st.lists(st.sampled_from(TAGS), min_size=1, max_size=3)
+
+
+@given(doc_shapes, path_specs)
+@settings(max_examples=80, deadline=None)
+def test_path_stack_equals_oracle(shape, tags):
+    store = make_store(shape)
+    root = TwigNode("$0", tags[0])
+    cur = root
+    for i, tag in enumerate(tags[1:], start=1):
+        cur = cur.add_child(TwigNode(f"${i}", tag))
+    assert norm(path_stack(store, root.nodes())) == \
+        norm(naive_twig_join(store, root))
+
+
+twig_specs = st.tuples(
+    st.sampled_from(TAGS),                # root
+    st.lists(path_specs, min_size=1, max_size=2),  # branches
+)
+
+
+@given(doc_shapes, twig_specs)
+@settings(max_examples=80, deadline=None)
+def test_twig_join_equals_oracle(shape, spec):
+    store = make_store(shape)
+    root_tag, branches = spec
+    root = TwigNode("$r", root_tag)
+    label = 0
+    for branch in branches:
+        cur = root
+        for tag in branch:
+            label += 1
+            cur = cur.add_child(TwigNode(f"${label}", tag))
+    assert norm(twig_join(store, root)) == \
+        norm(naive_twig_join(store, root))
+
+
+@given(doc_shapes)
+@settings(max_examples=50, deadline=None)
+def test_twig_matches_respect_containment(shape):
+    store = make_store(shape)
+    root = TwigNode("$1", "a")
+    root.add_child(TwigNode("$2", "b"))
+    doc = store.document(0)
+    for match in twig_join(store, root):
+        (d1, n1), (d2, n2) = match["$1"], match["$2"]
+        assert d1 == d2
+        assert doc.is_ancestor(n1, n2)

@@ -1,0 +1,116 @@
+"""Unit tests for the bench harness and the CLI."""
+
+import pytest
+
+from repro.bench.harness import BenchResult, render_table, timed_trimmed_mean
+from repro.cli import main
+
+
+class TestTimedTrimmedMean:
+    def test_returns_positive(self):
+        t = timed_trimmed_mean(lambda: sum(range(1000)), runs=5)
+        assert t > 0
+
+    def test_single_run(self):
+        t = timed_trimmed_mean(lambda: None, runs=1)
+        assert t >= 0
+
+    def test_calls_fn_runs_times(self):
+        calls = []
+        timed_trimmed_mean(lambda: calls.append(1), runs=4)
+        assert len(calls) == 4
+
+
+class TestBenchResult:
+    def make(self):
+        r = BenchResult("T", ["freq", "A", "B"])
+        r.add_row(20, 0.5, 1.0)
+        r.add_row(100, 1.5, 2.0)
+        return r
+
+    def test_cell(self):
+        r = self.make()
+        assert r.cell(20, "A") == 0.5
+        assert r.cell(100, "B") == 2.0
+        with pytest.raises(KeyError):
+            r.cell(999, "A")
+
+    def test_column(self):
+        assert self.make().column("A") == [0.5, 1.5]
+
+    def test_render_contains_rows(self):
+        text = self.make().render()
+        assert "T" in text and "freq" in text
+        assert "0.50" in text and "100" in text
+
+    def test_notes_rendered(self):
+        r = self.make()
+        r.notes.append("hello note")
+        assert "hello note" in r.render()
+
+    def test_render_formats(self):
+        text = render_table("x", ["c"], [[1234.5678], [0.0001234]])
+        assert "1234.6" in text
+        assert "0.0001" in text
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Figure 8" in out
+        assert "chapter" in out
+
+    def test_query_from_args(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello there</b></a>")
+        rc = main([
+            "query",
+            "--doc", f"a.xml={doc}",
+            "-q", 'For $x in document("a.xml")//b Return $x',
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 results" in out and "hello" in out
+
+    def test_query_from_file(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hi</b></a>")
+        qf = tmp_path / "q.xq"
+        qf.write_text('For $x in document("a.xml")//b Return $x')
+        assert main(["query", "--doc", f"a.xml={doc}", "-f", str(qf)]) == 0
+
+    def test_query_requires_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["query"])
+
+    def test_bad_doc_spec(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--doc", "nopath", "-q", "For $a in $b Return $a"])
+
+    def test_explain(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        rc = main([
+            "explain",
+            "--doc", f"a.xml={doc}",
+            "-q",
+            'For $x in document("a.xml")//a/descendant-or-self::* '
+            'Score $x using ScoreFooExact($x, {"queries"}) '
+            'Return $x Sortby(score)',
+        ])
+        assert rc == 0
+        assert "termjoin-scan" in capsys.readouterr().out
+
+    def test_bench_pick_small(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+        import repro.workload.benchspec as bs
+
+        monkeypatch.setattr(bs, "PICK_INPUT_SIZES", [100, 200])
+        # run through the bench dispatch with the patched sizes
+        from repro.bench import run_pick_experiment
+
+        res = run_pick_experiment(sizes=[100, 200], runs=1)
+        out = capsys.readouterr().out
+        assert "Pick experiment" in out
+        assert len(res.rows) == 2

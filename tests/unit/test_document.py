@@ -1,0 +1,134 @@
+"""Unit tests for Document navigation and the DocumentBuilder."""
+
+import pytest
+
+from repro.errors import TIXError
+from repro.xmldb.builder import DocumentBuilder
+from repro.xmldb.parser import parse_document
+
+SRC = """<article>
+  <title>Internet Technologies</title>
+  <chapter><ct>Caching</ct><p>web caching works</p></chapter>
+  <chapter><ct>Video</ct><p>streaming video here</p></chapter>
+</article>"""
+
+
+@pytest.fixture()
+def doc():
+    return parse_document(SRC)
+
+
+class TestNavigation:
+    def test_children(self, doc):
+        assert [doc.tags[c] for c in doc.children(0)] == [
+            "title", "chapter", "chapter",
+        ]
+
+    def test_n_children(self, doc):
+        assert doc.n_children(0) == 3
+        assert doc.n_children(1) == 0
+
+    def test_parent(self, doc):
+        ct = doc.find_by_tag("ct")[0]
+        assert doc.tags[doc.parent(ct)] == "chapter"
+        assert doc.parent(0) == -1
+
+    def test_ancestors_root_first(self, doc):
+        p = doc.find_by_tag("p")[1]
+        assert [doc.tags[a] for a in doc.ancestors(p)] == [
+            "article", "chapter",
+        ]
+
+    def test_descendants_contiguous(self, doc):
+        ch1 = doc.find_by_tag("chapter")[0]
+        desc = list(doc.descendants(ch1))
+        assert [doc.tags[d] for d in desc] == ["ct", "p"]
+
+    def test_subtree_includes_self(self, doc):
+        ch1 = doc.find_by_tag("chapter")[0]
+        assert list(doc.subtree(ch1))[0] == ch1
+
+    def test_last_descendant_of_leaf_is_self(self, doc):
+        title = doc.find_by_tag("title")[0]
+        assert doc.last_descendant(title) == title
+
+    def test_is_ancestor(self, doc):
+        ch = doc.find_by_tag("chapter")[0]
+        p = doc.find_by_tag("p")[0]
+        assert doc.is_ancestor(0, p)
+        assert doc.is_ancestor(ch, p)
+        assert not doc.is_ancestor(p, ch)
+        assert not doc.is_ancestor(ch, ch)  # strict
+
+    def test_node_at_pos_finds_deepest(self, doc):
+        for i in range(doc.n_words):
+            occ = doc.word_occurrence(i)
+            assert doc.node_at_pos(occ.pos) == occ.node_id
+
+    def test_ancestors_of_pos(self, doc):
+        occ = doc.word_occurrence(doc.n_words - 1)
+        chain = doc.ancestors_of_pos(occ.pos)
+        assert chain[0] == 0
+        assert chain[-1] == occ.node_id
+
+
+class TestTextAccess:
+    def test_alltext(self, doc):
+        assert "caching" in doc.alltext(0)
+
+    def test_subtree_words_of_chapter(self, doc):
+        ch = doc.find_by_tag("chapter")[0]
+        assert doc.subtree_words(ch) == ["caching", "web", "caching", "works"]
+
+    def test_word_slice_bounds(self, doc):
+        lo, hi = doc.word_slice(0)
+        assert (lo, hi) == (0, doc.n_words)
+
+    def test_direct_text_raw(self, doc):
+        ct = doc.find_by_tag("ct")[0]
+        assert doc.direct_text(ct) == "Caching"
+
+
+class TestBuilderErrors:
+    def test_unclosed_element_at_finish(self):
+        b = DocumentBuilder()
+        b.start_element("a")
+        with pytest.raises(TIXError, match="unclosed"):
+            b.finish("x.xml")
+
+    def test_text_outside_element(self):
+        b = DocumentBuilder()
+        with pytest.raises(TIXError):
+            b.text("orphan")
+
+    def test_end_without_start(self):
+        b = DocumentBuilder()
+        with pytest.raises(TIXError):
+            b.end_element()
+
+    def test_two_roots_rejected(self):
+        b = DocumentBuilder()
+        b.element("a")
+        with pytest.raises(TIXError):
+            b.start_element("b")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(TIXError):
+            DocumentBuilder().finish("x.xml")
+
+    def test_reuse_after_finish_rejected(self):
+        b = DocumentBuilder()
+        b.element("a")
+        b.finish("x.xml")
+        with pytest.raises(TIXError):
+            b.start_element("b")
+
+    def test_element_shorthand(self):
+        b = DocumentBuilder()
+        b.start_element("r")
+        nid = b.element("leaf", "some text", {"k": "v"})
+        b.end_element()
+        doc = b.finish("x.xml")
+        assert doc.tags[nid] == "leaf"
+        assert doc.attr(nid, "k") == "v"
+        assert doc.direct_words(nid) == ["some", "text"]

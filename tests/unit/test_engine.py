@@ -1,0 +1,217 @@
+"""Unit tests for the pipelined engine operators."""
+
+import pytest
+
+from repro.access.termjoin import TermJoin
+from repro.core.operators import PickCriterion
+from repro.core.scoring import WeightedCountScorer
+from repro.engine import (
+    DocumentSource,
+    Join,
+    Limit,
+    Materialize,
+    PhraseFinderScan,
+    PickOp,
+    Product,
+    Project,
+    Select,
+    Sort,
+    TagScan,
+    TermJoinScan,
+    ThresholdOp,
+    Union,
+    execute,
+    explain,
+)
+from repro.engine.base import Operator
+from repro.errors import PlanError
+from repro.exampledata import (
+    example_store,
+    pickfoo_criterion,
+    query2_pattern,
+)
+
+
+@pytest.fixture()
+def store():
+    return example_store()
+
+
+class TestProtocol:
+    def test_next_before_open_raises(self, store):
+        op = DocumentSource(store, "articles.xml")
+        with pytest.raises(PlanError):
+            op.next()
+
+    def test_double_open_raises(self, store):
+        op = DocumentSource(store, "articles.xml")
+        op.open()
+        with pytest.raises(PlanError):
+            op.open()
+
+    def test_close_before_open_raises(self, store):
+        with pytest.raises(PlanError):
+            DocumentSource(store, "articles.xml").close()
+
+    def test_reopen_after_close(self, store):
+        op = DocumentSource(store, "articles.xml")
+        assert len(execute(op)) == 1
+        assert len(execute(op)) == 1  # open/close cycle reusable
+
+    def test_rows_out_counted(self, store):
+        op = TagScan(store, "p")
+        execute(op)
+        assert op.rows_out == 3
+
+
+class TestSources:
+    def test_document_source_named(self, store):
+        out = execute(DocumentSource(store, "articles.xml"))
+        assert len(out) == 1 and out[0].root.tag == "article"
+
+    def test_document_source_all(self, store):
+        assert len(execute(DocumentSource(store))) == 2
+
+    def test_tag_scan(self, store):
+        out = execute(TagScan(store, "section"))
+        assert len(out) == 3
+        assert all(t.root.tag == "section" for t in out)
+
+    def test_tag_scan_restricted_to_doc(self, store):
+        out = execute(TagScan(store, "title", doc_name="reviews.xml"))
+        assert len(out) == 2
+
+    def test_termjoin_scan_lazy_nodes(self, store):
+        scorer = WeightedCountScorer(["search"])
+        op = TermJoinScan(store, ["search"], TermJoin(store, scorer))
+        out = execute(op)
+        assert all(t.root.source is not None for t in out)
+        assert all(not t.root.children for t in out)
+
+    def test_termjoin_scan_min_score(self, store):
+        scorer = WeightedCountScorer(["search"])
+        op = TermJoinScan(store, ["search"], TermJoin(store, scorer),
+                          min_score=2.0)
+        out = execute(op)
+        assert all(t.score > 2.0 for t in out)
+
+    def test_phrasefinder_scan(self, store):
+        out = execute(PhraseFinderScan(store, ["search", "engine"]))
+        assert len(out) > 0
+        assert all(t.root.attrs.get("phrase-count") for t in out)
+
+
+class TestTreeOperators:
+    def test_select_streams_witnesses(self, store):
+        pat = query2_pattern()
+        plan = Select(DocumentSource(store, "articles.xml"), pat)
+        out = execute(plan)
+        assert len(out) == 20
+
+    def test_project(self, store):
+        pat = query2_pattern()
+        plan = Project(DocumentSource(store, "articles.xml"), pat,
+                       ["$1", "$3", "$4"])
+        out = execute(plan)
+        assert len(out) == 1
+        assert out[0].root.tag == "article"
+
+    def test_product_cardinality(self, store):
+        plan = Product(TagScan(store, "chapter"), TagScan(store, "review"))
+        out = execute(plan)
+        assert len(out) == 6
+        assert all(t.root.tag == "tix_prod_root" for t in out)
+
+    def test_join_is_select_over_product(self, store):
+        from repro.exampledata import query3_pattern
+
+        plan = Join(
+            TagScan(store, "article"), TagScan(store, "review"),
+            query3_pattern(),
+        )
+        out = execute(plan)
+        assert len(out) > 0
+        assert all(t.root.tag == "tix_prod_root" for t in out)
+
+
+class TestScoreUtilizing:
+    def _scored_plan(self, store, **kw):
+        pat = query2_pattern()
+        return Select(DocumentSource(store, "articles.xml"), pat)
+
+    def test_threshold_v_streams(self, store):
+        plan = ThresholdOp(self._scored_plan(store), "$4", min_score=1.0)
+        out = execute(plan)
+        # $4-scores strictly above 1.0: p(1.4), p(1.4), section(3.6),
+        # chapter(5.0), article itself (5.6)
+        assert len(out) == 5
+        assert all(
+            any(n.score > 1.0 for n in t.nodes() if "$4" in n.labels)
+            for t in out
+        )
+
+    def test_threshold_counts(self, store):
+        plan = ThresholdOp(self._scored_plan(store), "$4", min_score=0.0)
+        out = execute(plan)
+        nonzero = [t for t in out]
+        plan_all = self._scored_plan(store)
+        assert len(nonzero) < len(execute(plan_all))
+
+    def test_threshold_top_k_blocking(self, store):
+        plan = ThresholdOp(self._scored_plan(store), "$4", top_k=1)
+        out = execute(plan)
+        assert len(out) == 1
+        best = [n for n in out[0].nodes() if "$4" in n.labels][0]
+        assert best.score == pytest.approx(5.6)
+
+    def test_pick_op(self, store):
+        pat = query2_pattern()
+        plan = PickOp(
+            Project(DocumentSource(store, "articles.xml"), pat,
+                    ["$1", "$3", "$4"]),
+            "$4", pickfoo_criterion(), pat,
+        )
+        out = execute(plan)
+        assert out[0].sketch() == (
+            "article[5](sname,chapter[5](section-title[0.8],"
+            "p[0.8],p[1.4],p[1.4]))"
+        )
+
+    def test_sort_and_limit(self, store):
+        scorer = WeightedCountScorer(["search"], ["retrieval"])
+        plan = Limit(
+            Sort(TermJoinScan(store, ["search", "retrieval"],
+                              TermJoin(store, scorer))),
+            3,
+        )
+        out = execute(plan)
+        assert len(out) == 3
+        scores = [t.score for t in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_union(self, store):
+        plan = Union([TagScan(store, "chapter"), TagScan(store, "review")])
+        out = execute(plan)
+        assert [t.root.tag for t in out] == [
+            "chapter", "chapter", "chapter", "review", "review",
+        ]
+
+    def test_materialize(self, store):
+        scorer = WeightedCountScorer(["search"])
+        plan = Materialize(
+            TermJoinScan(store, ["search"], TermJoin(store, scorer)),
+            store,
+        )
+        out = execute(plan)
+        biggest = max(out, key=lambda t: t.n_nodes())
+        assert biggest.n_nodes() > 1
+        assert biggest.score is not None
+
+
+class TestExplain:
+    def test_explain_shows_rows(self, store):
+        plan = Limit(TagScan(store, "p"), 2)
+        execute(plan)
+        text = explain(plan)
+        assert "limit(2) [rows=2]" in text
+        assert "tag-scan(<p>) [rows=" in text

@@ -1,0 +1,47 @@
+"""Unit tests for the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DocumentNotFoundError,
+    PatternError,
+    PlanError,
+    QueryCompileError,
+    QuerySyntaxError,
+    TIXError,
+    UnknownTermError,
+    XMLParseError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        XMLParseError, DocumentNotFoundError, UnknownTermError,
+        PatternError, QuerySyntaxError, QueryCompileError, PlanError,
+    ])
+    def test_all_derive_from_tix_error(self, exc_type):
+        assert issubclass(exc_type, TIXError)
+
+    def test_catch_all_at_api_boundary(self):
+        # the single-except pattern the hierarchy exists for
+        try:
+            raise QuerySyntaxError("bad")
+        except TIXError:
+            caught = True
+        assert caught
+
+
+class TestPositions:
+    def test_xml_parse_error_formats_position(self):
+        err = XMLParseError("boom", line=3, column=7)
+        assert "line 3" in str(err)
+        assert "column 7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_xml_parse_error_without_position(self):
+        err = XMLParseError("boom")
+        assert str(err) == "boom"
+
+    def test_query_syntax_error_position(self):
+        err = QuerySyntaxError("nope", line=2, column=5)
+        assert "line 2" in str(err)

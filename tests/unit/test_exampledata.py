@@ -1,0 +1,75 @@
+"""Unit tests for the Figure 1 example fixtures (node-id mapping and
+scorer construction)."""
+
+import pytest
+
+from repro.exampledata import (
+    A,
+    example_store,
+    pickfoo_criterion,
+    query1_pattern,
+    query2_pattern,
+    query3_pattern,
+    score_foo,
+)
+
+
+class TestExampleStore:
+    def test_node_mapping_covers_paper_ids(self):
+        store = example_store()
+        doc = store.document("articles.xml")
+        assert doc.tags[A[1]] == "article"
+        assert doc.tags[A[5]] == "sname"
+        assert doc.tags[A[10]] == "chapter"
+        assert doc.tags[A[18]] == "p"
+        assert doc.tags[A[20]] == "p"
+
+    def test_elided_text_adds_no_terms(self):
+        store = example_store()
+        doc = store.document("articles.xml")
+        # "search engine" phrase occurrences come only from the places
+        # the paper shows them
+        assert store.index.frequency("newsinessence") == 1
+
+    def test_reviews_ratings(self):
+        store = example_store()
+        doc = store.document("reviews.xml")
+        ratings = [doc.alltext(n) for n in doc.find_by_tag("rating")]
+        assert ratings == ["5", "3"]
+
+
+class TestScorers:
+    def test_score_foo_weights(self):
+        scorer = score_foo()
+        assert scorer.score_words("search engine".split()) == \
+            pytest.approx(0.8)
+        assert scorer.score_words("the internet".split()) == \
+            pytest.approx(0.6)
+        assert scorer.score_words(
+            "information retrieval search engines".split()
+        ) == pytest.approx(1.4)
+
+    def test_pickfoo_criterion(self):
+        crit = pickfoo_criterion()
+        assert crit.relevance_threshold == 0.8
+        assert crit.qualification == 0.5
+
+
+class TestPatterns:
+    def test_query1_pattern_structure(self):
+        pat = query1_pattern()
+        assert pat.root.tag == "article"
+        assert pat.primary_ir_labels() == ["$4"]
+
+    def test_query2_adds_author_constraint(self):
+        pat = query2_pattern()
+        assert pat.has_node("$2") and pat.has_node("$3")
+        assert pat.node("$3").tag == "sname"
+
+    def test_query3_pattern_scoring(self):
+        pat = query3_pattern()
+        assert "$joinScore" in pat.scoring
+        assert pat.node("$1").tag == "tix_prod_root"
+        order = pat.scoring_order()
+        assert order.index("$joinScore") < order.index("$1")
+        assert order.index("$6") < order.index("$1")

@@ -1,0 +1,109 @@
+"""Unit tests for the inverted index and the structure index."""
+
+import pytest
+
+from repro.errors import UnknownTermError
+from repro.index.inverted import P_DOC, P_NODE, P_OFFSET, P_POS
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def idx_store():
+    return XMLStore.from_sources({
+        "a.xml": "<a><b>red red green</b><c>red</c></a>",
+        "b.xml": "<x>green <y>blue</y></x>",
+    })
+
+
+class TestInvertedIndex:
+    def test_frequency(self, idx_store):
+        idx = idx_store.index
+        assert idx.frequency("red") == 3
+        assert idx.frequency("green") == 2
+        assert idx.frequency("blue") == 1
+        assert idx.frequency("nope") == 0
+
+    def test_postings_sorted_by_doc_pos(self, idx_store):
+        pl = idx_store.index.postings("green").postings
+        assert pl == sorted(pl)
+        assert [p[P_DOC] for p in pl] == [0, 1]
+
+    def test_posting_fields(self, idx_store):
+        pl = idx_store.index.postings("blue")
+        (p,) = list(pl)
+        doc = idx_store.document(p[P_DOC])
+        assert doc.tags[p[P_NODE]] == "y"
+        assert p[P_OFFSET] == 0
+        assert doc.node(p[P_NODE]).start < p[P_POS] <= doc.node(p[P_NODE]).end
+
+    def test_offsets_within_node(self, idx_store):
+        pl = idx_store.index.postings("red")
+        b_offsets = [p[P_OFFSET] for p in pl if p[P_DOC] == 0 and p[P_NODE] == 1]
+        assert b_offsets == [0, 1]
+
+    def test_unknown_term_lenient_and_strict(self, idx_store):
+        assert len(idx_store.index.postings("zz")) == 0
+        with pytest.raises(UnknownTermError):
+            idx_store.index.postings("zz", strict=True)
+
+    def test_contains(self, idx_store):
+        assert "red" in idx_store.index
+        assert "zz" not in idx_store.index
+
+    def test_document_frequency_and_idf(self, idx_store):
+        idx = idx_store.index
+        assert idx.document_frequency("green") == 2
+        assert idx.document_frequency("blue") == 1
+        assert idx.idf("blue") > idx.idf("green") > 0
+
+    def test_element_counts(self, idx_store):
+        counts = idx_store.index.element_counts("red")
+        assert counts[(0, 1)] == 2
+        assert counts[(0, 2)] == 1
+
+    def test_for_document_slice(self, idx_store):
+        pl = idx_store.index.postings("green")
+        only_b = pl.for_document(1)
+        assert len(only_b) == 1 and only_b[0][P_DOC] == 1
+
+    def test_terms_sorted_by_frequency(self, idx_store):
+        pairs = idx_store.index.terms_sorted_by_frequency()
+        assert pairs[0][0] == "red"
+        freqs = [f for _t, f in pairs]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_vocabulary(self, idx_store):
+        assert set(idx_store.index.vocabulary()) == {"red", "green", "blue"}
+        assert idx_store.index.n_terms == 3
+
+
+class TestStructureIndex:
+    def test_parent(self, idx_store):
+        si = idx_store.structure
+        assert si.parent(0, 1) == 0
+        assert si.parent(0, 0) == -1
+
+    def test_fanout(self, idx_store):
+        si = idx_store.structure
+        assert si.fanout(0, 0) == 2
+        assert si.fanout(0, 1) == 0
+
+    def test_parent_and_fanout(self, idx_store):
+        si = idx_store.structure
+        parent, fanout = si.parent_and_fanout(0, 1)
+        assert (parent, fanout) == (0, 2)
+        assert si.parent_and_fanout(0, 0) == (-1, 0)
+
+    def test_elements_with_tag_in_order(self, idx_store):
+        refs = idx_store.structure.elements_with_tag("b")
+        assert len(refs) == 1 and refs[0][4] == 1
+        assert idx_store.structure.elements_with_tag("nope") == []
+
+    def test_all_elements_sorted(self, idx_store):
+        refs = idx_store.structure.all_elements()
+        keys = [(r[0], r[1]) for r in refs]
+        assert keys == sorted(keys)
+        assert len(refs) == idx_store.n_elements
+
+    def test_tags(self, idx_store):
+        assert set(idx_store.structure.tags()) == {"a", "b", "c", "x", "y"}

@@ -1,0 +1,254 @@
+"""Unit tests for the TIX algebra operators (selection, projection,
+product/join, threshold, union, value join, ordering)."""
+
+import pytest
+
+from repro.core.operators import (
+    evaluate_match_scores,
+    group_by_root_score,
+    product,
+    scored_join,
+    scored_selection,
+    scored_projection,
+    scored_union,
+    scored_value_join,
+    sort_by_score,
+    threshold,
+    top_k_trees,
+    union_collections,
+)
+from repro.core.pattern import (
+    Combine,
+    EdgeType,
+    ExistingScore,
+    FromLabel,
+    JoinScore,
+    PatternNode,
+    PhraseScore,
+    ScoredPatternTree,
+)
+from repro.core.scoring import WeightedCountScorer
+from repro.core.trees import SNode, STree, tree_from_document
+from repro.xmldb.parser import parse_document
+
+
+def simple_pattern(term="hit"):
+    p1 = PatternNode("$1", tag="a")
+    p1.add_child(PatternNode("$2"), EdgeType.ADS)
+    return ScoredPatternTree(p1, scoring={
+        "$2": PhraseScore(WeightedCountScorer([term])),
+        "$1": FromLabel("$2"),
+    })
+
+
+@pytest.fixture()
+def tree():
+    return tree_from_document(parse_document(
+        "<a><b>hit</b><c>hit hit</c><d>nothing</d></a>"
+    ))
+
+
+class TestSelection:
+    def test_one_witness_per_embedding(self, tree):
+        out = scored_selection([tree], simple_pattern())
+        assert len(out) == 4  # $2 binds a, b, c, d
+
+    def test_scores_assigned(self, tree):
+        out = scored_selection([tree], simple_pattern())
+        by_tag = {}
+        for t in out:
+            for n in t.nodes():
+                if "$2" in n.labels:
+                    by_tag[n.tag] = n.score
+        assert by_tag["b"] == pytest.approx(0.8)
+        assert by_tag["c"] == pytest.approx(1.6)
+        assert by_tag["d"] == 0.0
+        assert by_tag["a"] == pytest.approx(2.4)
+
+    def test_root_score_copies_secondary(self, tree):
+        out = scored_selection([tree], simple_pattern())
+        for t in out:
+            secondary = [n for n in t.nodes() if "$1" in n.labels]
+            primary = [n for n in t.nodes() if "$2" in n.labels]
+            assert secondary[0].score == primary[0].score
+
+    def test_empty_collection(self):
+        assert scored_selection([], simple_pattern()) == []
+
+    def test_labels_stamped(self, tree):
+        out = scored_selection([tree], simple_pattern())
+        labels = set()
+        for t in out:
+            for n in t.nodes():
+                labels |= n.labels
+        assert labels == {"$1", "$2"}
+
+
+class TestProjection:
+    def test_single_output_per_input(self, tree):
+        out = scored_projection([tree], simple_pattern(), ["$1", "$2"])
+        assert len(out) == 1
+
+    def test_zero_score_nodes_dropped(self, tree):
+        out = scored_projection([tree], simple_pattern(), ["$1", "$2"])
+        tags = {n.tag for n in out[0].nodes()}
+        assert "d" not in tags
+        assert tags == {"a", "b", "c"}
+
+    def test_drop_zero_disabled(self, tree):
+        out = scored_projection(
+            [tree], simple_pattern(), ["$1", "$2"], drop_zero=False
+        )
+        tags = {n.tag for n in out[0].nodes()}
+        assert "d" in tags
+
+    def test_secondary_is_max_of_sources(self, tree):
+        out = scored_projection([tree], simple_pattern(), ["$1", "$2"])
+        root = out[0].root
+        # own primary score (2.4, root matches $2 too) is the max here
+        assert root.score == pytest.approx(2.4)
+
+    def test_non_matching_tree_skipped(self):
+        other = tree_from_document(parse_document("<z/>"))
+        assert scored_projection([other], simple_pattern(), ["$1"]) == []
+
+    def test_unknown_pl_label_rejected(self, tree):
+        from repro.errors import PatternError
+
+        with pytest.raises(PatternError):
+            scored_projection([tree], simple_pattern(), ["$9"])
+
+
+class TestProductAndJoin:
+    def test_product_cardinality(self, tree):
+        other = tree_from_document(parse_document("<x/>"))
+        out = product([tree, tree], [other, other, other])
+        assert len(out) == 6
+        assert all(t.root.tag == "tix_prod_root" for t in out)
+
+    def test_product_children_are_copies(self, tree):
+        other = tree_from_document(parse_document("<x/>"))
+        out = product([tree], [other])
+        out[0].root.children[0].words.append("mutant")
+        assert "mutant" not in tree.root.words
+
+    def test_scored_join_with_join_score(self):
+        left = tree_from_document(parse_document("<l><t>same words</t></l>"))
+        right = tree_from_document(parse_document("<r><t>same words</t></r>"))
+        p1 = PatternNode("$1", tag="tix_prod_root")
+        p2 = p1.add_child(PatternNode("$2", tag="l"), EdgeType.AD)
+        p3 = p2.add_child(PatternNode("$3", tag="t"), EdgeType.PC)
+        p7 = p1.add_child(PatternNode("$7", tag="r"), EdgeType.AD)
+        p8 = p7.add_child(PatternNode("$8", tag="t"), EdgeType.PC)
+        from repro.core.scoring import score_sim
+
+        pattern = ScoredPatternTree(p1, scoring={
+            "$join": JoinScore(score_sim, "$3", "$8"),
+            "$1": Combine(lambda j: j, ["$join"]),
+        })
+        out = scored_join([left], [right], pattern)
+        assert len(out) == 1
+        assert out[0].score == pytest.approx(2.0)
+
+
+class TestThreshold:
+    def _scored_trees(self):
+        trees = []
+        for i, s in enumerate([0.5, 2.0, 4.5]):
+            node = SNode(f"t{i}", score=s)
+            node.labels = {"$x"}
+            trees.append(STree(node))
+        return trees
+
+    def test_v_condition_strict(self):
+        out = threshold(self._scored_trees(), "$x", min_score=2.0)
+        assert [t.root.tag for t in out] == ["t2"]
+
+    def test_top_k(self):
+        out = threshold(self._scored_trees(), "$x", top_k=2)
+        assert {t.root.tag for t in out} == {"t1", "t2"}
+
+    def test_top_k_larger_than_input(self):
+        out = threshold(self._scored_trees(), "$x", top_k=10)
+        assert len(out) == 3
+
+    def test_combined_v_and_k(self):
+        out = threshold(self._scored_trees(), "$x", min_score=0.6, top_k=1)
+        assert [t.root.tag for t in out] == ["t2"]
+
+    def test_no_conditions_passthrough(self):
+        trees = self._scored_trees()
+        assert threshold(trees, "$x") == trees
+
+    def test_label_mismatch_filters_all(self):
+        out = threshold(self._scored_trees(), "$other", min_score=0.0)
+        assert out == []
+
+
+class TestUnionAndOrdering:
+    def test_union_collections(self):
+        a = [STree(SNode("a"))]
+        b = [STree(SNode("b"))]
+        assert [t.root.tag for t in union_collections(a, b)] == ["a", "b"]
+
+    def test_scored_union_merges_same_source(self):
+        n1 = SNode("x", score=1.0, source=(0, 5))
+        n2 = SNode("x", score=2.0, source=(0, 5))
+        out = scored_union([STree(n1)], [STree(n2)])
+        assert len(out) == 1
+        assert out[0].score == pytest.approx(3.0)
+
+    def test_scored_union_keeps_singletons(self):
+        n1 = SNode("x", score=1.0, source=(0, 5))
+        n2 = SNode("y", score=2.0, source=(0, 9))
+        out = scored_union([STree(n1)], [STree(n2)], w1=2.0, w2=0.5)
+        scores = {t.root.tag: t.score for t in out}
+        assert scores == {"x": 2.0, "y": 1.0}
+
+    def test_scored_value_join(self):
+        a = STree(SNode("a", score=1.0, words=["k1"]))
+        b = STree(SNode("b", score=2.0, words=["k1"]))
+        c = STree(SNode("c", score=9.0, words=["other"]))
+        out = scored_value_join(
+            [a], [b, c],
+            condition=lambda x, y: set(x.root.words) & set(y.root.words),
+        )
+        assert len(out) == 1
+        assert out[0].score == pytest.approx(3.0)
+
+    def test_sort_by_score_none_last(self):
+        t1, t2 = STree(SNode("a", score=1.0)), STree(SNode("b"))
+        out = sort_by_score([t2, t1])
+        assert [t.root.tag for t in out] == ["a", "b"]
+
+    def test_top_k_trees(self):
+        trees = [STree(SNode(f"t{i}", score=float(i))) for i in range(5)]
+        out = top_k_trees(trees, 2)
+        assert [t.root.tag for t in out] == ["t4", "t3"]
+
+    def test_group_by_root_score(self):
+        trees = [STree(SNode("a", score=1.0)),
+                 STree(SNode("b", score=1.0)),
+                 STree(SNode("c", score=3.0))]
+        groups = group_by_root_score(trees)
+        assert [g[0] for g in groups] == [3.0, 1.0]
+        assert len(groups[1][1]) == 2
+
+
+class TestEvaluateMatchScores:
+    def test_existing_score_rule(self):
+        p1 = PatternNode("$1")
+        pattern = ScoredPatternTree(p1, scoring={"$1": ExistingScore()})
+        node = SNode("x", score=7.0)
+        assert evaluate_match_scores(pattern, {"$1": node})["$1"] == 7.0
+
+    def test_combine_rule_ordering(self):
+        p1 = PatternNode("$1")
+        p2 = p1.add_child(PatternNode("$2"), EdgeType.ADS)
+        pattern = ScoredPatternTree(p1, scoring={
+            "$1": Combine(lambda a: a * 2, ["$2"]),
+            "$2": ExistingScore(),
+        })
+        node = SNode("x", score=3.0)
+        scores = evaluate_match_scores(pattern, {"$1": node, "$2": node})
+        assert scores["$1"] == 6.0

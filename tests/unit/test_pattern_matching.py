@@ -1,0 +1,148 @@
+"""Unit tests for scored pattern trees and embedding enumeration."""
+
+import pytest
+
+from repro.core.matching import find_embeddings, match_exists
+from repro.core.pattern import (
+    Combine,
+    EdgeType,
+    FromLabel,
+    JoinScore,
+    PatternNode,
+    PhraseScore,
+    ScoredPatternTree,
+)
+from repro.core.scoring import WeightedCountScorer
+from repro.core.trees import tree_from_document
+from repro.errors import PatternError
+from repro.xmldb.parser import parse_document
+
+
+@pytest.fixture()
+def tree():
+    return tree_from_document(parse_document(
+        "<a><b><c>hit</c></b><b><d><c>miss</c></d></b></a>"
+    ))
+
+
+class TestPatternConstruction:
+    def test_duplicate_label_rejected(self):
+        p1 = PatternNode("$1")
+        p1.add_child(PatternNode("$1"), EdgeType.PC)
+        with pytest.raises(PatternError, match="duplicate"):
+            ScoredPatternTree(p1)
+
+    def test_primary_must_be_tree_node(self):
+        p1 = PatternNode("$1")
+        scorer = WeightedCountScorer(["x"])
+        with pytest.raises(PatternError):
+            ScoredPatternTree(p1, scoring={"$9": PhraseScore(scorer)})
+
+    def test_fromlabel_must_reference_scored_label(self):
+        p1 = PatternNode("$1")
+        with pytest.raises(PatternError):
+            ScoredPatternTree(p1, scoring={"$1": FromLabel("$none")})
+
+    def test_cyclic_scoring_rejected(self):
+        p1 = PatternNode("$1")
+        p2 = p1.add_child(PatternNode("$2"), EdgeType.AD)
+        pattern = ScoredPatternTree(p1, scoring={
+            "$1": FromLabel("$2"),
+            "$2": FromLabel("$1"),
+        })
+        with pytest.raises(PatternError, match="cyclic"):
+            pattern.scoring_order()
+
+    def test_scoring_order_dependencies_first(self):
+        p1 = PatternNode("$1")
+        p4 = p1.add_child(PatternNode("$4"), EdgeType.ADS)
+        pattern = ScoredPatternTree(p1, scoring={
+            "$1": FromLabel("$4"),
+            "$4": PhraseScore(WeightedCountScorer(["x"])),
+        })
+        order = pattern.scoring_order()
+        assert order.index("$4") < order.index("$1")
+
+    def test_primary_and_ir_labels(self):
+        p1 = PatternNode("$1")
+        p4 = p1.add_child(PatternNode("$4"), EdgeType.ADS)
+        pattern = ScoredPatternTree(p1, scoring={
+            "$4": PhraseScore(WeightedCountScorer(["x"])),
+            "$1": FromLabel("$4"),
+        })
+        assert pattern.primary_ir_labels() == ["$4"]
+        assert set(pattern.ir_labels()) == {"$1", "$4"}
+
+    def test_node_lookup(self):
+        p1 = PatternNode("$1", tag="a")
+        pattern = ScoredPatternTree(p1)
+        assert pattern.node("$1").tag == "a"
+        with pytest.raises(PatternError):
+            pattern.node("$nope")
+        assert pattern.parent_label("$1") is None
+
+
+class TestMatching:
+    def test_pc_edge(self, tree):
+        p1 = PatternNode("$1", tag="a")
+        p1.add_child(PatternNode("$2", tag="b"), EdgeType.PC)
+        matches = find_embeddings(ScoredPatternTree(p1), tree)
+        assert len(matches) == 2
+
+    def test_pc_edge_requires_direct_child(self, tree):
+        p1 = PatternNode("$1", tag="b")
+        p1.add_child(PatternNode("$2", tag="c"), EdgeType.PC)
+        matches = find_embeddings(ScoredPatternTree(p1), tree)
+        assert len(matches) == 1  # second c is under d, not directly under b
+
+    def test_ad_edge_strict(self, tree):
+        p1 = PatternNode("$1", tag="b")
+        p1.add_child(PatternNode("$2", tag="c"), EdgeType.AD)
+        matches = find_embeddings(ScoredPatternTree(p1), tree)
+        assert len(matches) == 2
+
+    def test_ads_edge_includes_self(self, tree):
+        p1 = PatternNode("$1", tag="a")
+        p1.add_child(PatternNode("$2"), EdgeType.ADS)
+        matches = find_embeddings(ScoredPatternTree(p1), tree)
+        assert len(matches) == tree.n_nodes()  # every node incl. a itself
+
+    def test_predicate_filter(self, tree):
+        p1 = PatternNode("$1", tag="c",
+                         predicate=lambda n: "hit" in n.words)
+        matches = find_embeddings(ScoredPatternTree(p1), tree)
+        assert len(matches) == 1
+
+    def test_formula_cross_node(self, tree):
+        p1 = PatternNode("$1", tag="a")
+        p1.add_child(PatternNode("$2", tag="c"), EdgeType.AD)
+        pattern = ScoredPatternTree(
+            p1,
+            formula=lambda m: "miss" in m["$2"].words,
+        )
+        matches = find_embeddings(pattern, tree)
+        assert len(matches) == 1
+
+    def test_no_match(self, tree):
+        p1 = PatternNode("$1", tag="zzz")
+        assert find_embeddings(ScoredPatternTree(p1), tree) == []
+
+    def test_match_exists_early_exit(self, tree):
+        p1 = PatternNode("$1", tag="d")
+        assert match_exists(ScoredPatternTree(p1), tree)
+        p2 = PatternNode("$1", tag="zzz")
+        assert not match_exists(ScoredPatternTree(p2), tree)
+
+    def test_matches_in_document_order(self, tree):
+        p1 = PatternNode("$1", tag="c")
+        matches = find_embeddings(ScoredPatternTree(p1), tree)
+        starts = [m["$1"].order_start for m in matches]
+        assert starts == sorted(starts)
+
+    def test_sibling_pattern(self, tree):
+        p1 = PatternNode("$1", tag="a")
+        p1.add_child(PatternNode("$2", tag="b"), EdgeType.PC)
+        p1.add_child(PatternNode("$3", tag="b"), EdgeType.PC)
+        matches = find_embeddings(ScoredPatternTree(p1), tree)
+        # both b's for $2 × both b's for $3 (no inequality constraint)
+        assert len(matches) == 4

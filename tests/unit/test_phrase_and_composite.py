@@ -1,0 +1,148 @@
+"""Unit tests for PhraseFinder and the composite baselines."""
+
+import pytest
+
+from repro.access.composite import Comp1, Comp2, Comp3
+from repro.access.phrasefinder import PhraseFinder
+from repro.core.scoring import ProximityScorer, WeightedCountScorer
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def ph_store():
+    return XMLStore.from_sources({
+        "a.xml": (
+            "<a>"
+            "<p>search engine basics</p>"
+            "<p>engine search reversed</p>"
+            "<p>a search engine and another search engine</p>"
+            "<p>search</p><p>engine</p>"
+            "</a>"
+        ),
+        "b.xml": "<x><p>search engine</p></x>",
+    })
+
+
+class TestPhraseFinder:
+    def test_counts(self, ph_store):
+        pf = PhraseFinder(ph_store)
+        got = {(m.doc_id, m.node_id): m.count
+               for m in pf.run(["search", "engine"])}
+        doc = ph_store.document("a.xml")
+        p1, p2, p3, p4, p5 = doc.find_by_tag("p")
+        assert got == {(0, p1): 1, (0, p3): 2, (1, 1): 1}
+
+    def test_order_matters(self, ph_store):
+        pf = PhraseFinder(ph_store)
+        rev = {(m.doc_id, m.node_id): m.count
+               for m in pf.run(["engine", "search"])}
+        doc = ph_store.document("a.xml")
+        p2 = doc.find_by_tag("p")[1]
+        assert rev == {(0, p2): 1}
+
+    def test_terms_in_different_nodes_dont_match(self, ph_store):
+        # p4 has 'search', p5 has 'engine' — no phrase across nodes.
+        pf = PhraseFinder(ph_store)
+        doc = ph_store.document("a.xml")
+        p4, p5 = doc.find_by_tag("p")[3:5]
+        keys = {(m.doc_id, m.node_id) for m in pf.run(["search", "engine"])}
+        assert (0, p4) not in keys and (0, p5) not in keys
+
+    def test_single_term_phrase(self, ph_store):
+        pf = PhraseFinder(ph_store)
+        got = sum(m.count for m in pf.run(["search"]))
+        assert got == ph_store.index.frequency("search")
+
+    def test_three_term_phrase(self, ph_store):
+        pf = PhraseFinder(ph_store)
+        got = [(m.doc_id, m.node_id, m.count)
+               for m in pf.run(["search", "engine", "basics"])]
+        doc = ph_store.document("a.xml")
+        p1 = doc.find_by_tag("p")[0]
+        assert got == [(0, p1, 1)]
+
+    def test_missing_term_empty(self, ph_store):
+        assert PhraseFinder(ph_store).run(["search", "zz"]) == []
+
+    def test_empty_phrase(self, ph_store):
+        assert PhraseFinder(ph_store).run([]) == []
+
+    def test_score_weight(self, ph_store):
+        pf = PhraseFinder(ph_store, phrase_weight=0.5)
+        for m in pf.run(["search", "engine"]):
+            assert m.score == pytest.approx(0.5 * m.count)
+
+    def test_results_in_document_order(self, ph_store):
+        ms = PhraseFinder(ph_store).run(["search", "engine"])
+        keys = [(m.doc_id, m.node_id) for m in ms]
+        assert keys == sorted(keys)
+
+
+class TestComp3:
+    def test_equals_phrasefinder(self, ph_store):
+        for phrase in (["search", "engine"], ["engine", "search"],
+                       ["search", "engine", "basics"], ["search", "zz"]):
+            a = [(m.doc_id, m.node_id, m.count)
+                 for m in PhraseFinder(ph_store).run(phrase)]
+            b = [(m.doc_id, m.node_id, m.count)
+                 for m in Comp3(ph_store).run(phrase)]
+            assert a == b
+
+    def test_comp3_fetches_nodes(self, ph_store):
+        ph_store.counters.reset()
+        Comp3(ph_store).run(["search", "engine"])
+        fetched = ph_store.counters.nodes_fetched
+        ph_store.counters.reset()
+        PhraseFinder(ph_store).run(["search", "engine"])
+        assert fetched > 0
+        assert ph_store.counters.nodes_fetched == 0
+
+
+class TestComposites:
+    def test_comp1_equals_termjoin_simple(self, ph_store):
+        from repro.access.termjoin import TermJoin
+
+        scorer = WeightedCountScorer(["search"], ["engine"])
+        terms = ["search", "engine"]
+        tj = {(r.doc_id, r.node_id): r.score
+              for r in TermJoin(ph_store, scorer).run(terms)}
+        c1 = {(r.doc_id, r.node_id): r.score
+              for r in Comp1(ph_store, scorer).run(terms)}
+        assert tj == c1
+
+    def test_comp2_equals_termjoin_simple(self, ph_store):
+        from repro.access.termjoin import TermJoin
+
+        scorer = WeightedCountScorer(["search"], ["engine"])
+        terms = ["search", "engine"]
+        tj = {(r.doc_id, r.node_id): r.score
+              for r in TermJoin(ph_store, scorer).run(terms)}
+        c2 = {(r.doc_id, r.node_id): r.score
+              for r in Comp2(ph_store, scorer).run(terms)}
+        assert tj == c2
+
+    def test_composites_complex_mode(self, ph_store):
+        from repro.access.termjoin import TermJoin
+
+        scorer = ProximityScorer(["search", "engine"])
+        terms = ["search", "engine"]
+        tj = {(r.doc_id, r.node_id): r.score
+              for r in TermJoin(ph_store, scorer, True).run(terms)}
+        for cls in (Comp1, Comp2):
+            got = {(r.doc_id, r.node_id): r.score
+                   for r in cls(ph_store, scorer, True).run(terms)}
+            assert got.keys() == tj.keys()
+            for k in got:
+                assert got[k] == pytest.approx(tj[k]), cls.__name__
+
+    def test_comp2_scans_all_elements(self, ph_store):
+        scorer = WeightedCountScorer(["search"])
+        ph_store.counters.reset()
+        Comp2(ph_store, scorer).run(["search"])
+        assert ph_store.counters.nodes_fetched >= ph_store.n_elements
+
+    def test_comp1_walks_ancestors(self, ph_store):
+        scorer = WeightedCountScorer(["search"])
+        ph_store.counters.reset()
+        Comp1(ph_store, scorer).run(["search"])
+        assert ph_store.counters.navigations > 0

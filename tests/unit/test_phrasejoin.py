@@ -1,0 +1,129 @@
+"""Unit tests for PhraseJoin (stacked ancestor scoring over phrase
+occurrences) and PhraseFinder.occurrences."""
+
+import pytest
+
+from repro.access.phrasefinder import PhraseFinder
+from repro.access.phrasejoin import PhraseJoin
+from repro.core.scoring import WeightedCountScorer, count_phrase
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def store():
+    return XMLStore.from_sources({
+        "a.xml": (
+            "<a>"
+            "<s><p>search engine basics</p>"
+            "<p>another search engine here</p></s>"
+            "<s><p>information retrieval</p></s>"
+            "<s><p>nothing relevant</p></s>"
+            "</a>"
+        ),
+        "b.xml": "<x><p>search engine</p><p>information retrieval</p></x>",
+    })
+
+
+def subtree_phrase_oracle(store, phrases, weights):
+    """Score = Σ w_i × (phrase_i occurrences in each node's direct text,
+    summed over the subtree)."""
+    out = {}
+    for doc in store.documents():
+        per_node = []
+        for nid in range(len(doc)):
+            words = doc.direct_words(nid)
+            per_node.append([
+                count_phrase(words, p.split()) for p in phrases
+            ])
+        for nid in range(len(doc)):
+            totals = [0] * len(phrases)
+            for member in doc.subtree(nid):
+                for i in range(len(phrases)):
+                    totals[i] += per_node[member][i]
+            if any(totals):
+                out[(doc.doc_id, nid)] = sum(
+                    w * c for w, c in zip(weights, totals)
+                )
+    return out
+
+
+class TestPhraseOccurrences:
+    def test_positions_sorted_and_in_region(self, store):
+        occs = PhraseFinder(store).occurrences(["search", "engine"])
+        keys = [(o.doc_id, o.pos) for o in occs]
+        assert keys == sorted(keys)
+        for o in occs:
+            doc = store.document(o.doc_id)
+            node = doc.node(o.node_id)
+            assert node.start < o.pos <= node.end
+
+    def test_start_offset_is_first_term(self, store):
+        occs = PhraseFinder(store).occurrences(["search", "engine"])
+        for o in occs:
+            doc = store.document(o.doc_id)
+            words = doc.direct_words(o.node_id)
+            assert words[o.offset] == "search"
+            assert words[o.offset + 1] == "engine"
+
+    def test_count_matches_run(self, store):
+        pf = PhraseFinder(store)
+        occs = pf.occurrences(["search", "engine"])
+        total = sum(m.count for m in pf.run(["search", "engine"]))
+        assert len(occs) == total
+
+
+class TestPhraseJoin:
+    def test_matches_subtree_oracle(self, store):
+        phrases = ["search engine", "information retrieval"]
+        weights = [0.8, 0.6]
+        pj = PhraseJoin(store, phrases, weights)
+        got = {(r.doc_id, r.node_id): r.score for r in pj.run()}
+        expected = subtree_phrase_oracle(store, phrases, weights)
+        assert got.keys() == expected.keys()
+        for k in got:
+            assert got[k] == pytest.approx(expected[k])
+
+    def test_single_term_equals_termjoin(self, store):
+        from repro.access.termjoin import TermJoin
+
+        scorer = WeightedCountScorer(["search"], ["retrieval"])
+        tj = {(r.doc_id, r.node_id): r.score
+              for r in TermJoin(store, scorer).run(["search", "retrieval"])}
+        pj = PhraseJoin(store, ["search", "retrieval"], [0.8, 0.6])
+        got = {(r.doc_id, r.node_id): r.score for r in pj.run()}
+        assert got == tj
+
+    def test_from_scorer(self, store):
+        scorer = WeightedCountScorer(
+            ["search engine"], ["information retrieval"]
+        )
+        pj = PhraseJoin.from_scorer(store, scorer)
+        got = {(r.doc_id, r.node_id): r.score for r in pj.run()}
+        expected = subtree_phrase_oracle(
+            store, ["search engine", "information retrieval"], [0.8, 0.6]
+        )
+        assert got.keys() == expected.keys()
+        for k in got:
+            assert got[k] == pytest.approx(expected[k])
+
+    def test_run_with_override_phrases(self, store):
+        pj = PhraseJoin(store, ["search engine"], [1.0])
+        got = pj.run(["information retrieval"])
+        # override with mismatched count falls back to weight 1.0
+        doc = store.document("a.xml")
+        scores = {r.node_id: r.score for r in got if r.doc_id == 0}
+        p_ir = doc.find_by_tag("p")[2]
+        assert scores[p_ir] == pytest.approx(1.0)
+
+    def test_weights_validation(self, store):
+        with pytest.raises(ValueError):
+            PhraseJoin(store, ["a b"], [0.8, 0.6])
+
+    def test_no_occurrences(self, store):
+        pj = PhraseJoin(store, ["missing phrase"], [1.0])
+        assert pj.run() == []
+
+    def test_multi_document(self, store):
+        pj = PhraseJoin(store, ["search engine"], [0.8])
+        docs = {r.doc_id for r in pj.run()}
+        assert docs == {0, 1}

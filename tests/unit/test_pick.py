@@ -1,0 +1,205 @@
+"""Unit tests for the Pick operator: criterion, tree-level semantics, and
+the stack-based access method."""
+
+import pytest
+
+from repro.access.pick import PickAccess
+from repro.core.pick import (
+    PickCriterion,
+    compute_picked,
+    default_same_class_by_level,
+    pick_tree,
+    prune_tree,
+)
+from repro.core.trees import SNode, STree
+
+
+def scored_tree():
+    """root(1.0) -> [a(0.9) -> [a1(0.9), a2(0.1)], b(0.2) -> [b1(0.85)]]"""
+    root = SNode("root", score=1.0)
+    a = root.add_child(SNode("a", score=0.9))
+    a1 = a.add_child(SNode("a1", score=0.9))
+    a2 = a.add_child(SNode("a2", score=0.1))
+    b = root.add_child(SNode("b", score=0.2))
+    b1 = b.add_child(SNode("b1", score=0.85))
+    tree = STree(root)
+    return tree, {"root": root, "a": a, "a1": a1, "a2": a2,
+                  "b": b, "b1": b1}
+
+
+class TestCriterion:
+    def test_relevance(self):
+        crit = PickCriterion(relevance_threshold=0.8)
+        assert crit.is_relevant(SNode("x", score=0.8))
+        assert not crit.is_relevant(SNode("x", score=0.79))
+        assert not crit.is_relevant(SNode("x"))
+
+    def test_leaf_worth_is_relevance(self):
+        crit = PickCriterion()
+        assert crit.worth(SNode("x", score=0.9), [])
+        assert not crit.worth(SNode("x", score=0.1), [])
+
+    def test_internal_worth_uses_children_fraction(self):
+        crit = PickCriterion(qualification=0.5)
+        kids = [SNode("k", score=s) for s in (0.9, 0.9, 0.1)]
+        assert crit.worth(SNode("x", score=0.0), kids)
+        kids2 = [SNode("k", score=s) for s in (0.9, 0.1)]
+        assert not crit.worth(SNode("x", score=9.0), kids2)  # 50% not >50%
+
+    def test_ignore_zero_children(self):
+        crit = PickCriterion(ignore_zero_children=True)
+        kids = [SNode("k", score=0.9), SNode("k", score=0.0), SNode("k")]
+        assert crit.worth(SNode("x"), kids)  # 1/1 after filtering
+
+    def test_custom_det_worth_overrides(self):
+        crit = PickCriterion(det_worth=lambda n: n.tag == "yes")
+        assert crit.worth(SNode("yes"), [])
+        assert not crit.worth(SNode("no", score=9.9), [])
+
+
+class TestComputePicked:
+    def test_parent_blocks_direct_child_only(self):
+        tree, n = scored_tree()
+        candidates = {id(v) for v in n.values()}
+        picked = compute_picked(tree, candidates, PickCriterion())
+        # root: 1/2 children relevant -> not picked
+        # a: 1/2 -> not picked; a1 leaf relevant, parent a not picked -> picked
+        # b: 1/1 (b1 relevant) -> picked; b1 parent picked -> blocked
+        names = {k for k, v in n.items() if id(v) in picked}
+        assert names == {"a1", "b"}
+
+    def test_grandchild_of_picked_can_be_picked(self):
+        root = SNode("root", score=0.0)
+        top = root.add_child(SNode("top", score=0.9))
+        mid = top.add_child(SNode("mid", score=0.9))
+        leaf = mid.add_child(SNode("leaf", score=0.9))
+        tree = STree(root)
+        cands = {id(top), id(mid), id(leaf)}
+        picked = compute_picked(tree, cands, PickCriterion())
+        assert id(top) in picked       # 1/1 relevant children
+        assert id(mid) not in picked   # parent picked
+        assert id(leaf) in picked      # parent (mid) not picked
+
+    def test_non_candidates_ignored(self):
+        tree, n = scored_tree()
+        picked = compute_picked(tree, {id(n["a1"])}, PickCriterion())
+        assert picked == {id(n["a1"])}
+
+    def test_horizontal_elimination(self):
+        root = SNode("root")
+        k1 = root.add_child(SNode("k", score=0.9))
+        k2 = root.add_child(SNode("k", score=0.9))
+        tree = STree(root)
+        crit = PickCriterion(
+            is_same_class=lambda a, b: a.tag == b.tag
+        )
+        picked = compute_picked(tree, {id(k1), id(k2)}, crit)
+        assert picked == {id(k1)}  # document-first survives
+
+    def test_same_class_by_level_parity(self):
+        tree, n = scored_tree()
+        same = default_same_class_by_level(tree)
+        assert same(n["a"], n["b"])          # both level 1
+        assert not same(n["root"], n["a"])   # levels 0 vs 1
+        assert same(n["root"], n["a1"])      # levels 0 vs 2
+
+
+class TestPrune:
+    def test_dropped_candidates_promote_children(self):
+        tree, n = scored_tree()
+        candidates = {id(n["a"]), id(n["a1"])}
+        out = prune_tree(tree, candidates, {id(n["a1"])})
+        # 'a' dropped, a1/a2 promoted under root
+        tags = [c.tag for c in out.root.children]
+        assert tags == ["a1", "a2", "b"]
+
+    def test_nothing_dropped(self):
+        tree, n = scored_tree()
+        out = prune_tree(tree, set(), set())
+        assert out.n_nodes() == tree.n_nodes()
+
+    def test_dropped_root_yields_context_copy(self):
+        tree, n = scored_tree()
+        candidates = {id(n["root"])}
+        out = prune_tree(tree, candidates, set())
+        assert out.root.tag == "root"
+        assert out.root.score is None  # context only
+        assert len(out.root.children) == 2
+
+    def test_everything_dropped_returns_none(self):
+        root = SNode("only", score=0.1)
+        tree = STree(root)
+        assert prune_tree(tree, {id(root)}, set()) is None
+
+    def test_pick_tree_combines(self):
+        tree, n = scored_tree()
+        candidates = {id(v) for v in n.values() if v.tag != "root"}
+        out = pick_tree(tree, candidates, PickCriterion())
+        # picked = {a1, b}: a dropped (children promoted), a2 dropped
+        # (unpicked candidate), b1 dropped (parent picked); root is not a
+        # candidate and survives as context.
+        tags = sorted(x.tag for x in out.nodes())
+        assert tags == ["a1", "b", "root"]
+
+
+class TestPickAccess:
+    def test_matches_core_semantics(self):
+        tree, n = scored_tree()
+        candidates = {id(v) for v in n.values()}
+        core = compute_picked(tree, candidates, PickCriterion())
+        access = PickAccess(PickCriterion())
+        picked = access.picked_nodes(tree)
+        assert {id(x) for x in picked} == core
+
+    def test_picked_in_document_order(self):
+        tree, _n = scored_tree()
+        access = PickAccess(PickCriterion())
+        picked = access.picked_nodes(tree)
+        starts = [p.order_start for p in picked]
+        assert starts == sorted(starts)
+
+    def test_run_returns_pruned_tree(self):
+        tree, n = scored_tree()
+        access = PickAccess(PickCriterion())
+        picked, out = access.run(tree)
+        assert {p.tag for p in picked} == {"a1", "b"}
+        assert out is not None
+        # dropped candidates absent, their children promoted
+        tags = sorted(x.tag for x in out.nodes())
+        assert "a" not in tags and "b1" not in tags
+
+    def test_custom_candidate_predicate(self):
+        tree, n = scored_tree()
+        access = PickAccess(
+            PickCriterion(), is_candidate=lambda x: x.tag == "b"
+        )
+        picked, out = access.run(tree)
+        assert [p.tag for p in picked] == ["b"]
+        assert sorted(x.tag for x in out.nodes()) == \
+            ["a", "a1", "a2", "b", "b1", "root"]
+
+    def test_horizontal_in_access(self):
+        root = SNode("root")
+        k1 = root.add_child(SNode("k", score=0.9))
+        k2 = root.add_child(SNode("k", score=0.9))
+        tree = STree(root)
+        access = PickAccess(PickCriterion(
+            is_same_class=lambda a, b: a.tag == b.tag
+        ))
+        picked = access.picked_nodes(tree)
+        assert len(picked) == 1 and picked[0] is k1
+
+    def test_deep_tree_no_recursion_error(self):
+        # A 5000-deep chain exceeds Python's default recursion limit;
+        # both STree.renumber and the access method must be iterative.
+        root = SNode("n", score=0.9)
+        cur = root
+        for _ in range(5000):
+            cur = cur.add_child(SNode("n", score=0.9))
+        tree = STree(root)
+        access = PickAccess(PickCriterion())
+        picked, pruned = access.run(tree)
+        # every node is a relevant candidate with one relevant child, so
+        # picks alternate down the chain: ceil(5001 / 2) picked
+        assert len(picked) == 2501
+        assert pruned is not None

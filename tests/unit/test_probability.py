@@ -1,0 +1,120 @@
+"""Unit tests for the probabilistic-XML scoring adapter."""
+
+import pytest
+
+from repro.core.operators import scored_selection, threshold
+from repro.core.pattern import (
+    EdgeType,
+    PatternNode,
+    ScoredPatternTree,
+)
+from repro.core.probability import (
+    ProbabilityScore,
+    combine_independent,
+    combine_mutually_exclusive,
+    existence_probability,
+    node_probability,
+    prune_below,
+)
+from repro.core.trees import tree_from_document
+from repro.xmldb.parser import parse_document
+
+PROB_DOC = """
+<person prob="1.0">
+  <address prob="0.8">
+    <city prob="0.5">ann arbor</city>
+  </address>
+  <phone prob="0.9">5551234</phone>
+  <nickname>jag</nickname>
+</person>
+"""
+
+
+@pytest.fixture()
+def tree():
+    return tree_from_document(parse_document(PROB_DOC))
+
+
+class TestPrimitives:
+    def test_node_probability(self, tree):
+        addr = tree.root.find_by_tag("address")[0]
+        assert node_probability(addr) == pytest.approx(0.8)
+
+    def test_missing_prob_is_one(self, tree):
+        nick = tree.root.find_by_tag("nickname")[0]
+        assert node_probability(nick) == 1.0
+
+    def test_invalid_prob_is_one(self):
+        t = tree_from_document(parse_document('<a prob="oops"/>'))
+        assert node_probability(t.root) == 1.0
+
+    def test_clamping(self):
+        t = tree_from_document(parse_document('<a prob="1.7"/>'))
+        assert node_probability(t.root) == 1.0
+
+    def test_existence_is_path_product(self, tree):
+        city = tree.root.find_by_tag("city")[0]
+        assert existence_probability(tree, city) == \
+            pytest.approx(1.0 * 0.8 * 0.5)
+
+    def test_root_existence(self, tree):
+        assert existence_probability(tree, tree.root) == 1.0
+
+
+class TestCombiners:
+    def test_independent_noisy_or(self):
+        assert combine_independent(0.5, 0.5) == pytest.approx(0.75)
+        assert combine_independent() == 0.0
+        assert combine_independent(1.0, 0.3) == 1.0
+
+    def test_mutually_exclusive_sum(self):
+        assert combine_mutually_exclusive(0.3, 0.4) == pytest.approx(0.7)
+        assert combine_mutually_exclusive(0.8, 0.8) == 1.0
+
+
+class TestAsScores:
+    def test_selection_with_probability_scores(self, tree):
+        p1 = PatternNode("$1", tag="person")
+        p1.add_child(PatternNode("$2", tag="city"), EdgeType.AD)
+        pattern = ScoredPatternTree(p1, scoring={
+            "$2": ProbabilityScore(tree),
+        })
+        out = scored_selection([tree], pattern)
+        assert len(out) == 1
+        city = [n for n in out[0].nodes() if "$2" in n.labels][0]
+        assert city.score == pytest.approx(0.4)
+
+    def test_threshold_on_probability(self, tree):
+        p1 = PatternNode("$1", tag="person")
+        p1.add_child(PatternNode("$2"), EdgeType.AD)
+        pattern = ScoredPatternTree(p1, scoring={
+            "$2": ProbabilityScore(tree),
+        })
+        out = scored_selection([tree], pattern)
+        confident = threshold(out, "$2", min_score=0.5)
+        tags = set()
+        for t in confident:
+            tags.update(
+                n.tag for n in t.nodes() if "$2" in n.labels
+            )
+        assert "city" not in tags       # 0.4 < 0.5
+        assert "phone" in tags          # 0.9
+        assert "address" in tags        # 0.8
+
+
+class TestPrune:
+    def test_prune_drops_uncertain_subtrees(self, tree):
+        pruned = prune_below(tree, 0.5)
+        tags = {n.tag for n in pruned.nodes()}
+        assert "city" not in tags   # absolute 0.4
+        assert "address" in tags
+        assert "phone" in tags
+
+    def test_prune_scores_are_absolute(self, tree):
+        pruned = prune_below(tree, 0.0)
+        city = pruned.root.find_by_tag("city")[0]
+        assert city.score == pytest.approx(0.4)
+
+    def test_prune_root_below_threshold(self):
+        t = tree_from_document(parse_document('<a prob="0.1"/>'))
+        assert prune_below(t, 0.5) is None

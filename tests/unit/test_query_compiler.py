@@ -1,0 +1,146 @@
+"""Unit tests for the plan compiler: compilable shapes, rejections, and
+evaluator equivalence."""
+
+import pytest
+
+from repro.errors import QueryCompileError
+from repro.query import parse_query, run_query
+from repro.query.compiler import compile_query, explain_query, run_compiled
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def store():
+    return XMLStore.from_sources({
+        "d.xml": (
+            "<lib>"
+            "<shelf kind='db'><b><t>relational databases</t>"
+            "<body>tables and queries</body></b></shelf>"
+            "<shelf kind='ir'><b><t>retrieval</t>"
+            "<body>ranking queries and scores</body></b></shelf>"
+            "</lib>"
+        ),
+    })
+
+
+COMPILABLE = '''
+For $a in document("d.xml")//shelf/descendant-or-self::*
+Score $a using ScoreFooExact($a, {"queries"}, {"ranking"})
+Return <r><score>{ $a/@score }</score>{ $a }</r>
+Sortby(score)
+Threshold $a/@score > 0.5 stop after 3
+'''
+
+
+class TestCompilation:
+    def test_compiles_and_explains(self, store):
+        text = explain_query(store, parse_query(COMPILABLE))
+        assert "termjoin-scan" in text
+        assert "structural-filter" in text
+        assert "top-k(3)" in text  # Sortby + stop-after fuse to a heap
+
+    def test_matches_evaluator(self, store):
+        ev = run_query(store, COMPILABLE)
+        ev_scores = sorted(t.score for t in ev)
+        comp = run_compiled(store, parse_query(COMPILABLE))
+        comp_scores = sorted(t.score for t in comp)
+        assert ev_scores == pytest.approx(comp_scores)
+        assert len(comp) == len(ev)
+
+    def test_structural_filter_restricts(self, store):
+        query = '''
+        For $a in document("d.xml")//shelf/descendant-or-self::*
+        Score $a using ScoreFooExact($a, {"ranking"})
+        Return $a
+        Sortby(score)
+        Threshold $a/@score > 0 stop after 10
+        '''
+        comp = run_compiled(store, parse_query(query))
+        # 'ranking' appears only under the second shelf
+        doc = store.document("d.xml")
+        for t in comp:
+            assert t.root.source is not None
+            # every result node is within a shelf region
+            nid = t.root.source[1]
+            anc_tags = [doc.tags[a] for a in doc.ancestors(nid)]
+            assert "shelf" in anc_tags or doc.tags[nid] == "shelf"
+
+    def test_materializes_subtrees(self, store):
+        comp = run_compiled(store, parse_query(COMPILABLE))
+        assert any(t.n_nodes() > 1 for t in comp)
+
+
+class TestRejections:
+    def reject(self, store, query, match):
+        with pytest.raises(QueryCompileError, match=match):
+            compile_query(store, parse_query(query))
+
+    def test_pick_not_compilable(self, store):
+        self.reject(store, '''
+            For $a in document("d.xml")//shelf/descendant-or-self::*
+            Score $a using ScoreFooExact($a, {"queries"})
+            Pick $a using PickFoo($a)
+            Return $a
+        ''', "not compilable")
+
+    def test_needs_descendant_or_self_tail(self, store):
+        self.reject(store, '''
+            For $a in document("d.xml")//shelf
+            Score $a using ScoreFooExact($a, {"queries"})
+            Return $a
+        ''', "descendant-or-self")
+
+    def test_needs_document_root(self, store):
+        self.reject(store, '''
+            For $a in $b/descendant-or-self::*
+            Score $a using ScoreFooExact($a, {"queries"})
+            Return $a
+        ''', "document")
+
+    def test_multiword_phrase_uses_phrasejoin(self, store):
+        # multi-word phrases lower onto PhraseJoin instead of TermJoin
+        text = explain_query(store, parse_query('''
+            For $a in document("d.xml")//shelf/descendant-or-self::*
+            Score $a using ScoreFooExact($a, {"relational databases"})
+            Return $a
+            Sortby(score)
+        '''))
+        assert "PhraseJoin" in text
+
+    def test_multiword_phrase_results(self, store):
+        comp = run_compiled(store, parse_query('''
+            For $a in document("d.xml")//shelf/descendant-or-self::*
+            Score $a using ScoreFooExact($a, {"relational databases"})
+            Return $a
+            Sortby(score)
+            Threshold $a/@score > 0 stop after 5
+        '''))
+        assert comp
+        # only the db shelf's subtree contains the phrase
+        tags = sorted(t.root.tag for t in comp)
+        assert tags == ["b", "shelf", "t"]
+
+    def test_score_without_factory_rejected(self, store):
+        self.reject(store, '''
+            For $a in document("d.xml")//shelf/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"queries"})
+            Return $a
+        ''', "factory")
+
+    def test_missing_score_clause(self, store):
+        self.reject(store, '''
+            For $a in document("d.xml")//shelf/descendant-or-self::*
+            Return $a
+        ''', "For \\+ Score")
+
+    def test_complex_threshold_rejected(self, store):
+        self.reject(store, '''
+            For $a in document("d.xml")//shelf/descendant-or-self::*
+            Score $a using ScoreFooExact($a, {"queries"})
+            Return $a
+            Threshold $a/pages > 4
+        ''', "Threshold")
+
+    def test_non_flwor_rejected(self, store):
+        with pytest.raises(QueryCompileError, match="FLWOR"):
+            compile_query(store, parse_query('<x>hi</x>'))

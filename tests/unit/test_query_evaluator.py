@@ -1,0 +1,252 @@
+"""Unit tests for the query evaluator (semantics of each clause and
+expression form)."""
+
+import pytest
+
+from repro.errors import QueryCompileError
+from repro.query import run_query
+from repro.query.evaluator import (
+    QueryEvaluator,
+    as_sequence,
+    is_truthy,
+    to_number,
+    to_text,
+)
+from repro.query.functions import default_registry
+from repro.query.parser import parse_query
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def store():
+    return XMLStore.from_sources({
+        "lib.xml": (
+            '<library>'
+            '<book year="2001"><t>Database Systems</t>'
+            '<au>Codd</au><pages>500</pages></book>'
+            '<book year="1999"><t>Information Retrieval</t>'
+            '<au>Salton</au><pages>300</pages></book>'
+            '<book year="2003"><t>XML Databases</t>'
+            '<au>Codd</au><pages>250</pages></book>'
+            '</library>'
+        ),
+    })
+
+
+class TestCoercions:
+    def test_as_sequence(self):
+        assert as_sequence([1, 2]) == [1, 2]
+        assert as_sequence("x") == ["x"]
+        assert as_sequence(None) == []
+
+    def test_to_number(self):
+        assert to_number(2.0) == 2.0
+        assert to_number("3.5") == 3.5
+        assert to_number("abc") is None
+        assert to_number([]) is None
+        assert to_number(["4"]) == 4.0
+
+    def test_to_text(self):
+        assert to_text(2.5) == "2.5"
+        assert to_text(["a", "b"]) == "a b"
+
+    def test_is_truthy(self):
+        assert is_truthy([1]) and not is_truthy([])
+        assert is_truthy(1.0) and not is_truthy(0.0)
+        assert is_truthy("x") and not is_truthy("")
+
+
+class TestForLetWhere:
+    def test_for_iterates(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book Return $b
+        ''')
+        assert len(out) == 3
+
+    def test_nested_for_product(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            For $c in document("lib.xml")//book
+            Return <pair>{ $b/t }{ $c/t }</pair>
+        ''')
+        assert len(out) == 9
+
+    def test_let_binds_sequence(self, store):
+        out = run_query(store, '''
+            Let $all := document("lib.xml")//book
+            Return <n>count($all)</n>
+        ''')
+        assert len(out) == 1
+        assert out[0].root.words == ["3"]
+
+    def test_where_filters(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Where $b/pages > 280
+            Return $b
+        ''')
+        assert len(out) == 2
+
+    def test_where_string_comparison_case_insensitive(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Where $b/au/text() = "codd"
+            Return $b
+        ''')
+        assert len(out) == 2
+
+    def test_attribute_comparison(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Where $b/@year >= 2001
+            Return $b
+        ''')
+        assert len(out) == 2
+
+    def test_predicate_in_path(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book[/au/text()="Codd"]
+            Return $b
+        ''')
+        assert len(out) == 2
+
+    def test_and_or_not(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Where $b/@year > 2000 and not($b/au/text() = "Salton")
+            Return $b
+        ''')
+        assert len(out) == 2
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Where $b/@year = 1999 or $b/@year = 2003
+            Return $b
+        ''')
+        assert len(out) == 2
+
+    def test_unbound_variable_raises(self, store):
+        with pytest.raises(QueryCompileError, match="unbound"):
+            run_query(store, 'For $a in $nope/x Return $a')
+
+
+class TestScoreClause:
+    def test_scores_assigned_and_readable(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Score $b using ScoreFooExact($b, {"databases"}, {"xml"})
+            Return <r><score>{ $b/@score }</score></r>
+            Sortby(score)
+        ''')
+        scores = [t.score for t in out]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] == pytest.approx(1.4)  # "xml databases" book
+
+    def test_score_non_node_target_raises(self, store):
+        with pytest.raises(QueryCompileError):
+            run_query(store, '''
+                For $b in document("lib.xml")//book
+                Let $n := $b/@year
+                Score $n using ScoreFooExact($n, {"x"})
+                Return $b
+            ''')
+
+    def test_unknown_score_function(self, store):
+        with pytest.raises(QueryCompileError, match="unknown scoring"):
+            run_query(store, '''
+                For $b in document("lib.xml")//book
+                Score $b using NoSuchFn($b)
+                Return $b
+            ''')
+
+
+class TestReturnConstruction:
+    def test_element_copy_detached(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book Return <wrap>{ $b/t }</wrap>
+        ''')
+        assert out[0].root.children[0].tag == "t"
+
+    def test_score_child_mirrored_to_node_score(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Return <r><score>2.5</score></r>
+        ''')
+        assert out[0].score == 2.5
+
+    def test_numeric_text_preserved(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Score $b using ScoreFooExact($b, {"database"})
+            Return <r><score>{ $b/@score }</score></r>
+        ''')
+        # first book ("Database Systems") scores 0.8; the decimal must
+        # survive text construction verbatim
+        assert "0.8" in " ".join(out[0].root.children[0].words)
+
+    def test_plain_value_result_wrapped(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book[/au/text()="Salton"]
+            Return $b/pages/text()
+        ''')
+        assert out[0].root.words == ["300"]
+
+
+class TestThresholdAndSort:
+    def test_threshold_tuple_condition(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Score $b using ScoreFooExact($b, {"database"}, {"databases"})
+            Return <r><score>{ $b/@score }</score>{ $b }</r>
+            Threshold $b/@score > 0.5
+        ''')
+        # "Database Systems" scores 0.8, "XML Databases" scores 0.6
+        assert len(out) == 2
+
+    def test_stop_after(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Return $b
+            Threshold $b/@year > 0 stop after 2
+        ''')
+        assert len(out) == 2
+
+    def test_result_context_condition(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Return <r><pages>{ $b/pages/text() }</pages></r>
+            Threshold pages > 280
+        ''')
+        assert len(out) == 2
+
+    def test_sortby_descending(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book
+            Return <r><pages>{ $b/pages/text() }</pages></r>
+            Sortby(pages)
+        ''')
+        pages = [float(t.root.children[0].words[0]) for t in out]
+        assert pages == [500.0, 300.0, 250.0]
+
+
+class TestBuiltins:
+    def test_decimal(self, store):
+        ev = QueryEvaluator(store)
+        out = ev.evaluate(parse_query('''
+            For $b in document("lib.xml")//book[/au/text()="Salton"]
+            Return <n>decimal($b/pages)</n>
+        '''))
+        assert out[0].root.words == ["300"]
+
+    def test_count(self, store):
+        out = run_query(store, '''
+            Let $bs := document("lib.xml")//book
+            Return <n>count($bs)</n>
+        ''')
+        assert out[0].root.words == ["3"]
+
+    def test_string(self, store):
+        out = run_query(store, '''
+            For $b in document("lib.xml")//book[/@year = 1999]
+            Return <n>string($b/au)</n>
+        ''')
+        assert out[0].root.words == ["salton"]

@@ -1,0 +1,110 @@
+"""Unit tests for XMLStore, AccessCounters, statistics, histograms."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError
+from repro.xmldb.stats import ScoreHistogram
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def two_doc_store():
+    return XMLStore.from_sources({
+        "a.xml": "<a><b>alpha beta</b><b>alpha</b></a>",
+        "b.xml": "<x><y>beta gamma</y></x>",
+    })
+
+
+class TestStore:
+    def test_lookup_by_name_and_id(self, two_doc_store):
+        assert two_doc_store.document("a.xml").doc_id == 0
+        assert two_doc_store.document(1).name == "b.xml"
+
+    def test_missing_document(self, two_doc_store):
+        with pytest.raises(DocumentNotFoundError):
+            two_doc_store.document("nope.xml")
+        with pytest.raises(DocumentNotFoundError):
+            two_doc_store.document(7)
+
+    def test_contains(self, two_doc_store):
+        assert "a.xml" in two_doc_store
+        assert "z.xml" not in two_doc_store
+
+    def test_counts(self, two_doc_store):
+        assert two_doc_store.n_documents == 2
+        assert two_doc_store.n_elements == 5
+        assert two_doc_store.n_words == 5
+
+    def test_duplicate_name_rejected(self, two_doc_store):
+        with pytest.raises(ValueError):
+            two_doc_store.load("a.xml", "<z/>")
+
+    def test_index_invalidated_on_load(self, two_doc_store):
+        assert two_doc_store.index.frequency("alpha") == 2
+        two_doc_store.load("c.xml", "<c>alpha</c>")
+        assert two_doc_store.index.frequency("alpha") == 3
+
+    def test_counters_reset_and_snapshot(self, two_doc_store):
+        c = two_doc_store.counters
+        c.postings_read += 5
+        c.navigations += 2
+        snap = c.snapshot()
+        assert snap["postings_read"] == 5
+        c.reset()
+        assert c.snapshot()["postings_read"] == 0
+
+
+class TestStatistics:
+    def test_term_frequency(self, two_doc_store):
+        stats = two_doc_store.stats
+        assert stats.frequency("alpha") == 2
+        assert stats.frequency("beta") == 2
+        assert stats.frequency("missing") == 0
+
+    def test_tag_counts(self, two_doc_store):
+        assert two_doc_store.stats.tag_counts["b"] == 2
+
+    def test_fanout_and_depth(self, two_doc_store):
+        stats = two_doc_store.stats
+        assert stats.max_fanout == 2
+        assert stats.max_depth == 1
+
+    def test_terms_with_frequency(self, two_doc_store):
+        close = two_doc_store.stats.terms_with_frequency(2, tolerance=0.5)
+        assert "alpha" in close and "beta" in close
+
+
+class TestScoreHistogram:
+    def test_threshold_for_top_fraction(self):
+        scores = [float(i) for i in range(100)]
+        hist = ScoreHistogram(scores, n_buckets=10)
+        t = hist.threshold_for_top_fraction(0.2)
+        # At least 20% of scores are >= t, and t is not absurdly low.
+        assert sum(1 for s in scores if s >= t) >= 20
+        assert t >= 60.0
+
+    def test_count_at_least(self):
+        hist = ScoreHistogram([1.0] * 50 + [9.0] * 50, n_buckets=8)
+        assert hist.count_at_least(5.0) == 50
+        assert hist.count_at_least(0.0) == 100
+
+    def test_empty_histogram(self):
+        hist = ScoreHistogram([])
+        assert hist.threshold_for_top_fraction(0.5) == 0.0
+        assert hist.count_at_least(1.0) == 0
+
+    def test_single_value(self):
+        hist = ScoreHistogram([3.0, 3.0])
+        assert hist.count_at_least(3.0) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ScoreHistogram([1.0], n_buckets=0)
+        with pytest.raises(ValueError):
+            ScoreHistogram([1.0]).threshold_for_top_fraction(0.0)
+
+    def test_bucket_bounds_cover_range(self):
+        hist = ScoreHistogram([0.0, 10.0], n_buckets=5)
+        lo0, _ = hist.bucket_bounds(0)
+        _, hi4 = hist.bucket_bounds(4)
+        assert lo0 == 0.0 and hi4 == 10.0

@@ -1,0 +1,133 @@
+"""Unit and property tests for the top-k machinery: the Threshold
+Algorithm and the bounded-heap TopK operator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.topk import (
+    brute_force_topk,
+    threshold_algorithm,
+    topk_termjoin_scores,
+)
+from repro.core.trees import SNode, STree
+from repro.engine.base import Operator, execute
+from repro.engine.operators import Limit, Sort, TopK
+
+
+class _ListSource(Operator):
+    name = "list-source"
+
+    def __init__(self, trees):
+        super().__init__()
+        self.trees = trees
+
+    def _open(self):
+        self._i = 0
+
+    def _next(self):
+        if self._i >= len(self.trees):
+            return None
+        t = self.trees[self._i]
+        self._i += 1
+        return t
+
+
+class TestThresholdAlgorithm:
+    def test_simple_exact(self):
+        lists = [
+            [(5.0, "a"), (3.0, "b"), (1.0, "c")],
+            [(4.0, "b"), (2.0, "a"), (0.5, "d")],
+        ]
+        top, _reads = threshold_algorithm(lists, 2)
+        assert top == [(7.0, "a"), (7.0, "b")] or \
+            top == [(7.0, "b"), (7.0, "a")]
+
+    def test_early_termination_reads_prefix(self):
+        # One dominant item: TA should stop before exhausting the lists.
+        lists = [
+            [(100.0, "hot")] + [(1.0, f"x{i}") for i in range(100)],
+            [(100.0, "hot")] + [(1.0, f"y{i}") for i in range(100)],
+        ]
+        top, reads = threshold_algorithm(lists, 1)
+        assert top[0] == (200.0, "hot")
+        assert reads < 50  # far fewer than 202 entries
+
+    def test_k_zero_and_empty(self):
+        assert threshold_algorithm([[(1.0, "a")]], 0) == ([], 0)
+        assert threshold_algorithm([], 3) == ([], 0)
+        top, _ = threshold_algorithm([[], []], 3)
+        assert top == []
+
+    def test_k_larger_than_universe(self):
+        lists = [[(2.0, "a"), (1.0, "b")]]
+        top, _ = threshold_algorithm(lists, 10)
+        assert [item for _s, item in top] == ["a", "b"]
+
+    def test_missing_contributes_default(self):
+        lists = [
+            [(5.0, "only-left")],
+            [(4.0, "only-right")],
+        ]
+        top, _ = threshold_algorithm(lists, 2)
+        scores = dict((item, s) for s, item in top)
+        assert scores == {"only-left": 5.0, "only-right": 4.0}
+
+    @given(st.lists(
+        st.lists(st.tuples(
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+            st.integers(min_value=0, max_value=30),
+        ), max_size=25),
+        min_size=1, max_size=4,
+    ), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, raw_lists, k):
+        # dedupe items within each list (a source scores an item once)
+        lists = []
+        for raw in raw_lists:
+            seen = {}
+            for score, item in raw:
+                seen.setdefault(item, score)
+            lists.append(list(seen.items()))
+            lists[-1] = [(s, i) for i, s in seen.items()]
+        ta, _reads = topk_termjoin_scores(lists, k)
+        brute = brute_force_topk(lists, k)
+        assert [round(s, 9) for s, _i in ta] == \
+            [round(s, 9) for s, _i in brute]
+
+
+class TestTopKOperator:
+    def _trees(self, scores):
+        return [STree(SNode(f"t{i}", score=s))
+                for i, s in enumerate(scores)]
+
+    def test_equals_sort_limit(self):
+        rng = random.Random(11)
+        scores = [rng.uniform(0, 5) for _ in range(50)]
+        trees = self._trees(scores)
+        a = execute(TopK(_ListSource(list(trees)), 7))
+        b = execute(Limit(Sort(_ListSource(list(trees))), 7))
+        assert [(t.root.tag, t.score) for t in a] == \
+            [(t.root.tag, t.score) for t in b]
+
+    def test_ties_stable(self):
+        trees = self._trees([1.0, 1.0, 1.0, 1.0])
+        out = execute(TopK(_ListSource(trees), 2))
+        assert [t.root.tag for t in out] == ["t0", "t1"]
+
+    def test_fewer_items_than_k(self):
+        trees = self._trees([2.0, 1.0])
+        out = execute(TopK(_ListSource(trees), 10))
+        assert len(out) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopK(_ListSource([]), 0)
+
+    def test_none_scores_rank_last(self):
+        trees = self._trees([1.0]) + [STree(SNode("unscored"))]
+        out = execute(TopK(_ListSource(trees), 2))
+        assert out[0].root.tag == "t0"
+        assert out[1].root.tag == "unscored"

@@ -1,0 +1,124 @@
+"""Unit tests for the holistic twig join (PathStack + merge)."""
+
+import pytest
+
+from repro.joins.twig import TwigNode, naive_twig_join, path_stack, twig_join
+from repro.xmldb.store import XMLStore
+
+
+def norm(matches):
+    return sorted(tuple(sorted(m.items())) for m in matches)
+
+
+@pytest.fixture()
+def store():
+    return XMLStore.from_sources({
+        "d.xml": (
+            "<a>"
+            "<b><c>x</c><d>y</d></b>"
+            "<b><e><c>z</c></e></b>"
+            "<c>outside</c>"
+            "</a>"
+        ),
+    })
+
+
+class TestTwigNode:
+    def test_paths_of_linear(self):
+        r = TwigNode("$1", "a")
+        b = r.add_child(TwigNode("$2", "b"))
+        b.add_child(TwigNode("$3", "c"))
+        assert [[q.label for q in p] for p in r.paths()] == \
+            [["$1", "$2", "$3"]]
+
+    def test_paths_of_branching(self):
+        r = TwigNode("$1", "a")
+        r.add_child(TwigNode("$2", "b"))
+        r.add_child(TwigNode("$3", "c"))
+        assert [[q.label for q in p] for p in r.paths()] == \
+            [["$1", "$2"], ["$1", "$3"]]
+
+    def test_nodes_preorder(self):
+        r = TwigNode("$1", "a")
+        b = r.add_child(TwigNode("$2", "b"))
+        b.add_child(TwigNode("$3", "c"))
+        r.add_child(TwigNode("$4", "d"))
+        assert [q.label for q in r.nodes()] == ["$1", "$2", "$3", "$4"]
+
+
+class TestPathStack:
+    def test_two_level_path(self, store):
+        r = TwigNode("$1", "b")
+        r.add_child(TwigNode("$2", "c"))
+        got = path_stack(store, r.nodes())
+        assert norm(got) == norm(naive_twig_join(store, r))
+        assert len(got) == 2  # b1//c1, b2//c2 (outside c has no b anc)
+
+    def test_three_level_path(self, store):
+        r = TwigNode("$1", "a")
+        b = r.add_child(TwigNode("$2", "b"))
+        b.add_child(TwigNode("$3", "c"))
+        got = path_stack(store, r.nodes())
+        assert norm(got) == norm(naive_twig_join(store, r))
+
+    def test_single_node_path(self, store):
+        r = TwigNode("$1", "c")
+        got = path_stack(store, [r])
+        assert len(got) == 3
+
+    def test_no_matches(self, store):
+        r = TwigNode("$1", "zzz")
+        r.add_child(TwigNode("$2", "c"))
+        assert path_stack(store, r.nodes()) == []
+
+    def test_nested_same_tag(self):
+        store = XMLStore.from_sources({
+            "n.xml": "<a><a><b>x</b></a></a>",
+        })
+        r = TwigNode("$1", "a")
+        r.add_child(TwigNode("$2", "b"))
+        got = path_stack(store, r.nodes())
+        # both a's are ancestors of b
+        assert len(got) == 2
+
+
+class TestTwigJoin:
+    def test_branching_twig(self, store):
+        r = TwigNode("$1", "b")
+        r.add_child(TwigNode("$2", "c"))
+        r.add_child(TwigNode("$3", "d"))
+        got = twig_join(store, r)
+        assert norm(got) == norm(naive_twig_join(store, r))
+        assert len(got) == 1  # only the first b has both c and d
+
+    def test_deep_branching(self, store):
+        r = TwigNode("$1", "a")
+        r.add_child(TwigNode("$2", "d"))
+        e = r.add_child(TwigNode("$3", "e"))
+        e.add_child(TwigNode("$4", "c"))
+        got = twig_join(store, r)
+        assert norm(got) == norm(naive_twig_join(store, r))
+
+    def test_single_node_twig(self, store):
+        r = TwigNode("$1", "b")
+        assert len(twig_join(store, r)) == 2
+
+    def test_empty_branch_kills_match(self, store):
+        r = TwigNode("$1", "b")
+        r.add_child(TwigNode("$2", "c"))
+        r.add_child(TwigNode("$3", "zzz"))
+        assert twig_join(store, r) == []
+
+    def test_cross_document(self):
+        store = XMLStore.from_sources({
+            "one.xml": "<a><b>x</b></a>",
+            "two.xml": "<a><b>y</b><b>z</b></a>",
+        })
+        r = TwigNode("$1", "a")
+        r.add_child(TwigNode("$2", "b"))
+        got = twig_join(store, r)
+        assert len(got) == 3
+        docs = {m["$1"][0] for m in got}
+        assert docs == {0, 1}
+        for m in got:
+            assert m["$1"][0] == m["$2"][0]  # never joins across docs

@@ -1,0 +1,145 @@
+"""Unit tests for the twig-accelerated pattern-matching backend."""
+
+import pytest
+
+from repro.core.matching import find_embeddings
+from repro.core.pattern import (
+    EdgeType,
+    PatternNode,
+    ScoredPatternTree,
+)
+from repro.core.trees import STree, SNode, tree_from_document
+from repro.core.twigmatch import (
+    applicable,
+    find_embeddings_auto,
+    find_embeddings_via_twig,
+)
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture()
+def store():
+    return XMLStore.from_sources({
+        "d.xml": (
+            "<lib><shelf><book><title>alpha</title></book>"
+            "<book><box><title>beta</title></box></book></shelf>"
+            "<title>stray</title></lib>"
+        ),
+    })
+
+
+def tagged_pattern(formula=None, title_pred=None):
+    p1 = PatternNode("$1", tag="shelf")
+    p2 = p1.add_child(PatternNode("$2", tag="book"), EdgeType.AD)
+    p2.add_child(
+        PatternNode("$3", tag="title", predicate=title_pred), EdgeType.AD
+    )
+    return ScoredPatternTree(p1, formula=formula)
+
+
+def norm(matches):
+    return [
+        tuple(sorted((lbl, n.source) for lbl, n in m.items()))
+        for m in matches
+    ]
+
+
+class TestApplicability:
+    def test_tagged_ad_pattern_ok(self):
+        assert applicable(tagged_pattern())
+
+    def test_untagged_node_rejected(self):
+        p1 = PatternNode("$1", tag="a")
+        p1.add_child(PatternNode("$2"), EdgeType.AD)
+        assert not applicable(ScoredPatternTree(p1))
+
+    def test_ads_edge_rejected(self):
+        p1 = PatternNode("$1", tag="a")
+        p1.add_child(PatternNode("$2", tag="b"), EdgeType.ADS)
+        assert not applicable(ScoredPatternTree(p1))
+
+    def test_pc_edge_ok(self):
+        p1 = PatternNode("$1", tag="a")
+        p1.add_child(PatternNode("$2", tag="b"), EdgeType.PC)
+        assert applicable(ScoredPatternTree(p1))
+
+
+class TestEquivalence:
+    def test_ad_pattern(self, store):
+        tree = tree_from_document(store.document(0))
+        pattern = tagged_pattern()
+        twig = find_embeddings_via_twig(store, pattern, tree)
+        back = find_embeddings(pattern, tree)
+        assert norm(twig) == norm(back)
+        assert len(twig) == 2
+
+    def test_pc_edge_filter(self, store):
+        p1 = PatternNode("$1", tag="book")
+        p1.add_child(PatternNode("$2", tag="title"), EdgeType.PC)
+        pattern = ScoredPatternTree(p1)
+        tree = tree_from_document(store.document(0))
+        twig = find_embeddings_via_twig(store, pattern, tree)
+        back = find_embeddings(pattern, tree)
+        assert norm(twig) == norm(back)
+        assert len(twig) == 1  # beta's title is under box, not direct
+
+    def test_predicate_filter(self, store):
+        pattern = tagged_pattern(
+            title_pred=lambda n: "beta" in n.words
+        )
+        tree = tree_from_document(store.document(0))
+        twig = find_embeddings_via_twig(store, pattern, tree)
+        assert len(twig) == 1
+        assert norm(twig) == norm(find_embeddings(pattern, tree))
+
+    def test_formula_filter(self, store):
+        pattern = tagged_pattern(
+            formula=lambda m: "alpha" in m["$3"].words
+        )
+        tree = tree_from_document(store.document(0))
+        twig = find_embeddings_via_twig(store, pattern, tree)
+        assert len(twig) == 1
+
+    def test_subtree_restriction(self, store):
+        doc = store.document(0)
+        # match only within the first book's subtree
+        book = doc.find_by_tag("book")[0]
+        sub = tree_from_document(doc, book)
+        p1 = PatternNode("$1", tag="book")
+        p1.add_child(PatternNode("$2", tag="title"), EdgeType.AD)
+        pattern = ScoredPatternTree(p1)
+        twig = find_embeddings_via_twig(store, pattern, sub)
+        assert len(twig) == 1
+        assert twig[0]["$2"].source == (0, book + 1)
+
+    def test_inapplicable_raises(self, store):
+        p1 = PatternNode("$1", tag="lib")
+        p1.add_child(PatternNode("$2"), EdgeType.ADS)
+        tree = tree_from_document(store.document(0))
+        with pytest.raises(ValueError):
+            find_embeddings_via_twig(store, ScoredPatternTree(p1), tree)
+
+    def test_constructed_tree_raises(self, store):
+        tree = STree(SNode("shelf"))
+        with pytest.raises(ValueError):
+            find_embeddings_via_twig(store, tagged_pattern(), tree)
+
+
+class TestAuto:
+    def test_auto_uses_twig_when_possible(self, store):
+        tree = tree_from_document(store.document(0))
+        auto = find_embeddings_auto(store, tagged_pattern(), tree)
+        assert norm(auto) == norm(find_embeddings(tagged_pattern(), tree))
+
+    def test_auto_falls_back(self, store):
+        p1 = PatternNode("$1", tag="lib")
+        p1.add_child(PatternNode("$2"), EdgeType.ADS)
+        pattern = ScoredPatternTree(p1)
+        tree = tree_from_document(store.document(0))
+        auto = find_embeddings_auto(store, pattern, tree)
+        assert norm(auto) == norm(find_embeddings(pattern, tree))
+
+    def test_auto_without_store(self, store):
+        tree = tree_from_document(store.document(0))
+        auto = find_embeddings_auto(None, tagged_pattern(), tree)
+        assert norm(auto) == norm(find_embeddings(tagged_pattern(), tree))

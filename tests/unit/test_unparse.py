@@ -1,0 +1,70 @@
+"""Roundtrip tests for the query unparser: parse(unparse(parse(q)))
+must equal parse(q)."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.query.unparse import unparse
+
+QUERIES = [
+    # simple FLWOR
+    'For $a in document("d.xml")//x Return $a',
+    # assign form, predicates, descendant-or-self
+    '''For $a := document("articles.xml")//
+         article[/author/sname/text()="Doe"]/descendant-or-self::*
+       Score $a using ScoreFoo($a, {"search engine"},
+                               {"internet", "information retrieval"})
+       Pick $a using PickFoo($a)
+       Return <result><score>{ $a/@score }</score>{ $a }</result>
+       Sortby(score)
+       Threshold $a/@score > 4 stop after 5''',
+    # let + nested flwor + join + containment predicate
+    '''Let $c := (<root>
+         For $a in document("a.xml")//article
+         For $b in document("r.xml")//review
+         Return <tix_prod_root>
+                  <simScore>ScoreSim($a, $b)</simScore>
+                  { $a } { $b }
+                </tix_prod_root>
+         Threshold simScore > 1
+       </root>)
+       For $d := $c//tix_prod_root[//$e]
+       Return $d''',
+    # where with boolean combinations
+    '''For $b in document("lib.xml")//book
+       Where $b/@year > 2000 and not($b/au/text() = "Salton")
+       Return $b''',
+    'For $b in document("l.xml")//b Where $b/@y = 1 or $b/@y = 2 Return $b',
+    # attribute and text steps, wildcard
+    'For $x in document("d.xml")//a/* Return <r>{ $x/text() }</r>',
+    # numeric and string literals in comparisons
+    'For $x in document("d.xml")//a Where $x/v >= 2.5 Return $x',
+    # element constructor with attributes and plain text
+    'For $x in document("d.xml")//a Return <r kind="best">hello world</r>',
+]
+
+
+@pytest.mark.parametrize("source", QUERIES)
+def test_roundtrip(source):
+    first = parse_query(source)
+    text = unparse(first)
+    second = parse_query(text)
+    assert second == first, f"unparsed form:\n{text}"
+
+
+def test_unparse_is_readable():
+    q = parse_query(
+        'For $a in document("d.xml")//x '
+        'Score $a using ScoreFoo($a, {"t"}) Return $a Sortby(score)'
+    )
+    text = unparse(q)
+    assert text.splitlines()[0].startswith("For $a in")
+    assert "Score $a using ScoreFoo" in text
+    assert text.splitlines()[-1] == "Sortby(score)"
+
+
+def test_unparse_unknown_type_raises():
+    with pytest.raises(TypeError):
+        from repro.query.unparse import _expr
+
+        _expr(object())  # type: ignore[arg-type]

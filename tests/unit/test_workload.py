@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic workload generator and bench specs."""
+
+import pytest
+
+from repro.workload.benchspec import (
+    TABLE1_FREQUENCIES,
+    TABLE5_PHRASES,
+    table123_spec,
+    table4_spec,
+    table5_spec,
+)
+from repro.workload.corpus import CorpusSpec, generate_corpus
+from repro.workload.trees import random_scored_tree
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self):
+        spec = CorpusSpec(n_articles=3, seed=7)
+        a = generate_corpus(spec)
+        b = generate_corpus(spec)
+        da, db = a.document(0), b.document(0)
+        assert da.tags == db.tags
+        assert da.word_terms == db.word_terms
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(CorpusSpec(n_articles=3, seed=1))
+        b = generate_corpus(CorpusSpec(n_articles=3, seed=2))
+        assert a.document(0).word_terms != b.document(0).word_terms
+
+    def test_article_shape(self):
+        store = generate_corpus(CorpusSpec(n_articles=2, seed=3))
+        doc = store.document(0)
+        assert doc.tags[0] == "article"
+        assert "article-title" in doc.tags
+        assert "chapter" in doc.tags and "p" in doc.tags
+        assert doc.attr(doc.find_by_tag("author")[0], "id") == "first"
+
+    def test_exact_term_planting(self):
+        spec = CorpusSpec(
+            n_articles=4,
+            planted_terms={"needle": 17, "rare": 1},
+            seed=5,
+        )
+        store = generate_corpus(spec)
+        assert store.index.frequency("needle") == 17
+        assert store.index.frequency("rare") == 1
+
+    def test_phrase_planting(self):
+        spec = CorpusSpec(
+            n_articles=4,
+            planted_phrases={("px", "py"): 9},
+            seed=5,
+        )
+        store = generate_corpus(spec)
+        from repro.access.phrasefinder import PhraseFinder
+
+        total = sum(m.count for m in PhraseFinder(store).run(["px", "py"]))
+        assert total == 9
+        assert store.index.frequency("px") == 9
+        assert store.index.frequency("py") == 9
+
+    def test_planting_into_empty_corpus_rejected(self):
+        spec = CorpusSpec(n_articles=0, planted_terms={"x": 1})
+        with pytest.raises(ValueError):
+            generate_corpus(spec)
+
+
+class TestBenchSpecs:
+    def test_table123_rows_cover_frequencies(self):
+        spec, rows = table123_spec(scale=0.02)
+        assert [r.label for r in rows["table1"]] == TABLE1_FREQUENCIES
+        store = generate_corpus(spec)
+        for row in rows["table1"]:
+            for term, planted in zip(row.terms, row.planted):
+                assert store.index.frequency(term) == planted
+
+    def test_table123_scaling(self):
+        _spec, rows = table123_spec(scale=0.1)
+        row = rows["table1"][-1]
+        assert row.planted == (1000, 1000)
+
+    def test_table3_term1_fixed(self):
+        _spec, rows = table123_spec(scale=0.1)
+        t3 = rows["table3"]
+        firsts = {r.terms[0] for r in t3}
+        assert len(firsts) == 1
+
+    def test_table4_incremental_terms(self):
+        spec, rows = table4_spec(scale=0.05)
+        assert [r.label for r in rows] == [2, 3, 4, 5, 6, 7]
+        for prev, cur in zip(rows, rows[1:]):
+            assert cur.terms[: len(prev.terms)] == prev.terms
+        store = generate_corpus(spec)
+        for term in rows[-1].terms:
+            assert store.index.frequency(term) == 75
+
+    def test_table5_shared_terms(self):
+        _spec, rows = table5_spec(scale=0.01)
+        # rows 1 and 2 share term1 (nominal frequency 121076)
+        assert rows[0].terms[0] == rows[1].terms[0]
+        assert len(rows) == len(TABLE5_PHRASES)
+
+    def test_table5_term_totals(self):
+        spec, rows = table5_spec(scale=0.01)
+        store = generate_corpus(spec)
+        for row in rows:
+            for term, planted in zip(row.terms, row.planted_freqs):
+                assert store.index.frequency(term) == planted
+
+    def test_table5_scale_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            table5_spec(scale=0.000001)
+
+
+class TestRandomScoredTree:
+    def test_exact_size(self):
+        for n in (1, 2, 50, 500):
+            assert random_scored_tree(n).n_nodes() == n
+
+    def test_deterministic(self):
+        a = random_scored_tree(100, seed=3)
+        b = random_scored_tree(100, seed=3)
+        assert a.sketch() == b.sketch()
+
+    def test_all_nodes_scored(self):
+        tree = random_scored_tree(200)
+        assert all(n.score is not None for n in tree.nodes())
+
+    def test_relevant_fraction_roughly_holds(self):
+        tree = random_scored_tree(2000, relevant_fraction=0.3)
+        rel = sum(1 for n in tree.nodes() if n.score >= 0.8)
+        assert 0.2 < rel / 2000 < 0.4
+
+    def test_fanout_bounded(self):
+        tree = random_scored_tree(500, max_fanout=3)
+        assert all(len(n.children) <= 3 for n in tree.nodes())
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_scored_tree(0)

@@ -1,0 +1,149 @@
+"""Unit tests for the XML tokenizer and parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmldb.parser import parse_document, parse_fragment
+from repro.xmldb.tokenizer import decode_entities
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse_document("<a/>")
+        assert doc.tags == ["a"]
+        assert doc.parents == [-1]
+
+    def test_nested_elements(self):
+        doc = parse_document("<a><b><c/></b><d/></a>")
+        assert doc.tags == ["a", "b", "c", "d"]
+        assert doc.parents == [-1, 0, 1, 0]
+
+    def test_text_content_words(self):
+        doc = parse_document("<a>Hello Brave World</a>")
+        assert doc.direct_words(0) == ["hello", "brave", "world"]
+
+    def test_mixed_content_order_preserved(self):
+        doc = parse_document("<a>one<b>two</b>three</a>")
+        assert doc.subtree_words(0) == ["one", "two", "three"]
+        assert doc.direct_words(0) == ["one", "three"]
+        assert doc.direct_words(1) == ["two"]
+
+    def test_attributes(self):
+        doc = parse_document('<a x="1" y="two words"/>')
+        assert doc.attr(0, "x") == "1"
+        assert doc.attr(0, "y") == "two words"
+        assert doc.attr(0, "missing") is None
+
+    def test_single_quoted_attributes(self):
+        doc = parse_document("<a x='val'/>")
+        assert doc.attr(0, "x") == "val"
+
+    def test_self_closing_with_following_sibling(self):
+        doc = parse_document("<a><b/><c>t</c></a>")
+        assert doc.tags == ["a", "b", "c"]
+        assert doc.parents == [-1, 0, 0]
+
+
+class TestMarkupForms:
+    def test_xml_declaration_skipped(self):
+        doc = parse_document('<?xml version="1.0"?><a/>')
+        assert doc.tags == ["a"]
+
+    def test_comments_skipped(self):
+        doc = parse_document("<a><!-- hidden words --><b/></a>")
+        assert doc.tags == ["a", "b"]
+        assert doc.subtree_words(0) == []
+
+    def test_cdata_is_text(self):
+        doc = parse_document("<a><![CDATA[raw <stuff> here]]></a>")
+        assert doc.direct_words(0) == ["raw", "stuff", "here"]
+
+    def test_doctype_skipped(self):
+        doc = parse_document("<!DOCTYPE a [<!ELEMENT a ANY>]><a/>")
+        assert doc.tags == ["a"]
+
+    def test_processing_instruction_skipped(self):
+        doc = parse_document("<a><?target data?><b/></a>")
+        assert doc.tags == ["a", "b"]
+
+    def test_entities_decoded(self):
+        doc = parse_document("<a>fish &amp; chips &lt;now&gt;</a>")
+        assert doc.direct_text(0) == "fish & chips <now>"
+
+    def test_numeric_character_references(self):
+        assert decode_entities("&#65;&#x42;") == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_document('<a t="a &amp; b"/>')
+        assert doc.attr(0, "t") == "a & b"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "<a>",                      # unclosed
+        "<a></b>",                  # mismatch
+        "</a>",                     # stray close
+        "<a/><b/>",                 # two roots
+        "text only",               # no root
+        "<a><b></a></b>",           # interleaved
+        "<a x=1/>",                 # unquoted attribute
+        '<a x="1" x="2"/>',         # duplicate attribute
+        "<a>&nosuch;</a>",          # unknown entity
+        "",                         # empty
+        "<a><!-- unterminated",     # unterminated comment
+    ])
+    def test_malformed_raises(self, source):
+        with pytest.raises(XMLParseError):
+            parse_document(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLParseError) as exc:
+            parse_document("<a>\n<b></c></a>")
+        assert exc.value.line == 2
+
+
+class TestRegionNumbering:
+    def test_regions_nest(self):
+        doc = parse_document("<a>x<b>y z</b>w</a>")
+        a, b = doc.node(0), doc.node(1)
+        assert a.start < b.start < b.end < a.end
+
+    def test_words_inside_owner_region(self):
+        doc = parse_document("<a>x<b>y z</b>w</a>")
+        for i in range(doc.n_words):
+            w = doc.word_occurrence(i)
+            node = doc.node(w.node_id)
+            assert node.start < w.pos < node.end
+
+    def test_word_offsets_count_direct_text(self):
+        doc = parse_document("<a>one<b>skip</b>two three</a>")
+        occs = [doc.word_occurrence(i) for i in range(doc.n_words)]
+        mine = [(o.term, o.offset) for o in occs if o.node_id == 0]
+        assert mine == [("one", 0), ("two", 1), ("three", 2)]
+
+    def test_levels(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        assert doc.levels == [0, 1, 2]
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_text(self):
+        src = '<a x="1">Hello<b>nested &amp; escaped</b>tail</a>'
+        doc = parse_document(src)
+        again = parse_document(doc.serialize())
+        assert again.subtree_words(0) == doc.subtree_words(0)
+        assert again.tags == doc.tags
+
+    def test_serialize_subtree(self):
+        doc = parse_document("<a><b>x</b><c>y</c></a>")
+        assert doc.serialize(2) == "<c>y</c>"
+
+    def test_empty_element_self_closes(self):
+        doc = parse_document("<a><b></b></a>")
+        assert "<b/>" in doc.serialize()
+
+
+class TestFragment:
+    def test_fragment_wraps_in_root(self):
+        doc = parse_fragment("<a/><b/>")
+        assert doc.tags == ["root", "a", "b"]
