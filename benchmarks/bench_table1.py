@@ -26,18 +26,19 @@ def _scorer(terms):
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_termjoin_simple(benchmark, corpus123, freq):
+def test_termjoin_simple(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     method = TermJoin(store, _scorer(row.terms))
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=5, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result  # every planted term has ancestors to score
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_generalized_meet_simple(benchmark, corpus123, freq):
+def test_generalized_meet_simple(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     scorer = _scorer(row.terms)
@@ -45,26 +46,29 @@ def test_generalized_meet_simple(benchmark, corpus123, freq):
         generalized_meet, args=(store, list(row.terms), scorer),
         rounds=5, iterations=1,
     )
+    profiled(generalized_meet, store, list(row.terms), scorer)
     assert result
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_comp1_simple(benchmark, corpus123, freq):
+def test_comp1_simple(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     method = Comp1(store, _scorer(row.terms))
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=3, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_comp2_simple(benchmark, corpus123, freq):
+def test_comp2_simple(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     method = Comp2(store, _scorer(row.terms))
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=3, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result

@@ -17,7 +17,7 @@ def _row(rows, freq):
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_termjoin_complex(benchmark, corpus123, freq):
+def test_termjoin_complex(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     method = TermJoin(store, ProximityScorer(row.terms),
@@ -25,11 +25,12 @@ def test_termjoin_complex(benchmark, corpus123, freq):
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=5, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_enhanced_termjoin_complex(benchmark, corpus123, freq):
+def test_enhanced_termjoin_complex(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     method = EnhancedTermJoin(store, ProximityScorer(row.terms),
@@ -37,11 +38,12 @@ def test_enhanced_termjoin_complex(benchmark, corpus123, freq):
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=5, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_generalized_meet_complex(benchmark, corpus123, freq):
+def test_generalized_meet_complex(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     scorer = ProximityScorer(row.terms)
@@ -51,26 +53,30 @@ def test_generalized_meet_complex(benchmark, corpus123, freq):
         kwargs={"complex_scoring": True},
         rounds=5, iterations=1,
     )
+    profiled(generalized_meet, store, list(row.terms), scorer,
+             complex_scoring=True)
     assert result
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_comp1_complex(benchmark, corpus123, freq):
+def test_comp1_complex(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     method = Comp1(store, ProximityScorer(row.terms), complex_scoring=True)
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=3, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result
 
 
 @pytest.mark.parametrize("freq", FREQ_IDS)
-def test_comp2_complex(benchmark, corpus123, freq):
+def test_comp2_complex(benchmark, corpus123, profiled, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     method = Comp2(store, ProximityScorer(row.terms), complex_scoring=True)
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=3, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result

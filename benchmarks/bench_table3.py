@@ -32,11 +32,12 @@ def _methods(store, terms):
 @pytest.mark.parametrize(
     "technique", ["comp1", "comp2", "meet", "termjoin", "enhanced"]
 )
-def test_table3(benchmark, corpus123, technique, freq):
+def test_table3(benchmark, corpus123, profiled, technique, freq):
     store, rows = corpus123
     row = _row(rows, freq)
     fn, rounds = _methods(store, row.terms)[technique]
     result = benchmark.pedantic(
         fn, args=(list(row.terms),), rounds=rounds, iterations=1
     )
+    profiled(fn, list(row.terms))
     assert result

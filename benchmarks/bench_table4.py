@@ -32,11 +32,12 @@ def _methods(store, terms):
 @pytest.mark.parametrize(
     "technique", ["comp1", "comp2", "meet", "termjoin", "enhanced"]
 )
-def test_table4(benchmark, corpus4, technique, n_terms):
+def test_table4(benchmark, corpus4, profiled, technique, n_terms):
     store, rows = corpus4
     row = _row(rows, n_terms)
     fn, rounds = _methods(store, row.terms)[technique]
     result = benchmark.pedantic(
         fn, args=(list(row.terms),), rounds=rounds, iterations=1
     )
+    profiled(fn, list(row.terms))
     assert result

@@ -15,22 +15,24 @@ def _row(rows, query):
 
 
 @pytest.mark.parametrize("query", QUERY_IDS)
-def test_phrasefinder(benchmark, corpus5, query):
+def test_phrasefinder(benchmark, corpus5, profiled, query):
     store, rows = corpus5
     row = _row(rows, query)
     method = PhraseFinder(store)
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=5, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result, "planted phrases must be found"
 
 
 @pytest.mark.parametrize("query", QUERY_IDS)
-def test_comp3(benchmark, corpus5, query):
+def test_comp3(benchmark, corpus5, profiled, query):
     store, rows = corpus5
     row = _row(rows, query)
     method = Comp3(store)
     result = benchmark.pedantic(
         method.run, args=(list(row.terms),), rounds=5, iterations=1
     )
+    profiled(method.run, list(row.terms))
     assert result

@@ -20,10 +20,35 @@ from repro.workload import (
 )
 
 SCALE = float(os.environ.get("TIX_BENCH_SCALE", "1.0"))
+PROFILE = os.environ.get("TIX_BENCH_PROFILE", "0") not in ("", "0")
 
 
 def pytest_report_header(config):
-    return f"TIX bench scale: {SCALE} (set TIX_BENCH_SCALE to change)"
+    return (
+        f"TIX bench scale: {SCALE} (set TIX_BENCH_SCALE to change); "
+        f"profile: {'on' if PROFILE else 'off'} (TIX_BENCH_PROFILE=1)"
+    )
+
+
+@pytest.fixture
+def profiled(benchmark):
+    """Attach a per-access-method metric breakdown to the benchmark.
+
+    With ``TIX_BENCH_PROFILE=1``, calling ``profiled(fn, *args)`` runs
+    the workload once more under the observability collector — outside
+    the timed rounds, so the reported wall-clock numbers stay clean —
+    and stores the breakdown in ``benchmark.extra_info["metrics"]``,
+    which ``--benchmark-json`` carries into the report.  Without the
+    env var it is a no-op.
+    """
+    def attach(fn, *args, **kwargs):
+        if PROFILE:
+            from repro.bench.harness import profiled_run
+
+            benchmark.extra_info["metrics"] = profiled_run(
+                lambda: fn(*args, **kwargs)
+            )
+    return attach
 
 
 @pytest.fixture(scope="session")

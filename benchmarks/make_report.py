@@ -2,6 +2,12 @@
 paper-vs-measured report.
 
 Usage:  python benchmarks/make_report.py [--scale S] [--runs N] [--out F]
+                                         [--profile] [--json F]
+
+``--profile`` runs every cell once more under the observability
+collector (repro.obs) and attaches per-access-method metric breakdowns;
+``--json`` writes every table — rows, notes, and any breakdowns — as a
+machine-readable report.
 
 At scale 1.0 the planted term frequencies equal the paper's (Table 5's
 are 20× down — its terms occur up to 146k times in INEX, see the spec).
@@ -10,6 +16,7 @@ are 20× down — its terms occur up to 146k times in INEX, see the spec).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List
@@ -106,7 +113,13 @@ def main(argv=None) -> int:
     ap.add_argument("--scale", type=float, default=1.0)
     ap.add_argument("--runs", type=int, default=5)
     ap.add_argument("--out", default="EXPERIMENTS.md")
+    ap.add_argument("--profile", action="store_true",
+                    help="attach per-access-method metric breakdowns")
+    ap.add_argument("--json", metavar="FILE",
+                    help="also write all tables (with any profiles) "
+                         "as a JSON report")
     args = ap.parse_args(argv)
+    profile = args.profile
 
     t_start = time.time()
     print(f"building Table 1-3 corpus (scale {args.scale}) …")
@@ -114,21 +127,34 @@ def main(argv=None) -> int:
     store123 = generate_corpus(spec123)
     store123.index, store123.structure  # build up front
 
-    r1 = run_table1(store123, rows123["table1"], runs=args.runs)
-    r2 = run_table2(store123, rows123["table1"], runs=args.runs)
-    r3 = run_table3(store123, rows123["table3"], runs=args.runs)
+    r1 = run_table1(store123, rows123["table1"], runs=args.runs,
+                    profile=profile)
+    r2 = run_table2(store123, rows123["table1"], runs=args.runs,
+                    profile=profile)
+    r3 = run_table3(store123, rows123["table3"], runs=args.runs,
+                    profile=profile)
 
     print("building Table 4 corpus …")
     spec4, rows4 = table4_spec(scale=args.scale, n_articles=400)
     store4 = generate_corpus(spec4)
-    r4 = run_table4(store4, rows4, runs=args.runs)
+    r4 = run_table4(store4, rows4, runs=args.runs, profile=profile)
 
     print("building Table 5 corpus …")
     spec5, rows5 = table5_spec(scale=0.05 * args.scale, n_articles=400)
     store5 = generate_corpus(spec5)
-    r5 = run_table5(store5, rows5, runs=args.runs)
+    r5 = run_table5(store5, rows5, runs=args.runs, profile=profile)
 
-    rp = run_pick_experiment(runs=args.runs)
+    rp = run_pick_experiment(runs=args.runs, profile=profile)
+
+    if args.json:
+        report = {
+            "scale": args.scale,
+            "runs": args.runs,
+            "tables": [r.to_json() for r in (r1, r2, r3, r4, r5, rp)],
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
 
     print("running scoring-quality experiment …")
     from repro.workload import (

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Sequence, Set, Tuple
 
+from repro import obs as _obs
 from repro.access.results import PhraseMatch
 from repro.index.inverted import P_DOC, P_NODE, P_OFFSET, P_POS
 from repro.xmldb.store import XMLStore
@@ -37,6 +38,11 @@ class PhraseFinder:
     def __init__(self, store: XMLStore, phrase_weight: float = 1.0):
         self.store = store
         self.phrase_weight = phrase_weight
+        #: access-method counters of the most recent
+        #: :meth:`occurrences`/:meth:`run` (``postings_scanned``,
+        #: ``offset_comparisons``, ``candidates_rejected``,
+        #: ``phrase_occurrences``) — surfaced by EXPLAIN ANALYZE.
+        self.last_stats: Dict[str, int] = {}
 
     def run(self, phrase_terms: Sequence[str]) -> List[PhraseMatch]:
         """Elements whose direct text contains the phrase, with occurrence
@@ -53,6 +59,7 @@ class PhraseFinder:
                     doc_id, node_id, count, count * self.phrase_weight
                 )
             )
+        self.last_stats["phrase_matches"] = len(out)
         return out
 
     def occurrences(
@@ -63,10 +70,17 @@ class PhraseFinder:
         needs to score *ancestors* by phrase counts.  Sorted by
         (doc, pos)."""
         if not phrase_terms:
+            self.last_stats = {
+                "postings_scanned": 0, "offset_comparisons": 0,
+                "candidates_rejected": 0, "phrase_occurrences": 0,
+            }
             return []
         index = self.store.index
         counters = self.store.counters
         terms = [t.lower() for t in phrase_terms]
+        scanned = 0
+        comparisons = 0
+        rejected = 0
 
         # Offsets per (doc, node) for each term, gathered in one pass per
         # posting list.  Intersection and offset verification are fused:
@@ -75,6 +89,7 @@ class PhraseFinder:
         first = index.postings(terms[0])
         counters.index_lookups += 1
         counters.postings_read += len(first)
+        scanned += len(first)
         # chains: (doc, node) -> {end_offset: (start_pos, start_offset)}
         chains: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
         for p in first:
@@ -88,6 +103,8 @@ class PhraseFinder:
             postings = index.postings(term)
             counters.index_lookups += 1
             counters.postings_read += len(postings)
+            scanned += len(postings)
+            comparisons += len(postings)  # one offset check per posting
             nxt: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
             for p in postings:
                 key = (p[P_DOC], p[P_NODE])
@@ -95,6 +112,9 @@ class PhraseFinder:
                 if prev is not None and p[P_OFFSET] - 1 in prev:
                     nxt.setdefault(key, {})[p[P_OFFSET]] = \
                         prev[p[P_OFFSET] - 1]
+            # candidate (doc, node) chains that no posting of this term
+            # could extend are rejected here, never re-examined
+            rejected += len(chains) - len(nxt)
             chains = nxt
 
         occs = [
@@ -103,4 +123,15 @@ class PhraseFinder:
             for (start_pos, start_offset) in ends.values()
         ]
         occs.sort()
+        self.last_stats = {
+            "postings_scanned": scanned,
+            "offset_comparisons": comparisons,
+            "candidates_rejected": rejected,
+            "phrase_occurrences": len(occs),
+        }
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("phrasefinder.runs")
+            for key, value in self.last_stats.items():
+                rec.count(f"phrasefinder.{key}", value)
         return occs

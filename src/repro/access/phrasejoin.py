@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.access.phrasefinder import PhraseFinder, PhraseOccurrence
 from repro.access.results import ScoredElement
 from repro.xmldb.store import XMLStore
@@ -44,6 +45,10 @@ class PhraseJoin:
         self.phrases = [tokenize_phrase(p) for p in phrases]
         self.weights = list(weights)
         self._finder = PhraseFinder(store)
+        #: access-method counters of the most recent :meth:`run`
+        #: (PhraseFinder's, summed over phrases, plus the join's own
+        #: ``stack_pushes``/``stack_pops``/``elements_scored``).
+        self.last_stats: Dict[str, int] = {}
 
     @classmethod
     def from_scorer(cls, store: XMLStore, scorer) -> "PhraseJoin":
@@ -73,9 +78,12 @@ class PhraseJoin:
         # One merged, (doc, pos)-sorted occurrence stream, tagged with
         # the phrase index (Timsort merges the per-phrase sorted runs).
         merged: List[Tuple[int, int, int, int]] = []
+        finder_totals: Dict[str, int] = {}
         for pi, terms in enumerate(phrase_lists):
             for occ in self._finder.occurrences(terms):
                 merged.append((occ.doc_id, occ.pos, occ.node_id, pi))
+            for key, value in self._finder.last_stats.items():
+                finder_totals[key] = finder_totals.get(key, 0) + value
         merged.sort()
 
         out: List[ScoredElement] = []
@@ -121,4 +129,18 @@ class PhraseJoin:
 
         while stack:
             pop_and_emit()
+        # pushes == pops == len(out): every pushed entry is popped once
+        # and every pop emits one element, so nothing is counted in the
+        # merge loop.
+        self.last_stats = dict(finder_totals)
+        self.last_stats.update(
+            stack_pushes=len(out), stack_pops=len(out),
+            elements_scored=len(out),
+        )
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("phrasejoin.runs")
+            rec.count("phrasejoin.stack_pushes", len(out))
+            rec.count("phrasejoin.stack_pops", len(out))
+            rec.count("phrasejoin.elements_scored", len(out))
         return out

@@ -21,8 +21,9 @@ are tested equivalent to the declarative two-pass formulation in
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.core.pick import PickCriterion
 from repro.core.trees import SNode, STree
 
@@ -39,6 +40,11 @@ class PickAccess:
         self.is_candidate = is_candidate or (
             lambda n: n.score is not None
         )
+        #: access-method counters of the most recent
+        #: :meth:`picked_nodes`/:meth:`run` (``max_stack_depth``,
+        #: ``candidates_considered``, ``candidates_picked``,
+        #: ``candidates_eliminated``) — surfaced by EXPLAIN ANALYZE.
+        self.last_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Decision pass
@@ -53,22 +59,40 @@ class PickAccess:
         is_candidate = self.is_candidate
         picked: List[SNode] = []
         picked_ids = set()
+        candidates = 0
+        max_depth = 1
         # stack of (node, parent_picked)
         stack: List[Tuple[SNode, bool]] = [(tree.root, False)]
         while stack:
             node, parent_picked = stack.pop()
             node_picked = False
             if not parent_picked and is_candidate(node):
+                candidates += 1
                 if criterion.worth(node, node.children):
                     node_picked = True
                     picked.append(node)
                     picked_ids.add(id(node))
             for child in reversed(node.children):
                 stack.append((child, node_picked))
+            if len(stack) > max_depth:
+                max_depth = len(stack)
 
         picked.sort(key=lambda n: n.order_start)
         if criterion.is_same_class is not None:
             picked = self._horizontal(tree, picked, picked_ids)
+        self.last_stats = {
+            "max_stack_depth": max_depth,
+            "candidates_considered": candidates,
+            "candidates_picked": len(picked),
+            "candidates_eliminated": candidates - len(picked),
+        }
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("pick.runs")
+            rec.count("pick.candidates_considered", candidates)
+            rec.count("pick.candidates_picked", len(picked))
+            rec.count("pick.candidates_eliminated", candidates - len(picked))
+            rec.observe("pick.max_stack_depth", max_depth)
         return picked
 
     def _horizontal(

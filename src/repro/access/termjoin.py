@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.access.results import ScoredElement
 from repro.index.inverted import P_DOC, P_NODE, P_OFFSET, P_POS
 from repro.xmldb.document import Document
@@ -62,6 +63,10 @@ class TermJoin:
         self.store = store
         self.scorer = scorer
         self.complex_scoring = complex_scoring
+        #: access-method counters of the most recent :meth:`run`
+        #: (``postings_scanned``, ``stack_pushes``, ``stack_pops``,
+        #: ``elements_scored``) — surfaced by EXPLAIN ANALYZE.
+        self.last_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Child counting: base TermJoin navigates the data (§6.1: "a data
@@ -172,6 +177,21 @@ class TermJoin:
 
         while stack:
             pop_and_emit()
+        # Every pushed entry is popped exactly once and every pop emits
+        # exactly one element, so pushes == pops == len(out): the stack
+        # counters cost nothing in the merge loop.
+        self.last_stats = {
+            "postings_scanned": len(merged),
+            "stack_pushes": len(out),
+            "stack_pops": len(out),
+            "elements_scored": len(out),
+        }
+        rec = _obs.RECORDER
+        if rec.enabled:
+            prefix = self.name.lower()
+            rec.count(f"{prefix}.runs")
+            for key, value in self.last_stats.items():
+                rec.count(f"{prefix}.{key}", value)
         return out
 
 

@@ -5,6 +5,12 @@ lowest and highest readings were ignored and the remaining three were
 averaged."  :func:`timed_trimmed_mean` reproduces that protocol, with a
 configurable run count so the slow baselines can use fewer repetitions
 (the deviation is printed when that happens).
+
+:func:`profiled_run` executes a measured workload once more under the
+observability collector (:mod:`repro.obs`) and returns the per-access-
+method metric breakdown — the timed runs themselves stay uninstrumented
+so the wall-clock numbers are undisturbed.  :meth:`BenchResult.to_json`
+emits the table plus any attached breakdowns machine-readably.
 """
 
 from __future__ import annotations
@@ -29,15 +35,42 @@ def timed_trimmed_mean(fn: Callable[[], object], runs: int = 5) -> float:
     return sum(times) / len(times)
 
 
+def profiled_run(fn: Callable[[], object]) -> Dict[str, object]:
+    """Run ``fn`` once under a fresh observability collector and return
+    a flat breakdown: every collected metric (counters/gauges as
+    numbers, histograms as stat dicts) plus ``wall_clock_s``.
+
+    Use *alongside* :func:`timed_trimmed_mean`, never around it — the
+    enabled collector adds per-call timing overhead that must not leak
+    into the reported wall-clock numbers.
+    """
+    from repro import obs
+
+    with obs.collecting() as col:
+        t0 = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - t0
+    breakdown: Dict[str, object] = dict(col.metrics.snapshot())
+    breakdown["wall_clock_s"] = wall
+    return breakdown
+
+
 @dataclass
 class BenchResult:
     """One rendered experiment: a header, column names, and rows of
-    (label, value…) with floats formatted like the paper's tables."""
+    (label, value…) with floats formatted like the paper's tables.
+
+    ``profiles`` optionally carries per-row, per-technique metric
+    breakdowns from :func:`profiled_run`, keyed
+    ``profiles[str(row_label)][technique]``.
+    """
 
     title: str
     columns: List[str]
     rows: List[List[object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    profiles: Dict[str, Dict[str, Dict[str, object]]] = \
+        field(default_factory=dict)
 
     def add_row(self, *values: object) -> None:
         self.rows.append(list(values))
@@ -54,8 +87,27 @@ class BenchResult:
         ci = self.columns.index(column)
         return [row[ci] for row in self.rows]
 
+    def add_profile(self, row_label: object, technique: str,
+                    breakdown: Dict[str, object]) -> None:
+        """Attach a :func:`profiled_run` breakdown to one cell."""
+        self.profiles.setdefault(str(row_label), {})[technique] = breakdown
+
     def render(self) -> str:
         return render_table(self.title, self.columns, self.rows, self.notes)
+
+    def to_json(self) -> Dict[str, object]:
+        """The full result — table and per-operator breakdowns — as a
+        JSON-ready dict."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+            "notes": list(self.notes),
+            "profiles": {
+                label: {tech: dict(b) for tech, b in techs.items()}
+                for label, techs in self.profiles.items()
+            },
+        }
 
 
 def _fmt(value: object) -> str:

@@ -15,7 +15,7 @@ from repro.access.composite import Comp1, Comp2, Comp3
 from repro.access.phrasefinder import PhraseFinder
 from repro.access.pick import PickAccess
 from repro.access.termjoin import EnhancedTermJoin, TermJoin
-from repro.bench.harness import BenchResult, timed_trimmed_mean
+from repro.bench.harness import BenchResult, profiled_run, timed_trimmed_mean
 from repro.core.pick import PickCriterion
 from repro.core.scoring import ProximityScorer, WeightedCountScorer
 from repro.joins.meet import generalized_meet
@@ -67,6 +67,7 @@ def _sweep(
     include_enhanced: bool,
     runs: int = 5,
     slow_runs: int = 3,
+    profile: bool = False,
 ) -> BenchResult:
     cols = ["freq" if title != "Table 4" else "n_terms",
             "Comp1", "Comp2", "GenMeet", "TermJoin"]
@@ -89,50 +90,55 @@ def _sweep(
                     lambda f=fn, t=row.terms: f(list(t)), runs=n_runs
                 )
             )
+            if profile:
+                # One extra instrumented run, outside the timing loop.
+                result.add_profile(row.label, name, profiled_run(
+                    lambda f=fn, t=row.terms: f(list(t))
+                ))
         result.add_row(*values)
     return result
 
 
 def run_table1(store: XMLStore, rows: Sequence[TermRow],
-               runs: int = 5) -> BenchResult:
+               runs: int = 5, profile: bool = False) -> BenchResult:
     """Table 1: two terms, equal frequencies, simple scoring."""
     res = _sweep(store, rows, "Table 1", complex_scoring=False,
-                 include_enhanced=False, runs=runs)
+                 include_enhanced=False, runs=runs, profile=profile)
     print(res.render())
     return res
 
 
 def run_table2(store: XMLStore, rows: Sequence[TermRow],
-               runs: int = 5) -> BenchResult:
+               runs: int = 5, profile: bool = False) -> BenchResult:
     """Table 2: two terms, equal frequencies, complex scoring, with
     Enhanced TermJoin."""
     res = _sweep(store, rows, "Table 2", complex_scoring=True,
-                 include_enhanced=True, runs=runs)
+                 include_enhanced=True, runs=runs, profile=profile)
     print(res.render())
     return res
 
 
 def run_table3(store: XMLStore, rows: Sequence[TermRow],
-               runs: int = 5) -> BenchResult:
+               runs: int = 5, profile: bool = False) -> BenchResult:
     """Table 3: term1 fixed at 1,000, term2 varies, complex scoring."""
     res = _sweep(store, rows, "Table 3", complex_scoring=True,
-                 include_enhanced=True, runs=runs)
+                 include_enhanced=True, runs=runs, profile=profile)
     print(res.render())
     return res
 
 
 def run_table4(store: XMLStore, rows: Sequence[TermRow],
-               runs: int = 5) -> BenchResult:
+               runs: int = 5, profile: bool = False) -> BenchResult:
     """Table 4: phrase size 2..7, term frequency ≈1,500, complex
     scoring."""
     res = _sweep(store, rows, "Table 4", complex_scoring=True,
-                 include_enhanced=True, runs=runs)
+                 include_enhanced=True, runs=runs, profile=profile)
     print(res.render())
     return res
 
 
 def run_table5(store: XMLStore, rows: Sequence[PhraseRow],
-               runs: int = 5) -> BenchResult:
+               runs: int = 5, profile: bool = False) -> BenchResult:
     """Table 5: PhraseFinder vs Comp3 on 13 two-term phrases."""
     result = BenchResult(
         "Table 5",
@@ -151,6 +157,11 @@ def run_table5(store: XMLStore, rows: Sequence[PhraseRow],
         result_size = sum(m.count for m in measured)
         t_c3 = timed_trimmed_mean(lambda: c3.run(terms), runs=runs)
         t_pf = timed_trimmed_mean(lambda: pf.run(terms), runs=runs)
+        if profile:
+            result.add_profile(row.query, "Comp3",
+                               profiled_run(lambda: c3.run(terms)))
+            result.add_profile(row.query, "PhraseFinder",
+                               profiled_run(lambda: pf.run(terms)))
         result.add_row(
             row.query, row.planted_freqs[0], row.planted_freqs[1],
             result_size, t_c3, t_pf,
@@ -160,7 +171,8 @@ def run_table5(store: XMLStore, rows: Sequence[PhraseRow],
 
 
 def run_pick_experiment(
-    sizes: Sequence[int] = PICK_INPUT_SIZES, runs: int = 5
+    sizes: Sequence[int] = PICK_INPUT_SIZES, runs: int = 5,
+    profile: bool = False,
 ) -> BenchResult:
     """The in-text Pick experiment: parent/child redundancy elimination
     over inputs of 200..55,000 nodes; the paper reports 0.01–1.03 s and
@@ -175,6 +187,9 @@ def run_pick_experiment(
         access = PickAccess(criterion)
         picked = access.picked_nodes(tree)
         t = timed_trimmed_mean(lambda: access.run(tree), runs=runs)
+        if profile:
+            result.add_profile(n, "Pick",
+                               profiled_run(lambda: access.run(tree)))
         result.add_row(n, len(picked), t)
     print(result.render())
     return result

@@ -10,14 +10,25 @@ Subcommands:
   the query from a file).
 - ``tix explain -q QUERY --doc name=path …`` — show the compiled
   pipelined plan for a compilable query.
+- ``tix profile -q QUERY --doc name=path …`` — execute the query under
+  the observability collector and print an EXPLAIN ANALYZE tree with
+  per-operator time/rows/loops and access-method counters, phase span
+  timings, and the metrics registry (``--json`` for machine-readable
+  output, ``--trace-out FILE`` for a Chrome trace).
+- ``tix query --analyze`` — run a query and append the EXPLAIN ANALYZE
+  tree to the normal output.
 - ``tix bench {table1,table2,table3,table4,table5,pick}`` — regenerate a
   table of the paper's evaluation section (``--scale`` shrinks planted
-  frequencies for quick runs).
+  frequencies for quick runs; ``--profile`` adds per-access-method
+  metric breakdowns).
+
+See ``docs/observability.md`` for the metric catalog and output formats.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
@@ -104,12 +115,54 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.query import run_query
 
     store = _load_store(args.doc or [], args.store)
+    if args.analyze:
+        return _query_analyze(store, _read_query(args), args)
     results = run_query(store, _read_query(args))
     for i, tree in enumerate(results, 1):
         score = f" score={tree.score:g}" if tree.score is not None else ""
         print(f"-- result {i}{score}")
         print(tree.to_xml(with_scores=args.scores))
     print(f"({len(results)} results)")
+    return 0
+
+
+def _query_analyze(store, source: str, args: argparse.Namespace) -> int:
+    """``tix query --analyze``: results first, then the EXPLAIN ANALYZE
+    tree (or phase timings when the query is not compilable)."""
+    from repro.engine.base import explain
+    from repro.obs.profile import profile_query
+
+    report = profile_query(store, source)
+    for i, tree in enumerate(report.results, 1):
+        score = f" score={tree.score:g}" if tree.score is not None else ""
+        print(f"-- result {i}{score}")
+        print(tree.to_xml(with_scores=args.scores))
+    print(f"({report.n_results} results)")
+    print()
+    if report.plan is not None:
+        print("EXPLAIN ANALYZE")
+        print(explain(report.plan, analyze=True))
+    else:
+        print("plan: not compilable (evaluator fallback)")
+        for span in report.collector.tracer.roots:
+            for child in span.children:
+                print(f"  {child.name}: {child.duration_ms:.3f}ms")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_query
+
+    store = _load_store(args.doc or [], args.store)
+    report = profile_query(store, _read_query(args))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.trace_out:
+        report.write_chrome_trace(args.trace_out)
+        if not args.json:
+            print(f"chrome trace written to {args.trace_out}")
     return 0
 
 
@@ -172,11 +225,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         generate_corpus, table123_spec, table4_spec, table5_spec,
     )
 
+    def finish(result) -> int:
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as f:
+                json.dump(result.to_json(), f, indent=2, sort_keys=True)
+            print(f"wrote {args.json_out}")
+        return 0
+
     which = args.table
     runs = args.runs
+    profile = args.profile
     if which == "pick":
-        run_pick_experiment(runs=runs)
-        return 0
+        return finish(run_pick_experiment(runs=runs, profile=profile))
     if which == "quality":
         from repro.workload import (
             build_relevance_workload, score_quality_experiment,
@@ -193,19 +253,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         spec, rows = table123_spec(scale=args.scale)
         store = generate_corpus(spec)
         if which == "table1":
-            run_table1(store, rows["table1"], runs=runs)
+            res = run_table1(store, rows["table1"], runs=runs,
+                             profile=profile)
         elif which == "table2":
-            run_table2(store, rows["table1"], runs=runs)
+            res = run_table2(store, rows["table1"], runs=runs,
+                             profile=profile)
         else:
-            run_table3(store, rows["table3"], runs=runs)
-        return 0
+            res = run_table3(store, rows["table3"], runs=runs,
+                             profile=profile)
+        return finish(res)
     if which == "table4":
         spec, rows4 = table4_spec(scale=args.scale)
-        run_table4(generate_corpus(spec), rows4, runs=runs)
-        return 0
+        return finish(run_table4(generate_corpus(spec), rows4, runs=runs,
+                                 profile=profile))
     spec, rows5 = table5_spec(scale=args.scale * 0.05)
-    run_table5(generate_corpus(spec), rows5, runs=runs)
-    return 0
+    return finish(run_table5(generate_corpus(spec), rows5, runs=runs,
+                             profile=profile))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -227,7 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--store", help="load a saved store directory")
     q.add_argument("--scores", action="store_true",
                    help="serialize node scores as attributes")
+    q.add_argument("--analyze", action="store_true",
+                   help="also print the EXPLAIN ANALYZE tree")
     q.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser(
+        "profile",
+        help="execute a query under the observability collector and "
+             "print EXPLAIN ANALYZE + metrics",
+    )
+    p.add_argument("-q", "--query", help="query text")
+    p.add_argument("-f", "--file", help="file containing the query")
+    p.add_argument("--doc", action="append",
+                   help="load a document: name=path (repeatable)")
+    p.add_argument("--store", help="load a saved store directory")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace (chrome://tracing) to FILE")
+    p.set_defaults(fn=_cmd_profile)
 
     e = sub.add_parser("explain", help="show the compiled plan")
     e.add_argument("-q", "--query", help="query text")
@@ -269,6 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scale planted term frequencies (default 1.0)")
     b.add_argument("--runs", type=int, default=5,
                    help="timing repetitions (paper protocol: 5)")
+    b.add_argument("--profile", action="store_true",
+                   help="add a per-access-method metric breakdown per "
+                        "cell (one extra instrumented run each)")
+    b.add_argument("--json-out", metavar="FILE",
+                   help="write the table (and any profiles) as JSON")
     b.set_defaults(fn=_cmd_bench)
     return parser
 

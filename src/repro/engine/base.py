@@ -12,15 +12,59 @@ trees are streams of scored trees).
 
 Execution helpers: :func:`execute` drains a plan into a list;
 :func:`explain` renders the plan tree with per-operator row counts after a
-run (its output is stable and used in tests).
+run (its output is stable and used in tests); ``explain(plan,
+analyze=True)`` additionally shows per-operator time, loops, and
+access-method counters, and :func:`plan_stats` returns the same data as a
+JSON-ready dict (the EXPLAIN ANALYZE path — see
+``docs/observability.md``).
+
+Observability contract: every operator owns an :class:`OpStats`.  Row
+counts and subclass-reported counters are maintained on every run;
+*timings* are taken only while a collector is installed
+(``obs.RECORDER.enabled``), so the disabled path adds a single attribute
+test per ``next()`` call.  ``open``/``close`` additionally emit tracer
+spans, which nest into a span tree mirroring the plan tree.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from time import perf_counter_ns
+from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro import obs as _obs
 from repro.core.trees import STree
 from repro.errors import PlanError
+
+
+class OpStats:
+    """Per-operator execution statistics for one run.
+
+    ``rows_out``/``loops``/``counters`` are exact on every run; the
+    ``*_ns`` timings are populated only when a collector is installed.
+    ``next_ns`` is *inclusive* (a parent's ``_next`` usually calls its
+    children's ``next`` inside it), like PostgreSQL's EXPLAIN ANALYZE
+    "actual time"; :func:`plan_stats` derives exclusive self-time.
+    """
+
+    __slots__ = ("loops", "open_ns", "next_ns", "close_ns", "counters")
+
+    def __init__(self) -> None:
+        self.loops = 0
+        self.open_ns = 0
+        self.next_ns = 0
+        self.close_ns = 0
+        self.counters: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self.loops = 0
+        self.open_ns = 0
+        self.next_ns = 0
+        self.close_ns = 0
+        self.counters.clear()
+
+    @property
+    def total_ns(self) -> int:
+        return self.open_ns + self.next_ns + self.close_ns
 
 
 class Operator:
@@ -33,24 +77,60 @@ class Operator:
         self.children: List[Operator] = list(children)
         self._opened = False
         self.rows_out = 0
+        self.stats = OpStats()
 
     # -- protocol ---------------------------------------------------------
 
     def open(self) -> None:
-        """Prepare this operator and its children for iteration."""
+        """Prepare this operator and its children for iteration.
+
+        Error safety: if any child's ``open()`` or this operator's
+        ``_open()`` raises, every child opened so far is closed again and
+        this operator is left un-opened — the tree stays in a consistent,
+        re-openable state instead of leaking opened children.
+        """
         if self._opened:
             raise PlanError(f"{self.name}: open() called twice")
         self._opened = True
         self.rows_out = 0
-        for child in self.children:
-            child.open()
-        self._open()
+        self.stats.reset()
+        rec = _obs.RECORDER
+        enabled = rec.enabled
+        if enabled:
+            span = rec.begin_span("open:" + self.name, op=self.describe())
+            t0 = perf_counter_ns()
+        opened: List[Operator] = []
+        try:
+            for child in self.children:
+                child.open()
+                opened.append(child)
+            self._open()
+        except BaseException:
+            self._opened = False
+            for child in reversed(opened):
+                try:
+                    child.close()
+                except Exception:
+                    pass  # the original error wins
+            if enabled:
+                rec.end_span(span)
+            raise
+        if enabled:
+            self.stats.open_ns = perf_counter_ns() - t0
+            rec.end_span(span)
 
     def next(self) -> Optional[STree]:
         """Next output tree, or ``None`` when exhausted."""
         if not self._opened:
             raise PlanError(f"{self.name}: next() before open()")
-        item = self._next()
+        if _obs.RECORDER.enabled:
+            st = self.stats
+            st.loops += 1
+            t0 = perf_counter_ns()
+            item = self._next()
+            st.next_ns += perf_counter_ns() - t0
+        else:
+            item = self._next()
         if item is not None:
             self.rows_out += 1
         return item
@@ -60,9 +140,30 @@ class Operator:
         if not self._opened:
             raise PlanError(f"{self.name}: close() before open()")
         self._opened = False
-        self._close()
-        for child in self.children:
-            child.close()
+        rec = _obs.RECORDER
+        if rec.enabled:
+            st = self.stats
+            span = rec.begin_span("close:" + self.name, op=self.describe())
+            t0 = perf_counter_ns()
+            try:
+                self._close()
+                for child in self.children:
+                    child.close()
+            finally:
+                st.close_ns = perf_counter_ns() - t0
+                if span is not None:
+                    span.attrs.update(
+                        rows=self.rows_out, loops=st.loops,
+                        next_ms=st.next_ns / 1e6,
+                    )
+                rec.end_span(span)
+                rec.count(f"operator.{self.name}.rows", self.rows_out)
+                rec.observe(f"operator.{self.name}.time_ms",
+                            st.total_ns / 1e6)
+        else:
+            self._close()
+            for child in self.children:
+                child.close()
 
     # -- subclass hooks ----------------------------------------------------
 
@@ -100,12 +201,57 @@ def execute(plan: Operator) -> List[STree]:
         plan.close()
 
 
-def explain(plan: Operator, _depth: int = 0) -> str:
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:.3f}ms"
+
+
+def explain(plan: Operator, _depth: int = 0, analyze: bool = False) -> str:
     """Render the plan tree, one operator per line, with row counts from
-    the most recent execution."""
+    the most recent execution.
+
+    With ``analyze=True`` each line additionally shows cumulative
+    operator time (inclusive of children, measured only when a collector
+    was installed during the run), ``next()`` call count, and any
+    access-method counters the operator reported::
+
+        termjoin-scan(...) [time=1.742ms rows=42 loops=43 postings_scanned=1204]
+    """
     pad = "  " * _depth
-    line = f"{pad}{plan.describe()} [rows={plan.rows_out}]"
+    if analyze:
+        st = plan.stats
+        parts_line = [
+            f"time={_fmt_ms(st.total_ns)}",
+            f"rows={plan.rows_out}",
+            f"loops={st.loops}",
+        ]
+        for key in sorted(st.counters):
+            parts_line.append(f"{key}={st.counters[key]}")
+        line = f"{pad}{plan.describe()} [{' '.join(parts_line)}]"
+    else:
+        line = f"{pad}{plan.describe()} [rows={plan.rows_out}]"
     parts = [line]
     for child in plan.children:
-        parts.append(explain(child, _depth + 1))
+        parts.append(explain(child, _depth + 1, analyze))
     return "\n".join(parts)
+
+
+def plan_stats(plan: Operator) -> Dict[str, object]:
+    """EXPLAIN ANALYZE data for the most recent run, as a JSON-ready
+    nested dict (one node per operator).
+
+    ``time_ms`` is inclusive of children; ``self_time_ms`` subtracts the
+    children's inclusive totals (clamped at zero — blocking operators
+    that drain a child inside ``_open`` overlap with it)."""
+    st = plan.stats
+    children = [plan_stats(c) for c in plan.children]
+    child_ns = sum(c.stats.total_ns for c in plan.children)
+    return {
+        "operator": plan.name,
+        "describe": plan.describe(),
+        "rows": plan.rows_out,
+        "loops": st.loops,
+        "time_ms": st.total_ns / 1e6,
+        "self_time_ms": max(0, st.total_ns - child_ns) / 1e6,
+        "counters": dict(st.counters),
+        "children": children,
+    }

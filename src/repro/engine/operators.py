@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs as _obs
 from repro.access.phrasefinder import PhraseFinder
 from repro.access.pick import PickAccess
 from repro.access.termjoin import TermJoin
@@ -116,6 +117,7 @@ class TermJoinScan(Operator):
 
     def _open(self) -> None:
         self._results = self.method.run(self.terms)
+        self.stats.counters.update(getattr(self.method, "last_stats", {}))
         if self.min_score is not None:
             self._results = [
                 r for r in self._results if r.score > self.min_score
@@ -162,6 +164,7 @@ class PhraseFinderScan(Operator):
 
     def _open(self) -> None:
         self._results = self.method.run(self.phrase_terms)
+        self.stats.counters.update(getattr(self.method, "last_stats", {}))
         self._i = 0
 
     def _next(self) -> Optional[STree]:
@@ -346,15 +349,32 @@ class PickOp(Operator):
     def _next(self) -> Optional[STree]:
         from repro.core.operators import pick as algebra_pick
 
+        counters = self.stats.counters
         while True:
             item = self.children[0].next()
             if item is None:
                 return None
+            # Node-level elimination accounting walks the tree, so it is
+            # taken only while a collector is installed.
+            profiling = _obs.RECORDER.enabled
+            if profiling:
+                n_before = sum(1 for _ in item.nodes())
             result = algebra_pick(
                 [item], self.label, self.criterion, self.pattern
             )
             if result:
+                if profiling:
+                    n_after = sum(1 for _ in result[0].nodes())
+                    counters["nodes_eliminated"] = (
+                        counters.get("nodes_eliminated", 0)
+                        + max(0, n_before - n_after)
+                    )
                 return result[0]
+            counters["trees_eliminated"] = \
+                counters.get("trees_eliminated", 0) + 1
+            if profiling:
+                counters["nodes_eliminated"] = \
+                    counters.get("nodes_eliminated", 0) + n_before
 
 
 class Sort(Operator):

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple, TYPE_CHECKING
 
+from repro import obs as _obs
 from repro.index.inverted import InvertedIndex, Posting, PostingList
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -152,7 +153,13 @@ class CompressedInvertedIndex:
     # -- API parity with InvertedIndex -----------------------------------
 
     def postings(self, term: str, strict: bool = False) -> PostingList:
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("index.posting_fetches")
         if term == self._cache_term:
+            if rec.enabled:
+                rec.count("index.cache_hits")
+                rec.count("index.postings_returned", len(self._cache_list))
             return self._cache_list
         blob = self._blobs.get(term)
         if blob is None:
@@ -162,6 +169,10 @@ class CompressedInvertedIndex:
                 raise UnknownTermError(f"term {term!r} not in index")
             return PostingList(term, [])
         decoded = PostingList(term, decode_postings(blob))
+        if rec.enabled:
+            rec.count("index.posting_decodes")
+            rec.count("index.bytes_read", len(blob))
+            rec.count("index.postings_returned", len(decoded))
         self._cache_term = term
         self._cache_list = decoded
         return decoded

@@ -24,6 +24,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro import obs as _obs
 from repro.errors import UnknownTermError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,6 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: A posting: (doc_id, pos, node_id, offset).
 Posting = Tuple[int, int, int, int]
+
+#: Logical on-disk size of one posting record (four 32-bit fields) —
+#: what ``index.bytes_read`` charges per posting for the uncompressed
+#: index; the compressed index reports actual encoded bytes instead.
+POSTING_NOMINAL_BYTES = 16
 
 #: Field indices within a posting tuple (kept as module constants so hot
 #: loops can use literal integer indexing without magic numbers).
@@ -119,11 +125,17 @@ class InvertedIndex:
         """Posting list for ``term``.  Unknown terms yield an empty list
         unless ``strict`` is set."""
         try:
-            return self._lists[term]
+            pl = self._lists[term]
         except KeyError:
             if strict:
                 raise UnknownTermError(f"term {term!r} not in index")
-            return PostingList(term, [])
+            pl = PostingList(term, [])
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("index.posting_fetches")
+            rec.count("index.postings_returned", len(pl))
+            rec.count("index.bytes_read", len(pl) * POSTING_NOMINAL_BYTES)
+        return pl
 
     def __contains__(self, term: str) -> bool:
         return term in self._lists

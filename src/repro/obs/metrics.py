@@ -1,0 +1,230 @@
+"""Metrics primitives: counters, gauges, and streaming histograms.
+
+The registry is the engine's single sink for cost accounting.  Metric
+names are hierarchical dotted paths (``termjoin.postings_scanned``,
+``index.bytes_read``, ``operator.sort.time_ms``) so a snapshot groups
+naturally by subsystem.  Everything here is dependency-free and cheap:
+
+- :class:`Counter` — a monotonically increasing integer/float;
+- :class:`Gauge` — a last-write-wins value;
+- :class:`Histogram` — a *streaming* histogram over geometric buckets.
+  It never stores samples: each observation lands in the bucket
+  ``floor(log_b(value))`` for ``b = 2**(1/4)``, so any quantile is
+  answered from cumulative bucket counts with bounded relative error
+  (≤ ~9%, half the bucket width) while memory stays O(#buckets).
+
+See ``docs/observability.md`` for the metric-name catalog.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Geometric bucket growth factor: 4 buckets per octave.
+_BUCKET_BASE = 2.0 ** 0.25
+_LOG_BASE = math.log(_BUCKET_BASE)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        """Add ``n`` (must be non-negative)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins value (e.g. ``index.n_terms``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Streaming histogram with p50/p95/p99 quantile estimates.
+
+    Observations are bucketed geometrically (growth factor
+    ``2**(1/4)``); count, sum, min and max are tracked exactly, so the
+    mean is exact and quantiles are exact at the distribution's edges
+    (clamped to ``[min, max]``) and within half a bucket elsewhere.
+    Non-positive observations land in a dedicated zero bucket.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_zero", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._zero = 0                      # observations <= 0
+        self._buckets: Dict[int, int] = {}  # bucket index -> count
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        if v <= 0.0:
+            self._zero += 1
+            return
+        idx = math.floor(math.log(v) / _LOG_BASE)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = self._zero
+        if cum >= rank:
+            return min(0.0, self.min or 0.0)
+        for idx in sorted(self._buckets):
+            cum += self._buckets[idx]
+            if cum >= rank:
+                # Midpoint (geometric mean) of the bucket's bounds.
+                lo = _BUCKET_BASE ** idx
+                hi = lo * _BUCKET_BASE
+                est = math.sqrt(lo * hi)
+                assert self.min is not None and self.max is not None
+                return max(self.min, min(self.max, est))
+        return self.max if self.max is not None else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    One flat namespace: registering the same name with two different
+    metric kinds is an error (it would silently split the accounting).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    # -- one-shot conveniences (what instrumented code calls) -----------
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: Union[int, float]) -> None:
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: Union[int, float]) -> None:
+        self.gauge(name).set(value)
+
+    # -- reporting -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The metric object registered under ``name`` (or ``None``)."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """``{name: value}`` for counters/gauges, ``{name: {stats}}`` for
+        histograms, sorted by name."""
+        return {n: self._metrics[n].snapshot() for n in self.names()}
+
+    def render(self, prefix: str = "") -> str:
+        """Plain-text dump, one metric per line, sorted by name."""
+        lines: List[str] = []
+        for name in self.names():
+            if prefix and not name.startswith(prefix):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                s = metric.snapshot()
+                lines.append(
+                    f"{name}: count={s['count']:g} mean={s['mean']:.4g} "
+                    f"p50={s['p50']:.4g} p95={s['p95']:.4g} "
+                    f"p99={s['p99']:.4g} max={s['max']:.4g}"
+                )
+            else:
+                lines.append(f"{name}: {metric.value:g}")
+        return "\n".join(lines)

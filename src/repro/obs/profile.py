@@ -1,0 +1,147 @@
+"""Profiled query execution: the machinery behind ``tix profile`` and
+``tix query --analyze``.
+
+:func:`profile_query` parses, compiles, and executes a query under a
+fresh :class:`~repro.obs.Collector` and returns a
+:class:`ProfileReport` bundling
+
+- the executed plan (for :func:`repro.engine.base.explain` /
+  :func:`~repro.engine.base.plan_stats`),
+- the results,
+- the metrics registry and span tree,
+- the store's logical-I/O counter deltas.
+
+Queries outside the compilable shape fall back to the reference
+evaluator: the report then has no plan tree, but parse/evaluate spans
+and whatever metrics the evaluator's access paths recorded are still
+available (``report.compiled`` tells which path ran).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.errors import QueryCompileError
+
+__all__ = ["ProfileReport", "profile_query"]
+
+
+@dataclass
+class ProfileReport:
+    """Everything observed while executing one query."""
+
+    query: str
+    compiled: bool
+    results: List[object]
+    collector: obs.Collector
+    plan: Optional[object] = None          # engine Operator when compiled
+    store_counters: Dict[str, int] = field(default_factory=dict)
+    compile_error: Optional[str] = None
+
+    @property
+    def n_results(self) -> int:
+        return len(self.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready report (the ``tix profile --json`` payload)."""
+        from repro.engine.base import plan_stats
+
+        return {
+            "query": self.query,
+            "compiled": self.compiled,
+            "compile_error": self.compile_error,
+            "n_results": self.n_results,
+            "plan": plan_stats(self.plan) if self.plan is not None else None,
+            "metrics": self.collector.metrics.snapshot(),
+            "trace": self.collector.tracer.to_dict(),
+            "store_counters": dict(self.store_counters),
+        }
+
+    def render(self) -> str:
+        """Human-readable report: EXPLAIN ANALYZE tree, phase timings,
+        metrics."""
+        from repro.engine.base import explain
+
+        lines: List[str] = []
+        if self.plan is not None:
+            lines.append("EXPLAIN ANALYZE")
+            lines.append(explain(self.plan, analyze=True))
+        else:
+            lines.append(
+                "plan: not compilable (evaluator fallback)"
+                + (f" — {self.compile_error}" if self.compile_error else "")
+            )
+        lines.append("")
+        lines.append("phases:")
+        for span in self.collector.tracer.roots:
+            lines.extend(_render_span(span, 1))
+        if self.store_counters:
+            lines.append("")
+            lines.append("store counters (logical I/O):")
+            for name in sorted(self.store_counters):
+                lines.append(f"  {name}: {self.store_counters[name]}")
+        metrics_text = self.collector.metrics.render()
+        if metrics_text:
+            lines.append("")
+            lines.append("metrics:")
+            lines.extend("  " + ln for ln in metrics_text.splitlines())
+        lines.append("")
+        lines.append(f"({self.n_results} results)")
+        return "\n".join(lines)
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write the span tree in Chrome ``traceEvents`` format."""
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.collector.tracer.to_chrome_trace(), f, indent=2)
+
+
+def _render_span(span, depth: int, max_depth: int = 3) -> List[str]:
+    pad = "  " * depth
+    lines = [f"{pad}{span.name}: {span.duration_ms:.3f}ms"]
+    if depth < max_depth:
+        for child in span.children:
+            lines.extend(_render_span(child, depth + 1, max_depth))
+    return lines
+
+
+def profile_query(store, source: str, registry=None) -> ProfileReport:
+    """Execute ``source`` against ``store`` under a fresh collector.
+
+    Prefers the compiled pipelined plan (per-operator EXPLAIN ANALYZE);
+    non-compilable queries run on the reference evaluator instead.
+    """
+    from repro.engine.base import execute
+    from repro.query import parse_query
+    from repro.query.compiler import compile_query
+    from repro.query.evaluator import evaluate_query
+
+    before = store.counters.snapshot()
+    plan = None
+    compile_error = None
+    with obs.collecting() as col:
+        with col.span("query"):
+            with col.span("parse"):
+                query = parse_query(source)
+            try:
+                plan = compile_query(store, query, registry)
+            except QueryCompileError as exc:
+                compile_error = str(exc)
+                results = evaluate_query(store, query, registry)
+            else:
+                with col.span("execute"):
+                    results = execute(plan)
+        store.counters.publish(col)
+    after = store.counters.snapshot()
+    deltas = {k: after[k] - before[k] for k in after}
+    return ProfileReport(
+        query=source,
+        compiled=plan is not None,
+        results=results,
+        collector=col,
+        plan=plan,
+        store_counters=deltas,
+        compile_error=compile_error,
+    )

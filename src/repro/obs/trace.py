@@ -1,0 +1,159 @@
+"""Query tracer: nested spans with monotonic timings.
+
+A :class:`Span` covers one timed phase (``parse``, ``compile``,
+``open:termjoin-scan`` …).  Spans nest naturally: the tracer keeps a
+stack, so a span begun while another is active becomes its child — the
+engine's recursive ``open()``/``close()`` therefore produces a span tree
+mirroring the plan tree with zero bookkeeping at the call sites.
+
+Per-tuple ``next()`` calls are deliberately *not* traced as spans (a
+million-row scan would produce a million spans); their cost is
+aggregated per operator in :class:`repro.engine.base.OpStats` and
+attached to the operator's ``close`` span as attributes.
+
+Exports: :meth:`Tracer.to_dict` (nested JSON) and
+:meth:`Tracer.to_chrome_trace` (the Chrome/Perfetto ``traceEvents``
+format — load it at ``chrome://tracing`` or https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed phase; children are spans begun while it was active."""
+
+    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children")
+
+    def __init__(self, name: str, start_ns: int, **attrs: object):
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.children: List["Span"] = []
+
+    @property
+    def duration_ns(self) -> int:
+        """Span duration (0 while still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "duration_ms": self.duration_ms,
+        }
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+class Tracer:
+    """Collects a forest of nested spans.
+
+    ``max_spans`` bounds memory: once the budget is exhausted new spans
+    are counted in :attr:`dropped` but not stored (timing of already
+    open spans still completes correctly).
+    """
+
+    def __init__(self, max_spans: int = 100_000):
+        self.max_spans = max_spans
+        self.roots: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._n_spans = 0
+
+    # -- explicit begin/end (hot-path friendly: no generator frames) ----
+
+    def begin(self, name: str, **attrs: object) -> Optional[Span]:
+        """Open a span; returns ``None`` when over the span budget."""
+        if self._n_spans >= self.max_spans:
+            self.dropped += 1
+            return None
+        span = Span(name, time.perf_counter_ns(), **attrs)
+        self._n_spans += 1
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span]) -> None:
+        """Close ``span`` (a no-op for the ``None`` over-budget token).
+
+        Spans must close innermost-first; closing out of order closes
+        the intervening spans too (so an exception that skips ``end``
+        calls cannot corrupt the stack).
+        """
+        if span is None:
+            return
+        now = time.perf_counter_ns()
+        while self._stack:
+            top = self._stack.pop()
+            top.end_ns = now
+            if top is span:
+                return
+        raise ValueError(f"span {span.name!r} is not open")
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Optional[Span]]:
+        """Context-manager form of :meth:`begin`/:meth:`end`."""
+        s = self.begin(name, **attrs)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    # -- export ----------------------------------------------------------
+
+    @property
+    def n_spans(self) -> int:
+        return self._n_spans
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spans": [s.to_dict() for s in self.roots],
+            "n_spans": self._n_spans,
+            "dropped": self.dropped,
+        }
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The Chrome ``traceEvents`` JSON: one complete (``"ph": "X"``)
+        event per span, timestamps in microseconds relative to the first
+        span."""
+        events: List[Dict[str, object]] = []
+        if not self.roots:
+            return {"traceEvents": events}
+        t0 = min(s.start_ns for s in self.roots)
+
+        def emit(span: Span) -> None:
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.start_ns - t0) / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(span.attrs),
+            })
+            for child in span.children:
+                emit(child)
+
+        for root in self.roots:
+            emit(root)
+        return {"traceEvents": events}

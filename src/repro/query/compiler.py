@@ -96,6 +96,14 @@ class StructuralFilter(Operator):
 def compile_query(store: XMLStore, query: Query,
                   registry: Optional[FunctionRegistry] = None) -> Operator:
     """Compile ``query`` to an engine plan (see module docstring)."""
+    from repro import obs
+
+    with obs.RECORDER.span("compile"):
+        return _compile_query(store, query, registry)
+
+
+def _compile_query(store: XMLStore, query: Query,
+                   registry: Optional[FunctionRegistry] = None) -> Operator:
     registry = registry or default_registry()
     flwor = query.body
     if not isinstance(flwor, FLWOR):
@@ -257,4 +265,8 @@ def explain_query(store: XMLStore, query: Query,
 def run_compiled(store: XMLStore, query: Query,
                  registry: Optional[FunctionRegistry] = None) -> List[STree]:
     """Compile and execute, returning ranked scored subtrees."""
-    return execute(compile_query(store, query, registry))
+    from repro import obs
+
+    plan = compile_query(store, query, registry)
+    with obs.RECORDER.span("execute"):
+        return execute(plan)

@@ -552,10 +552,17 @@ class QueryEvaluator:
 def evaluate_query(store: XMLStore, query: Query,
                    registry: Optional[FunctionRegistry] = None) -> List[STree]:
     """Evaluate a parsed query against a store."""
-    return QueryEvaluator(store, registry).evaluate(query)
+    from repro import obs
+
+    with obs.RECORDER.span("evaluate"):
+        return QueryEvaluator(store, registry).evaluate(query)
 
 
 def run_query(store: XMLStore, source: str,
               registry: Optional[FunctionRegistry] = None) -> List[STree]:
     """Parse and evaluate a query string."""
-    return evaluate_query(store, parse_query(source), registry)
+    from repro import obs
+
+    with obs.RECORDER.span("parse"):
+        query = parse_query(source)
+    return evaluate_query(store, query, registry)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
+from repro import obs as _obs
 from repro.errors import DocumentNotFoundError
 from repro.xmldb.document import Document
 from repro.xmldb.parser import parse_document
@@ -54,6 +55,15 @@ class AccessCounters:
             "index_lookups": self.index_lookups,
             "navigations": self.navigations,
         }
+
+    def publish(self, recorder=None) -> None:
+        """Mirror the current values into the observability metrics
+        registry as ``store.*`` gauges (no-op with no collector)."""
+        rec = recorder if recorder is not None else _obs.RECORDER
+        if not rec.enabled:
+            return
+        for name, value in self.snapshot().items():
+            rec.set_gauge(f"store.{name}", value)
 
 
 class XMLStore:
@@ -151,14 +161,18 @@ class XMLStore:
         """The positional inverted term index (built on first use;
         compressed when :meth:`enable_index_compression` was called)."""
         if self._inverted is None:
-            if self._compress_index:
-                from repro.index.compress import CompressedInvertedIndex
+            rec = _obs.RECORDER
+            with rec.span("index.build", compressed=self._compress_index):
+                if self._compress_index:
+                    from repro.index.compress import CompressedInvertedIndex
 
-                self._inverted = CompressedInvertedIndex.build(self)
-            else:
-                from repro.index.inverted import InvertedIndex
+                    self._inverted = CompressedInvertedIndex.build(self)
+                else:
+                    from repro.index.inverted import InvertedIndex
 
-                self._inverted = InvertedIndex.build(self)
+                    self._inverted = InvertedIndex.build(self)
+            if rec.enabled:
+                rec.set_gauge("index.n_terms", self._inverted.n_terms)
         return self._inverted
 
     @property
@@ -168,7 +182,8 @@ class XMLStore:
         if self._structure is None:
             from repro.index.structure import StructureIndex
 
-            self._structure = StructureIndex.build(self)
+            with _obs.RECORDER.span("structure.build"):
+                self._structure = StructureIndex.build(self)
         return self._structure
 
     @property
@@ -177,7 +192,8 @@ class XMLStore:
         if self._stats is None:
             from repro.xmldb.stats import StoreStatistics
 
-            self._stats = StoreStatistics.build(self)
+            with _obs.RECORDER.span("stats.build"):
+                self._stats = StoreStatistics.build(self)
         return self._stats
 
     # ------------------------------------------------------------------

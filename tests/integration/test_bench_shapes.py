@@ -64,7 +64,9 @@ class TestTable2Shape:
     def test_enhanced_beats_base_termjoin(self, store123):
         store, rows = store123
         sweep = [rows["table1"][i] for i in (7, 10)]
-        result = run_table2(store, sweep, runs=3)
+        # full 5-run trim: the 2-3x margin is real but single samples
+        # are noisy enough to flake under load
+        result = run_table2(store, sweep, runs=5)
         for row in result.rows:
             termjoin = row[result.columns.index("TermJoin")]
             enhanced = row[result.columns.index("EnhTermJoin")]

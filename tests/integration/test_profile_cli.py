@@ -1,0 +1,126 @@
+"""End-to-end tests for ``tix profile`` and ``tix query --analyze``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.profile import profile_query
+from repro.query import parse_query
+from repro.query.compiler import compile_query
+from repro.xmldb.store import XMLStore
+
+DOC_XML = (
+    "<a><b>structured queries here</b>"
+    "<c>more queries <d>nested queries</d></c></a>"
+)
+QUERY = (
+    'For $x in document("articles.xml")//a/descendant-or-self::* '
+    'Score $x using ScoreFooExact($x, {"queries"}) '
+    'Return $x Sortby(score)'
+)
+
+
+@pytest.fixture()
+def articles(tmp_path):
+    doc = tmp_path / "articles.xml"
+    doc.write_text(DOC_XML)
+    return doc
+
+
+def _operator_names(plan):
+    yield plan.name
+    for child in plan.children:
+        for name in _operator_names(child):
+            yield name
+
+
+class TestProfileCLI:
+    def test_every_plan_operator_in_output(self, articles, capsys):
+        rc = main(["profile", "--doc", f"articles.xml={articles}",
+                   "-q", QUERY])
+        assert rc == 0
+        out = capsys.readouterr().out
+        store = XMLStore()
+        store.load("articles.xml", articles.read_text())
+        plan = compile_query(store, parse_query(QUERY))
+        for name in set(_operator_names(plan)):
+            assert name in out, f"operator {name} missing from profile"
+        assert "EXPLAIN ANALYZE" in out
+        assert "time=" in out and "rows=" in out and "loops=" in out
+        assert "postings_scanned=" in out     # access-method counter
+        assert "phases:" in out and "parse" in out
+        assert "store counters" in out
+        assert "metrics:" in out
+
+    def test_json_output_machine_readable(self, articles, capsys):
+        rc = main(["profile", "--doc", f"articles.xml={articles}",
+                   "-q", QUERY, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["compiled"] is True
+        assert doc["n_results"] > 0
+        plan = doc["plan"]
+        assert plan["rows"] >= 1
+        assert plan["time_ms"] >= plan["self_time_ms"] >= 0.0
+        # termjoin-scan with its counters is somewhere in the tree
+        def find(node, name):
+            if node["operator"] == name:
+                return node
+            for c in node["children"]:
+                hit = find(c, name)
+                if hit:
+                    return hit
+            return None
+        scan = find(plan, "termjoin-scan")
+        assert scan is not None
+        assert scan["counters"]["postings_scanned"] > 0
+        assert doc["trace"]["n_spans"] > 0
+        assert any(k.startswith("index.") for k in doc["metrics"])
+
+    def test_trace_out_writes_chrome_trace(self, articles, tmp_path,
+                                           capsys):
+        trace = tmp_path / "trace.json"
+        rc = main(["profile", "--doc", f"articles.xml={articles}",
+                   "-q", QUERY, "--trace-out", str(trace)])
+        assert rc == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert events
+        names = {e["name"] for e in events}
+        assert "query" in names
+        assert any(n.startswith("open:") for n in names)
+
+    def test_evaluator_fallback(self, articles, capsys):
+        # No Score clause: the query is outside the compilable shape.
+        rc = main(["profile", "--doc", f"articles.xml={articles}",
+                   "-q",
+                   'For $x in document("articles.xml")//b Return $x'])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evaluator fallback" in out
+        assert "parse" in out
+
+    def test_query_analyze_flag(self, articles, capsys):
+        rc = main(["query", "--doc", f"articles.xml={articles}",
+                   "-q", QUERY, "--analyze"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "results" in out              # normal query output first
+        assert "time=" in out and "loops=" in out
+
+
+class TestProfileQueryAPI:
+    def test_recorder_restored_and_report_complete(self, articles):
+        from repro import obs
+
+        store = XMLStore()
+        store.load("articles.xml", articles.read_text())
+        before = obs.RECORDER
+        report = profile_query(store, QUERY)
+        assert obs.RECORDER is before        # collector uninstalled
+        assert report.compiled
+        assert report.n_results > 0
+        assert report.store_counters         # deltas, not absolutes
+        d = report.to_dict()
+        json.dumps(d)                        # fully serializable
+        assert d["plan"]["counters"] == {} or d["plan"]["counters"]

@@ -1,0 +1,214 @@
+"""Unit tests for the observability layer: metrics primitives, the
+tracer, and the recorder install/uninstall machinery."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.snapshot() == 0
+        c.inc()
+        c.inc(41)
+        assert c.snapshot() == 42
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(5)
+        g.set(3)
+        assert g.snapshot() == 3
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram("t")
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_exact_stats(self):
+        h = Histogram("t")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        s = h.snapshot()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+
+    def test_quantiles_within_bucket_error(self):
+        # Uniform 1..1000: bucket width is 2**(1/4), so any quantile
+        # estimate must land within ~9% of the exact value.
+        h = Histogram("t")
+        for v in range(1, 1001):
+            h.observe(v)
+        for q, exact in [(0.50, 500), (0.95, 950), (0.99, 990)]:
+            est = h.quantile(q)
+            assert abs(est - exact) / exact < 0.10, (q, est)
+
+    def test_quantiles_clamped_to_min_max(self):
+        h = Histogram("t")
+        h.observe(7.0)
+        assert h.p50 == 7.0
+        assert h.p99 == 7.0
+
+    def test_zero_bucket(self):
+        h = Histogram("t")
+        h.observe(0.0)
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.count == 3
+        assert h.quantile(0.5) == 0.0       # majority is zero
+        assert h.quantile(1.0) == 10.0
+
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("t").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert len(r) == 1
+
+    def test_kind_clash_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.histogram("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_conveniences_and_snapshot(self):
+        r = MetricsRegistry()
+        r.count("termjoin.postings_scanned", 12)
+        r.set_gauge("index.n_terms", 7)
+        r.observe("operator.sort.time_ms", 1.5)
+        snap = r.snapshot()
+        assert snap["termjoin.postings_scanned"] == 12
+        assert snap["index.n_terms"] == 7
+        assert snap["operator.sort.time_ms"]["count"] == 1
+        assert "index.n_terms" in r
+        assert r.get("missing") is None
+
+    def test_render_sorted_with_prefix(self):
+        r = MetricsRegistry()
+        r.count("b.two", 2)
+        r.count("a.one", 1)
+        r.observe("a.hist", 3.0)
+        text = r.render()
+        assert text.index("a.hist") < text.index("a.one") < text.index("b.two")
+        assert "p95=" in text
+        assert "b.two" not in r.render(prefix="a.")
+
+
+class TestTracer:
+    def test_nesting(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        assert len(t.roots) == 1
+        root = t.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.duration_ns >= root.children[0].duration_ns
+
+    def test_out_of_order_end_closes_intervening(self):
+        t = Tracer()
+        outer = t.begin("outer")
+        inner = t.begin("inner")
+        t.end(outer)                      # closes inner too
+        assert inner.end_ns is not None
+        assert not t._stack
+
+    def test_end_unknown_span_raises(self):
+        t = Tracer()
+        s = t.begin("a")
+        t.end(s)
+        with pytest.raises(ValueError):
+            t.end(s)
+
+    def test_span_budget_drops(self):
+        t = Tracer(max_spans=2)
+        with t.span("a"):
+            with t.span("b"):
+                with t.span("c"):
+                    pass
+        assert t.n_spans == 2
+        assert t.dropped == 1
+        assert t.to_dict()["dropped"] == 1
+
+    def test_chrome_trace_export(self):
+        t = Tracer()
+        with t.span("outer", op="x"):
+            with t.span("inner"):
+                pass
+        doc = t.to_chrome_trace()
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["ts"] >= 0 and e["dur"] >= 0
+        assert events[0]["args"] == {"op": "x"}
+        json.dumps(doc)                   # must be JSON-serializable
+
+    def test_chrome_trace_empty(self):
+        assert Tracer().to_chrome_trace() == {"traceEvents": []}
+
+
+class TestRecorderInstall:
+    def test_default_is_null_and_disabled(self):
+        assert isinstance(obs.RECORDER, obs.NullRecorder)
+        assert not obs.RECORDER.enabled
+
+    def test_null_recorder_is_noop(self):
+        rec = obs.NullRecorder()
+        rec.count("x", 3)
+        rec.observe("x", 1.0)
+        rec.set_gauge("x", 2)
+        rec.end_span(rec.begin_span("x"))
+        with rec.span("x", attr=1) as s:
+            assert s is None
+
+    def test_collecting_installs_and_restores(self):
+        before = obs.RECORDER
+        with obs.collecting() as col:
+            assert obs.RECORDER is col
+            assert col.enabled
+            obs.RECORDER.count("hits", 2)
+        assert obs.RECORDER is before
+        assert col.metrics.snapshot()["hits"] == 2
+
+    def test_installs_nest(self):
+        with obs.collecting() as outer:
+            with obs.collecting() as inner:
+                assert obs.RECORDER is inner
+                obs.RECORDER.count("x")
+            assert obs.RECORDER is outer
+        assert "x" in inner.metrics
+        assert "x" not in outer.metrics
+
+    def test_unbalanced_uninstall_raises(self):
+        with pytest.raises(RuntimeError):
+            obs.uninstall()
+
+    def test_collector_spans_feed_tracer(self):
+        with obs.collecting() as col:
+            with obs.RECORDER.span("phase"):
+                obs.RECORDER.count("n")
+        assert [s.name for s in col.tracer.roots] == ["phase"]
