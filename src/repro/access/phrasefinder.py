@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, NamedTuple, Sequence, Set, Tuple
 
 from repro import obs as _obs
+from repro.resilience import guard as _resguard
 from repro.access.results import PhraseMatch
 from repro.index.inverted import P_DOC, P_NODE, P_OFFSET, P_POS
 from repro.xmldb.store import XMLStore
@@ -35,9 +36,13 @@ class PhraseFinder:
 
     name = "PhraseFinder"
 
-    def __init__(self, store: XMLStore, phrase_weight: float = 1.0):
+    def __init__(self, store: XMLStore, phrase_weight: float = 1.0,
+                 strict: bool = False):
         self.store = store
         self.phrase_weight = phrase_weight
+        #: raise :class:`~repro.errors.UnknownTermError` on phrase terms
+        #: absent from the index (mirrors TermJoin's ``strict`` flag)
+        self.strict = strict
         #: access-method counters of the most recent
         #: :meth:`occurrences`/:meth:`run` (``postings_scanned``,
         #: ``offset_comparisons``, ``candidates_rejected``,
@@ -82,17 +87,27 @@ class PhraseFinder:
         comparisons = 0
         rejected = 0
 
+        # Guard hook: hoisted boolean per posting when inactive, a
+        # deadline/cancellation check every 256 postings when active.
+        guard = _resguard.GUARD
+        guard_active = guard.active
+        gi = 0
+
         # Offsets per (doc, node) for each term, gathered in one pass per
         # posting list.  Intersection and offset verification are fused:
         # a node survives only while every prefix term has a matching
         # offset chain.  Each chain remembers where it started.
-        first = index.postings(terms[0])
+        first = index.postings(terms[0], strict=self.strict)
         counters.index_lookups += 1
         counters.postings_read += len(first)
         scanned += len(first)
         # chains: (doc, node) -> {end_offset: (start_pos, start_offset)}
         chains: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
         for p in first:
+            if guard_active:
+                gi += 1
+                if not (gi & 255):
+                    guard.tick(256)
             chains.setdefault((p[P_DOC], p[P_NODE]), {})[p[P_OFFSET]] = (
                 p[P_POS], p[P_OFFSET]
             )
@@ -100,13 +115,19 @@ class PhraseFinder:
         for term in terms[1:]:
             if not chains:
                 break
-            postings = index.postings(term)
+            if guard_active:
+                guard.tick()
+            postings = index.postings(term, strict=self.strict)
             counters.index_lookups += 1
             counters.postings_read += len(postings)
             scanned += len(postings)
             comparisons += len(postings)  # one offset check per posting
             nxt: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
             for p in postings:
+                if guard_active:
+                    gi += 1
+                    if not (gi & 255):
+                        guard.tick(256)
                 key = (p[P_DOC], p[P_NODE])
                 prev = chains.get(key)
                 if prev is not None and p[P_OFFSET] - 1 in prev:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro import obs as _obs
+from repro.resilience import guard as _resguard
 from repro.access.phrasefinder import PhraseFinder, PhraseOccurrence
 from repro.access.results import ScoredElement
 from repro.xmldb.store import XMLStore
@@ -107,7 +108,17 @@ class PhraseJoin:
             )
             out.append(ScoredElement(cur_doc_id, node_id, score))
 
+        # Guard hook: hoisted boolean per occurrence when inactive, a
+        # deadline/cancellation check every 256 occurrences when active.
+        guard = _resguard.GUARD
+        guard_active = guard.active
+        gi = 0
+
         for doc_id, pos, node_id, pi in merged:
+            if guard_active:
+                gi += 1
+                if not (gi & 255):
+                    guard.tick(256)
             if doc_id != cur_doc_id:
                 while stack:
                     pop_and_emit()

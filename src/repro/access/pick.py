@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs as _obs
+from repro.resilience import guard as _resguard
 from repro.core.pick import PickCriterion
 from repro.core.trees import SNode, STree
 
@@ -61,9 +62,18 @@ class PickAccess:
         picked_ids = set()
         candidates = 0
         max_depth = 1
+        # Guard hook: hoisted boolean per visited node when inactive, a
+        # deadline/cancellation check every 128 nodes when active.
+        guard = _resguard.GUARD
+        guard_active = guard.active
+        gi = 0
         # stack of (node, parent_picked)
         stack: List[Tuple[SNode, bool]] = [(tree.root, False)]
         while stack:
+            if guard_active:
+                gi += 1
+                if not (gi & 127):
+                    guard.tick(128)
             node, parent_picked = stack.pop()
             node_picked = False
             if not parent_picked and is_candidate(node):

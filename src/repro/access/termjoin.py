@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs as _obs
+from repro.resilience import guard as _resguard
 from repro.access.results import ScoredElement
 from repro.index.inverted import P_DOC, P_NODE, P_OFFSET, P_POS
 from repro.xmldb.document import Document
@@ -59,10 +60,13 @@ class TermJoin:
     name = "TermJoin"
 
     def __init__(self, store: XMLStore, scorer,
-                 complex_scoring: bool = False):
+                 complex_scoring: bool = False, strict: bool = False):
         self.store = store
         self.scorer = scorer
         self.complex_scoring = complex_scoring
+        #: raise :class:`~repro.errors.UnknownTermError` on terms absent
+        #: from the index instead of treating them as empty posting lists
+        self.strict = strict
         #: access-method counters of the most recent :meth:`run`
         #: (``postings_scanned``, ``stack_pushes``, ``stack_pops``,
         #: ``elements_scored``) — surfaced by EXPLAIN ANALYZE.
@@ -103,8 +107,12 @@ class TermJoin:
         # the concatenation performs exactly the k-way run merge of the
         # paper's "single merge pass".
         merged: List[Tuple[int, int, int, int, str]] = []
+        guard = _resguard.GUARD
+        guard_active = guard.active
         for term in terms:
-            postings = index.postings(term)
+            if guard_active:
+                guard.tick()
+            postings = index.postings(term, strict=self.strict)
             counters.index_lookups += 1
             counters.postings_read += len(postings)
             merged.extend(
@@ -148,7 +156,15 @@ class TermJoin:
                 score = self.scorer.score_from_counts(popped.counts)
             out.append(ScoredElement(cur_doc_id, popped.node_id, score))
 
+        # Guard hook: one hoisted boolean test per posting when inactive,
+        # a deadline/cancellation check every 256 postings when active.
+        gi = 0
+
         for doc_id, pos, node_id, offset, term in merged:
+            if guard_active:
+                gi += 1
+                if not (gi & 255):
+                    guard.tick(256)
             if doc_id != cur_doc_id:
                 while stack:
                     pop_and_emit()

@@ -17,6 +17,13 @@ Subcommands:
   output, ``--trace-out FILE`` for a Chrome trace).
 - ``tix query --analyze`` — run a query and append the EXPLAIN ANALYZE
   tree to the normal output.
+- ``tix query --timeout MS --max-rows N [--degrade]`` — run under a
+  resource guard (see ``docs/robustness.md``): strict mode exits with
+  status 3 on a trip, ``--degrade`` prints the partial results flagged
+  truncated instead; combined with ``--analyze`` the metrics report
+  (including the ``guard.*`` counters) is appended to the output.
+  ``--store-partial`` loads a damaged ``--store`` directory best-effort,
+  reporting skipped documents on stderr.
 - ``tix bench {table1,table2,table3,table4,table5,pick}`` — regenerate a
   table of the paper's evaluation section (``--scale`` shrinks planted
   frequencies for quick runs; ``--profile`` adds per-access-method
@@ -32,15 +39,20 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.errors import TIXError
 from repro.xmldb.store import XMLStore
 
 
 def _load_store(doc_args: List[str],
-                store_dir: Optional[str] = None) -> XMLStore:
+                store_dir: Optional[str] = None,
+                partial: bool = False) -> XMLStore:
     if store_dir:
-        from repro.xmldb.persist import load_store
+        from repro.xmldb.persist import load_store_report
 
-        store = load_store(store_dir)
+        report = load_store_report(store_dir, partial=partial)
+        for err in report.skipped:
+            print(f"warning: skipped {err}", file=sys.stderr)
+        store = report.store
     else:
         store = XMLStore()
     for spec in doc_args:
@@ -114,7 +126,11 @@ def _read_query(args: argparse.Namespace) -> str:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.query import run_query
 
-    store = _load_store(args.doc or [], args.store)
+    store = _load_store(args.doc or [], args.store,
+                        partial=args.store_partial)
+    if args.timeout is not None or args.max_rows is not None \
+            or args.degrade:
+        return _query_guarded(store, _read_query(args), args)
     if args.analyze:
         return _query_analyze(store, _read_query(args), args)
     results = run_query(store, _read_query(args))
@@ -123,6 +139,49 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"-- result {i}{score}")
         print(tree.to_xml(with_scores=args.scores))
     print(f"({len(results)} results)")
+    return 0
+
+
+def _query_guarded(store, source: str, args: argparse.Namespace) -> int:
+    """``tix query --timeout/--max-rows/--degrade``: run under a
+    :class:`~repro.resilience.QueryGuard`.  Strict mode exits with status
+    3 on a guard trip; degrade mode prints the partial results with a
+    truncation notice."""
+    from repro import obs
+    from repro.errors import QueryAbortedError
+    from repro.resilience import QueryGuard, run_query_guarded
+
+    guard = QueryGuard(
+        timeout_ms=args.timeout,
+        max_rows=args.max_rows,
+        degrade=args.degrade,
+    )
+    collector = None
+    try:
+        if args.analyze:
+            # --analyze composes with the guard: run under a collector so
+            # the guard.* counters (checks, rows, trips) land in the
+            # metrics report alongside the operator counters.
+            with obs.collecting() as collector:
+                res = run_query_guarded(store, source, guard)
+        else:
+            res = run_query_guarded(store, source, guard)
+    except QueryAbortedError as exc:
+        print(f"query aborted: {exc}", file=sys.stderr)
+        if collector is not None:
+            print(collector.metrics.render(), file=sys.stderr)
+        return 3
+    for i, tree in enumerate(res.results, 1):
+        score = f" score={tree.score:g}" if tree.score is not None else ""
+        print(f"-- result {i}{score}")
+        print(tree.to_xml(with_scores=args.scores))
+    if res.truncated:
+        print(f"({res.n_results} results, truncated: {res.reason})")
+    else:
+        print(f"({res.n_results} results)")
+    if collector is not None:
+        print()
+        print(collector.metrics.render())
     return 0
 
 
@@ -292,6 +351,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serialize node scores as attributes")
     q.add_argument("--analyze", action="store_true",
                    help="also print the EXPLAIN ANALYZE tree")
+    q.add_argument("--timeout", type=float, metavar="MS",
+                   help="wall-clock deadline in milliseconds; exceeding "
+                        "it aborts the query (exit status 3) unless "
+                        "--degrade is set")
+    q.add_argument("--max-rows", type=int, metavar="N",
+                   help="output-row budget; the plan is aborted before "
+                        "computing row N+1")
+    q.add_argument("--degrade", action="store_true",
+                   help="on a guard trip, print the partial results "
+                        "flagged truncated instead of failing")
+    q.add_argument("--store-partial", action="store_true",
+                   help="with --store: skip corrupt/missing documents "
+                        "(reported on stderr) instead of failing")
     q.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser(
@@ -361,7 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except TIXError as exc:
+        # engine errors (syntax, compile, persistence, …) are expected
+        # failure modes: render the message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

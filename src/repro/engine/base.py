@@ -34,6 +34,11 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from repro import obs as _obs
 from repro.core.trees import STree
 from repro.errors import PlanError
+from repro.resilience import guard as _resguard
+
+#: Operator lifecycle states.  ``open()`` moves NEW/CLOSED → OPEN,
+#: ``close()`` moves OPEN → CLOSED; a closed operator may be re-opened.
+_NEW, _OPEN, _CLOSED = "new", "open", "closed"
 
 
 class OpStats:
@@ -75,9 +80,14 @@ class Operator:
 
     def __init__(self, children: Sequence["Operator"] = ()):
         self.children: List[Operator] = list(children)
-        self._opened = False
+        self._state = _NEW
         self.rows_out = 0
         self.stats = OpStats()
+
+    @property
+    def _opened(self) -> bool:
+        """Back-compat view of the lifecycle state."""
+        return self._state is _OPEN
 
     # -- protocol ---------------------------------------------------------
 
@@ -89,9 +99,9 @@ class Operator:
         this operator is left un-opened — the tree stays in a consistent,
         re-openable state instead of leaking opened children.
         """
-        if self._opened:
+        if self._state is _OPEN:
             raise PlanError(f"{self.name}: open() called twice")
-        self._opened = True
+        self._state = _OPEN
         self.rows_out = 0
         self.stats.reset()
         rec = _obs.RECORDER
@@ -106,7 +116,7 @@ class Operator:
                 opened.append(child)
             self._open()
         except BaseException:
-            self._opened = False
+            self._state = _NEW
             for child in reversed(opened):
                 try:
                     child.close()
@@ -120,9 +130,20 @@ class Operator:
             rec.end_span(span)
 
     def next(self) -> Optional[STree]:
-        """Next output tree, or ``None`` when exhausted."""
-        if not self._opened:
+        """Next output tree, or ``None`` when exhausted.
+
+        Raises :class:`~repro.errors.PlanError` when driven outside the
+        protocol (before ``open()`` or after ``close()``), and ticks the
+        installed :class:`~repro.resilience.QueryGuard` once per call so
+        any pipelined plan is deadline/cancellation-responsive even when
+        its operators have no hot inner loops of their own."""
+        if self._state is not _OPEN:
+            if self._state is _CLOSED:
+                raise PlanError(f"{self.name}: next() after close()")
             raise PlanError(f"{self.name}: next() before open()")
+        g = _resguard.GUARD
+        if g.active:
+            g.tick()
         if _obs.RECORDER.enabled:
             st = self.stats
             st.loops += 1
@@ -137,9 +158,11 @@ class Operator:
 
     def close(self) -> None:
         """Release resources; children are closed too."""
-        if not self._opened:
+        if self._state is not _OPEN:
+            if self._state is _CLOSED:
+                raise PlanError(f"{self.name}: close() called twice")
             raise PlanError(f"{self.name}: close() before open()")
-        self._opened = False
+        self._state = _CLOSED
         rec = _obs.RECORDER
         if rec.enabled:
             st = self.stats

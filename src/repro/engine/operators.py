@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from repro import obs as _obs
+from repro.resilience import guard as _resguard
 from repro.access.phrasefinder import PhraseFinder
 from repro.access.pick import PickAccess
 from repro.access.termjoin import TermJoin
@@ -86,6 +87,9 @@ class TagScan(Operator):
         self._i += 1
         doc = self.store.document(ref[0])
         self.store.counters.nodes_fetched += 1
+        g = _resguard.GUARD
+        if g.active:
+            g.count_materialized()
         return tree_from_document(doc, ref[4])
 
 
@@ -131,6 +135,9 @@ class TermJoinScan(Operator):
         self._i += 1
         doc = self.store.document(r.doc_id)
         if self.materialize:
+            g = _resguard.GUARD
+            if g.active:
+                g.count_materialized()
             tree = tree_from_document(doc, r.node_id)
             tree.root.score = r.score
         else:
@@ -583,6 +590,9 @@ class Materialize(Operator):
         if src is None or item.root.children:
             return item
         doc = self.store.document(src[0])
+        g = _resguard.GUARD
+        if g.active:
+            g.count_materialized()
         tree = tree_from_document(doc, src[1])
         tree.root.score = item.root.score
         tree.root.labels = set(item.root.labels)

@@ -59,3 +59,35 @@ class QueryCompileError(TIXError):
 class PlanError(TIXError):
     """Raised when a physical plan is malformed or an operator is driven
     outside its open/next/close protocol."""
+
+
+class QueryAbortedError(TIXError):
+    """Base class for guard-initiated query termination (deadline, budget,
+    cancellation).  Catch this to handle "the query did not run to
+    completion" uniformly; the subclasses say why."""
+
+
+class QueryTimeoutError(QueryAbortedError):
+    """Raised when a query exceeds its :class:`~repro.resilience.QueryGuard`
+    wall-clock deadline."""
+
+
+class ResourceExhaustedError(QueryAbortedError):
+    """Raised when a query exceeds a guard resource budget (output rows,
+    materialized subtrees)."""
+
+
+class QueryCancelledError(QueryAbortedError):
+    """Raised when a query's cooperative
+    :class:`~repro.resilience.CancellationToken` is cancelled."""
+
+
+class PersistError(TIXError):
+    """Raised by store persistence on any I/O, format, or integrity
+    failure.  Wraps raw ``OSError``/``json.JSONDecodeError``/``KeyError``
+    so callers see one exception type; ``path`` names the offending file
+    when known (also embedded in the message)."""
+
+    def __init__(self, message: str, path: str = ""):
+        self.path = path
+        super().__init__(message)

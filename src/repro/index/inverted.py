@@ -99,6 +99,9 @@ class InvertedIndex:
     @classmethod
     def build(cls, store: "XMLStore") -> "InvertedIndex":
         """Build the index by one scan over every document's word table."""
+        from repro.resilience import faultinject as _fi
+
+        _fi.INJECTOR.fire("index.build", n_documents=store.n_documents)
         lists: Dict[str, List[Posting]] = {}
         for doc in store.documents():
             d = doc.doc_id

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.index.structure import ElementRef
+from repro.resilience import guard as _resguard
 
 #: Output pair: (ancestor element ref, descendant item).
 JoinPair = Tuple[ElementRef, tuple]
@@ -61,7 +62,17 @@ def stack_tree_join(
         """Does the stacked ancestor end before position (doc, pos)?"""
         return top[0] < doc or (top[0] == doc and top[2] < pos)
 
+    # Guard hook: hoisted boolean per descendant when inactive, a
+    # deadline/cancellation check every 256 descendants when active.
+    guard = _resguard.GUARD
+    guard_active = guard.active
+    gi = 0
+
     for d in descendants:
+        if guard_active:
+            gi += 1
+            if not (gi & 255):
+                guard.tick(256)
         d_doc, d_pos = _desc_key(d)
         # Push every ancestor that starts before this descendant,
         # popping finished ones as we go (nested regions make the stack

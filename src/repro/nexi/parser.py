@@ -41,14 +41,18 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {"about", "and", "or"}
 
 
-def _tokenize(source: str) -> List[Tuple[str, str]]:
+def _tokenize(source: str) -> Tuple[List[Tuple[str, str]], List[int]]:
+    """Tokenize; returns the token list plus each token's 1-based column
+    (NEXI queries are single-line, so errors report column only)."""
     tokens: List[Tuple[str, str]] = []
+    cols: List[int] = []
     pos = 0
     while pos < len(source):
         m = _TOKEN_RE.match(source, pos)
         if m is None:
             raise QuerySyntaxError(
-                f"unexpected character {source[pos]!r} in NEXI query"
+                f"unexpected character {source[pos]!r} in NEXI query",
+                line=1, column=pos + 1,
             )
         kind = m.lastgroup
         text = m.group(0)
@@ -59,15 +63,21 @@ def _tokenize(source: str) -> List[Tuple[str, str]]:
                 tokens.append(("phrase", text[1:-1]))
             else:
                 tokens.append((kind, text))  # type: ignore[arg-type]
+            cols.append(pos + 1)
         pos = m.end()
     tokens.append(("eof", ""))
-    return tokens
+    cols.append(len(source) + 1)
+    return tokens, cols
 
 
 class _Parser:
-    def __init__(self, tokens: List[Tuple[str, str]]):
+    def __init__(self, tokens: List[Tuple[str, str]], cols: List[int]):
         self.tokens = tokens
+        self.cols = cols
         self.i = 0
+
+    def column(self) -> int:
+        return self.cols[self.i]
 
     def peek(self) -> Tuple[str, str]:
         return self.tokens[self.i]
@@ -82,7 +92,8 @@ class _Parser:
         k, v = self.peek()
         if k != kind or (value is not None and v != value):
             raise QuerySyntaxError(
-                f"expected {value or kind!r}, found {v!r} in NEXI query"
+                f"expected {value or kind!r}, found {v!r} in NEXI query",
+                line=1, column=self.column(),
             )
         self.advance()
         return v
@@ -136,7 +147,8 @@ class _Parser:
                 op = this_op
             elif op != this_op:
                 raise QuerySyntaxError(
-                    "mixed and/or needs parentheses in NEXI"
+                    "mixed and/or needs parentheses in NEXI",
+                    line=1, column=self.column(),
                 )
             operands.append(self.parse_atom())
         if op is None:
@@ -189,4 +201,5 @@ class _Parser:
 
 def parse_nexi(source: str) -> NexiPath:
     """Parse a NEXI query string."""
-    return _Parser(_tokenize(source)).parse()
+    tokens, cols = _tokenize(source)
+    return _Parser(tokens, cols).parse()

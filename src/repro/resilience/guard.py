@@ -1,0 +1,255 @@
+"""Query guard: deadline, budgets, and cooperative cancellation.
+
+A :class:`QueryGuard` carries the resource-governance envelope of one
+query execution: an optional wall-clock deadline, an output-row budget,
+a materialization budget, and an optional :class:`CancellationToken`.
+The engine and the access-method merge loops call :meth:`QueryGuard.tick`
+periodically; a trip raises one of
+
+- :class:`~repro.errors.QueryTimeoutError` — deadline exceeded;
+- :class:`~repro.errors.ResourceExhaustedError` — budget exceeded;
+- :class:`~repro.errors.QueryCancelledError` — token cancelled;
+
+all subclasses of :class:`~repro.errors.QueryAbortedError`.  In *degrade*
+mode (``degrade=True``) the same exceptions are raised at the trip site,
+but :func:`repro.resilience.run.execute_guarded` catches them, closes the
+pipeline cleanly, and returns the rows produced so far flagged truncated
+— strict vs. degrade is a property of the guard, decided once by the
+caller, not per call site.
+
+Installation follows the :mod:`repro.obs` recorder pattern — **zero
+overhead unless governing**.  The module-level :data:`GUARD` is a
+:class:`NullGuard` by default (``active`` is ``False``); instrumented
+loops hoist ``guard = _resguard.GUARD`` / ``ga = guard.active`` and pay
+one local boolean test per iteration when no guard is installed.  Always
+read the guard as a module attribute at call time (``_resguard.GUARD``),
+never ``from ... import GUARD``.
+
+Guards are cooperative and single-threaded by design (like the rest of
+the engine); a :class:`CancellationToken` may be flipped from another
+thread — it is a single attribute write, safe under the GIL.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, List, Optional
+
+from repro import obs as _obs
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
+
+__all__ = [
+    "CancellationToken", "NullGuard", "QueryGuard", "GUARD",
+    "install_guard", "uninstall_guard", "guarded", "current_guard",
+]
+
+
+class CancellationToken:
+    """Cooperative cancellation flag.  ``cancel()`` may be called from any
+    thread; guarded loops observe it at their next tick."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CancellationToken(cancelled={self._cancelled})"
+
+
+class NullGuard:
+    """The default guard: inactive, every method a no-op.  Hot loops test
+    ``active`` once (hoisted) and skip all governance work."""
+
+    active = False
+    degrade = False
+
+    def tick(self, n: int = 1) -> None:
+        pass
+
+    def count_materialized(self, n: int = 1) -> None:
+        pass
+
+
+class QueryGuard(NullGuard):
+    """One query's resource-governance envelope.
+
+    :param timeout_ms: wall-clock deadline in milliseconds from guard
+        creation (``None`` = unbounded);
+    :param max_rows: output-row budget, enforced by
+        :func:`~repro.resilience.run.execute_guarded` at the sink — the
+        plan is aborted before computing row ``max_rows + 1``;
+    :param max_materialized: budget on stored subtrees materialized by
+        the plan's operators;
+    :param token: optional cooperative :class:`CancellationToken`;
+    :param degrade: on a trip, return partial results flagged truncated
+        instead of failing (honoured by the guarded executors; the trip
+        exception is still raised at the trip site).
+    """
+
+    active = True
+
+    __slots__ = (
+        "timeout_ms", "max_rows", "max_materialized", "token", "degrade",
+        "deadline", "checks", "rows", "materialized", "tripped",
+    )
+
+    def __init__(self, timeout_ms: Optional[float] = None,
+                 max_rows: Optional[int] = None,
+                 max_materialized: Optional[int] = None,
+                 token: Optional[CancellationToken] = None,
+                 degrade: bool = False):
+        if timeout_ms is not None and timeout_ms < 0:
+            raise ValueError("timeout_ms must be >= 0")
+        if max_rows is not None and max_rows < 0:
+            raise ValueError("max_rows must be >= 0")
+        if max_materialized is not None and max_materialized < 0:
+            raise ValueError("max_materialized must be >= 0")
+        self.timeout_ms = timeout_ms
+        self.max_rows = max_rows
+        self.max_materialized = max_materialized
+        self.token = token
+        self.degrade = degrade
+        self.deadline = (
+            perf_counter() + timeout_ms / 1000.0
+            if timeout_ms is not None else None
+        )
+        self.checks = 0
+        self.rows = 0
+        self.materialized = 0
+        #: the exception instance of the first trip, if any (degrade-mode
+        #: executors read it to report *why* results are truncated)
+        self.tripped = None  # type: Optional[BaseException]
+
+    # -- trip sites --------------------------------------------------------
+
+    def _trip(self, exc: BaseException, kind: str) -> None:
+        if self.tripped is None:
+            self.tripped = exc
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count(f"guard.trips.{kind}")
+        raise exc
+
+    def tick(self, n: int = 1) -> None:
+        """Record ``n`` units of progress and check deadline/cancellation.
+        Hot loops call this every few hundred iterations (passing the
+        stride as ``n``), the engine once per ``Operator.next()``."""
+        self.checks += n
+        token = self.token
+        if token is not None and token.cancelled:
+            self._trip(QueryCancelledError("query cancelled"), "cancelled")
+        if self.deadline is not None and perf_counter() > self.deadline:
+            self._trip(
+                QueryTimeoutError(
+                    f"query exceeded its {self.timeout_ms:g} ms deadline"
+                ),
+                "timeout",
+            )
+
+    def count_row(self) -> None:
+        """Account one emitted result row (sink-side bookkeeping)."""
+        self.rows += 1
+
+    def trip_rows(self) -> None:
+        self._trip(
+            ResourceExhaustedError(
+                f"query exceeded its row budget of {self.max_rows}"
+            ),
+            "rows",
+        )
+
+    def count_materialized(self, n: int = 1) -> None:
+        """Account ``n`` stored subtrees materialized by plan operators;
+        trips when the materialization budget is exceeded."""
+        self.materialized += n
+        if (self.max_materialized is not None
+                and self.materialized > self.max_materialized):
+            self._trip(
+                ResourceExhaustedError(
+                    "query exceeded its materialization budget of "
+                    f"{self.max_materialized}"
+                ),
+                "materialized",
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds until the deadline (negative when past it)."""
+        if self.deadline is None:
+            return None
+        return (self.deadline - perf_counter()) * 1000.0
+
+    def publish(self) -> None:
+        """Mirror cumulative guard accounting into the observability
+        registry (no-op with no collector) — the guarded executors call
+        this once per run so ``guard.*`` metrics appear next to the
+        EXPLAIN ANALYZE output."""
+        rec = _obs.RECORDER
+        if not rec.enabled:
+            return
+        rec.count("guard.checks", self.checks)
+        rec.count("guard.rows", self.rows)
+        if self.materialized:
+            rec.count("guard.materialized", self.materialized)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryGuard(timeout_ms={self.timeout_ms}, "
+            f"max_rows={self.max_rows}, "
+            f"max_materialized={self.max_materialized}, "
+            f"degrade={self.degrade})"
+        )
+
+
+#: The process-wide guard.  Read via ``guard_module.GUARD`` at call time.
+GUARD: NullGuard = NullGuard()
+
+_stack: List[NullGuard] = []
+
+
+def current_guard() -> NullGuard:
+    """The currently installed guard (the null guard by default)."""
+    return GUARD
+
+
+def install_guard(guard: NullGuard) -> None:
+    """Install ``guard`` as the active guard.  Installs nest:
+    :func:`uninstall_guard` restores the previously active guard."""
+    global GUARD
+    _stack.append(GUARD)
+    GUARD = guard
+
+
+def uninstall_guard() -> None:
+    """Restore the guard active before the last :func:`install_guard`."""
+    global GUARD
+    if not _stack:
+        raise RuntimeError(
+            "uninstall_guard() without a matching install_guard()"
+        )
+    GUARD = _stack.pop()
+
+
+@contextmanager
+def guarded(guard: NullGuard) -> Iterator[NullGuard]:
+    """Install ``guard`` for the duration of the block."""
+    install_guard(guard)
+    try:
+        yield guard
+    finally:
+        uninstall_guard()

@@ -1,0 +1,166 @@
+"""Guarded query execution: drain a plan (or run a query string) under a
+:class:`~repro.resilience.guard.QueryGuard`.
+
+This is the layer that gives the guard's ``degrade`` flag its meaning:
+trip exceptions raised deep inside operators or access-method merge
+loops are caught here, the pipeline is closed cleanly, and the rows
+already produced come back as a :class:`GuardedResult` flagged
+``truncated`` — callers always get a well-formed result object instead
+of a half-drained iterator.  In strict mode (``degrade=False``) the trip
+propagates after cleanup.
+
+Engine imports are deliberately lazy (inside the functions): the engine
+itself imports :mod:`repro.resilience.guard` for its hot-loop checks, so
+this module must not import the engine at module scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import QueryAbortedError, ResourceExhaustedError
+from repro.resilience.guard import (
+    NullGuard,
+    QueryGuard,
+    install_guard,
+    uninstall_guard,
+)
+
+__all__ = ["GuardedResult", "execute_guarded", "run_query_guarded"]
+
+
+@dataclass
+class GuardedResult:
+    """The outcome of one guarded execution.
+
+    ``results`` is always a well-formed (possibly empty) list of scored
+    trees.  ``truncated`` is ``True`` when a degrade-mode guard tripped;
+    ``reason`` then carries the trip message and ``error`` the trip
+    exception instance.  The results of a truncated run are exactly the
+    prefix the pipeline emitted before the trip — for ranked plans
+    (Sort/TopK sinks) that prefix is correctly ranked.
+    """
+
+    results: List[object] = field(default_factory=list)
+    truncated: bool = False
+    reason: str = ""
+    error: Optional[QueryAbortedError] = None
+
+    @property
+    def n_results(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+def execute_guarded(plan, guard: NullGuard) -> GuardedResult:
+    """Open, drain, and close ``plan`` under ``guard``.
+
+    The guard is installed for the duration (engine ``next()`` loops and
+    access-method merge loops tick it); the output-row budget is enforced
+    here at the sink — the plan is aborted *before* computing the row
+    past the budget, so a run that trips on the budget still returns
+    exactly ``max_rows`` rows in degrade mode.
+    """
+    out: List[object] = []
+    trip: Optional[QueryAbortedError] = None
+    max_rows = getattr(guard, "max_rows", None)
+    install_guard(guard)
+    opened = False
+    try:
+        try:
+            plan.open()
+            opened = True
+            while True:
+                if max_rows is not None and len(out) >= max_rows:
+                    guard.trip_rows()
+                item = plan.next()
+                if item is None:
+                    break
+                out.append(item)
+                if guard.active:
+                    guard.count_row()
+        except QueryAbortedError as exc:
+            trip = exc
+        finally:
+            if opened:
+                try:
+                    plan.close()
+                except Exception:
+                    pass  # the trip (or success path) wins
+            if isinstance(guard, QueryGuard):
+                guard.publish()
+    finally:
+        uninstall_guard()
+    if trip is not None:
+        if not guard.degrade:
+            raise trip
+        return GuardedResult(
+            out, truncated=True, reason=str(trip), error=trip
+        )
+    return GuardedResult(out)
+
+
+def run_query_guarded(store, source: str, guard: NullGuard,
+                      registry=None) -> GuardedResult:
+    """Parse, compile, and execute a query string under ``guard``.
+
+    Compilable queries run on the pipelined engine via
+    :func:`execute_guarded` (streaming enforcement).  Queries outside the
+    compilable shape fall back to the reference evaluator with the guard
+    installed — access-method ticks still bound its runtime, but the row
+    budget can only be applied to the finished result list (the evaluator
+    is not streaming): over-budget results raise in strict mode and are
+    trimmed + flagged truncated in degrade mode.
+    """
+    from repro.errors import QueryCompileError
+    from repro.query import parse_query
+    from repro.query.compiler import compile_query
+    from repro.query.evaluator import evaluate_query
+
+    query = parse_query(source)
+    try:
+        plan = compile_query(store, query, registry)
+    except QueryCompileError:
+        plan = None
+    if plan is not None:
+        return execute_guarded(plan, guard)
+
+    install_guard(guard)
+    try:
+        try:
+            # Explicit ticks bracket the evaluator: an already-expired
+            # deadline (or cancelled token) trips immediately even when
+            # the store is too small for any strided hot-loop check to
+            # fire inside.
+            if guard.active:
+                guard.tick()
+            results = evaluate_query(store, query, registry)
+            if guard.active:
+                guard.tick()
+                for _ in results:
+                    guard.count_row()
+        except QueryAbortedError as exc:
+            if not guard.degrade:
+                raise
+            return GuardedResult(
+                [], truncated=True, reason=str(exc), error=exc
+            )
+        finally:
+            if isinstance(guard, QueryGuard):
+                guard.publish()
+    finally:
+        uninstall_guard()
+    max_rows = getattr(guard, "max_rows", None)
+    if max_rows is not None and len(results) > max_rows:
+        exc = ResourceExhaustedError(
+            f"query exceeded its row budget of {max_rows}"
+        )
+        if not guard.degrade:
+            raise exc
+        return GuardedResult(
+            results[:max_rows], truncated=True, reason=str(exc), error=exc
+        )
+    return GuardedResult(results)

@@ -1,0 +1,103 @@
+"""Chaos tests for the query guard: random tiny budgets and deadlines
+over a seeded query mix.  The invariants, regardless of where a guard
+trips: degrade mode never raises, strict mode only ever raises a
+``QueryAbortedError`` subclass, and every degraded result is a prefix of
+the full run."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryAbortedError
+from repro.exampledata import example_store
+from repro.resilience import QueryGuard, run_query_guarded
+
+pytestmark = pytest.mark.chaos
+
+QUERIES = [
+    'For $x in document("articles.xml")//article/descendant-or-self::* '
+    'Score $x using ScoreFooExact($x, {"technologies"}) '
+    'Return $x Sortby(score)',
+    'For $x in document("articles.xml")//section '
+    'Score $x using ScoreFoo($x, {"search engine"}, {"internet"}) '
+    'Return $x Sortby(score)',
+    'For $x in document("reviews.xml")//review Return $x',
+]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return example_store()
+
+
+@pytest.fixture(scope="module")
+def full_results(store):
+    """Unbudgeted reference run per query."""
+    return {
+        q: run_query_guarded(store, q, QueryGuard()).results
+        for q in QUERIES
+    }
+
+
+class TestRandomBudgets:
+    def test_degrade_never_raises_and_prefixes_match(
+        self, store, full_results, chaos_seed
+    ):
+        rng = random.Random(chaos_seed)
+        for _ in range(25):
+            q = rng.choice(QUERIES)
+            guard = QueryGuard(
+                max_rows=rng.randrange(0, 6),
+                timeout_ms=rng.choice([None, 60_000]),
+                degrade=True,
+            )
+            res = run_query_guarded(store, q, guard)
+            full = full_results[q]
+            got = [(t.root.source, t.score) for t in res.results]
+            want = [(t.root.source, t.score) for t in full[:len(got)]]
+            assert got == want
+            if res.truncated:
+                assert res.n_results <= guard.max_rows
+
+    def test_strict_only_raises_aborted_errors(self, store, chaos_seed):
+        rng = random.Random(chaos_seed)
+        outcomes = []
+        for _ in range(25):
+            q = rng.choice(QUERIES)
+            guard = QueryGuard(max_rows=rng.randrange(0, 6))
+            try:
+                res = run_query_guarded(store, q, guard)
+                outcomes.append(("ok", res.n_results))
+            except QueryAbortedError as exc:
+                outcomes.append(("trip", type(exc).__name__))
+        # the mix must contain both completions and trips — otherwise
+        # the budgets are not actually exercising the guard
+        kinds = {k for k, _ in outcomes}
+        assert kinds == {"ok", "trip"}
+
+    def test_same_seed_same_outcomes(self, store, chaos_seed):
+        def run_once():
+            rng = random.Random(chaos_seed)
+            out = []
+            for _ in range(10):
+                q = rng.choice(QUERIES)
+                guard = QueryGuard(max_rows=rng.randrange(0, 6),
+                                   degrade=True)
+                res = run_query_guarded(store, q, guard)
+                out.append((q, res.truncated, res.n_results))
+            return out
+
+        assert run_once() == run_once()
+
+    def test_tiny_deadline_degrades_cleanly(self, store):
+        """An effectively-zero deadline may trip anywhere in the
+        pipeline; degrade mode must still return (possibly empty)
+        results, never raise."""
+        import time
+
+        for q in QUERIES:
+            guard = QueryGuard(timeout_ms=0, degrade=True)
+            time.sleep(0.001)
+            res = run_query_guarded(store, q, guard)
+            assert res.truncated
+            assert res.reason

@@ -58,6 +58,47 @@ class TestProtocol:
         assert len(execute(op)) == 1
         assert len(execute(op)) == 1  # open/close cycle reusable
 
+    def test_next_after_close_raises(self, store):
+        op = DocumentSource(store, "articles.xml")
+        op.open()
+        op.close()
+        with pytest.raises(PlanError, match="after close"):
+            op.next()
+
+    def test_next_before_open_message(self, store):
+        with pytest.raises(PlanError, match="before open"):
+            DocumentSource(store, "articles.xml").next()
+
+    def test_double_close_raises(self, store):
+        op = DocumentSource(store, "articles.xml")
+        op.open()
+        op.close()
+        with pytest.raises(PlanError, match="close"):
+            op.close()
+
+    def test_iter_before_open_raises(self, store):
+        with pytest.raises(PlanError):
+            list(DocumentSource(store, "articles.xml"))
+
+    def test_protocol_violations_raise_plan_error_not_attribute_error(
+        self, store
+    ):
+        # The protocol errors must be PlanError (a TIXError) on every
+        # operator — never an obscure AttributeError from a missing
+        # buffer that only _open() would have created.
+        ops = [
+            TagScan(store, "p"),
+            Sort(TagScan(store, "p")),
+            Limit(TagScan(store, "p"), 1),
+        ]
+        for op in ops:
+            with pytest.raises(PlanError):
+                op.next()
+            op.open()
+            op.close()
+            with pytest.raises(PlanError):
+                op.next()
+
     def test_rows_out_counted(self, store):
         op = TagScan(store, "p")
         execute(op)
