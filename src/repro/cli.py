@@ -24,6 +24,14 @@ Subcommands:
   (including the ``guard.*`` counters) is appended to the output.
   ``--store-partial`` loads a damaged ``--store`` directory best-effort,
   reporting skipped documents on stderr.
+- ``tix batch -q Q -q Q … | -f FILE`` — run many queries concurrently
+  over one shared store (``repro.perf.execute_batch``): per-query
+  ``--timeout``/``--max-rows`` guards with ``--no-degrade`` for strict
+  mode, ``--workers`` for pool width, ``--no-cache`` to disable the
+  shared plan/result cache, ``--json`` for machine-readable output.
+  ``-f FILE`` holds a JSON array of query strings, or plain text with
+  queries separated by lines containing only ``---``.  Results print in
+  submission order; the exit status is 3 when any query failed.
 - ``tix bench {table1,table2,table3,table4,table5,pick}`` — regenerate a
   table of the paper's evaluation section (``--scale`` shrinks planted
   frequencies for quick runs; ``--profile`` adds per-access-method
@@ -275,6 +283,85 @@ def _cmd_nexi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_batch_queries(args: argparse.Namespace) -> List[str]:
+    queries: List[str] = list(args.query or [])
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+        stripped = text.lstrip()
+        if stripped.startswith("["):
+            loaded = json.loads(text)
+            if not isinstance(loaded, list) or not all(
+                    isinstance(q, str) for q in loaded):
+                raise SystemExit(
+                    f"{args.file}: expected a JSON array of query strings"
+                )
+            queries.extend(loaded)
+        else:
+            block: List[str] = []
+            for line in text.splitlines():
+                if line.strip() == "---":
+                    if "".join(block).strip():
+                        queries.append("\n".join(block))
+                    block = []
+                else:
+                    block.append(line)
+            if "".join(block).strip():
+                queries.append("\n".join(block))
+    if not queries:
+        raise SystemExit("provide queries with -q (repeatable) or -f")
+    return queries
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.perf import QueryCache, execute_batch
+
+    store = _load_store(args.doc or [], args.store)
+    queries = _read_batch_queries(args)
+    cache = None if args.no_cache else QueryCache(store)
+    result = execute_batch(
+        store, queries,
+        max_workers=args.workers,
+        timeout_ms=args.timeout,
+        max_rows=args.max_rows,
+        degrade=not args.no_degrade,
+        cache=cache,
+    )
+    if args.json:
+        print(json.dumps({
+            "n_queries": result.n_queries,
+            "n_failed": result.n_failed,
+            "n_truncated": result.n_truncated,
+            "wall_ms": result.wall_ms,
+            "outcomes": [
+                {
+                    "index": o.index,
+                    "n_results": o.n_results,
+                    "truncated": o.truncated,
+                    "reason": o.reason,
+                    "error": o.error,
+                    "error_type": o.error_type,
+                    "elapsed_ms": o.elapsed_ms,
+                }
+                for o in result
+            ],
+        }, indent=2, sort_keys=True))
+    else:
+        for o in result:
+            if not o.ok:
+                print(f"-- query {o.index + 1}: FAILED "
+                      f"({o.error_type}: {o.error})")
+            elif o.truncated:
+                print(f"-- query {o.index + 1}: {o.n_results} results "
+                      f"(truncated: {o.reason}) [{o.elapsed_ms:.1f}ms]")
+            else:
+                print(f"-- query {o.index + 1}: {o.n_results} results "
+                      f"[{o.elapsed_ms:.1f}ms]")
+        print(f"({result.n_queries} queries, {result.n_failed} failed, "
+              f"{result.n_truncated} truncated, {result.wall_ms:.1f}ms)")
+    return 3 if result.n_failed else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         run_pick_experiment, run_table1, run_table2, run_table3,
@@ -412,6 +499,33 @@ def build_parser() -> argparse.ArgumentParser:
     nx.add_argument("--show", action="store_true",
                     help="print a snippet of each hit")
     nx.set_defaults(fn=_cmd_nexi)
+
+    ba = sub.add_parser(
+        "batch",
+        help="run many queries concurrently over one shared store",
+    )
+    ba.add_argument("-q", "--query", action="append",
+                    help="query text (repeatable)")
+    ba.add_argument("-f", "--file",
+                    help="JSON array of queries, or text blocks separated "
+                         "by lines containing only ---")
+    ba.add_argument("--doc", action="append",
+                    help="load a document: name=path (repeatable)")
+    ba.add_argument("--store", help="load a saved store directory")
+    ba.add_argument("--workers", type=int, metavar="N",
+                    help="thread-pool width (default: auto)")
+    ba.add_argument("--timeout", type=float, metavar="MS",
+                    help="per-query wall-clock deadline in milliseconds")
+    ba.add_argument("--max-rows", type=int, metavar="N",
+                    help="per-query output-row budget")
+    ba.add_argument("--no-degrade", action="store_true",
+                    help="record guard trips as per-query failures "
+                         "instead of partial truncated results")
+    ba.add_argument("--no-cache", action="store_true",
+                    help="disable the shared plan/result cache")
+    ba.add_argument("--json", action="store_true",
+                    help="emit the batch report as JSON")
+    ba.set_defaults(fn=_cmd_batch)
 
     b = sub.add_parser("bench", help="regenerate a paper table")
     b.add_argument("table", choices=[

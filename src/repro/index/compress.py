@@ -127,16 +127,18 @@ class CompressedInvertedIndex:
     """Drop-in replacement for :class:`InvertedIndex` that stores each
     posting list varint-compressed and decodes on access.
 
-    ``postings`` returns a fully decoded :class:`PostingList`; a small
-    LRU-ish cache (single most recent term) avoids repeated decodes in
-    the common per-term access pattern of the merge algorithms.
+    ``postings`` returns a fully decoded :class:`PostingList` and always
+    pays the decode — caching decoded lists is the job of the LRU layer
+    above (:class:`repro.perf.postings.CachingIndex`, enabled via
+    :meth:`XMLStore.enable_postings_cache`).  The single most-recent-term
+    cache this class used to keep internally is gone: it double-counted
+    ``index.postings_returned`` on hits against the cold-path counters,
+    and the LRU layer subsumes it.
     """
 
     def __init__(self, blobs: Dict[str, bytes], n_documents: int):
         self._blobs = blobs
         self.n_documents = n_documents
-        self._cache_term: str = ""
-        self._cache_list: PostingList = PostingList("", [])
 
     @classmethod
     def from_index(cls, index: InvertedIndex) -> "CompressedInvertedIndex":
@@ -156,11 +158,6 @@ class CompressedInvertedIndex:
         rec = _obs.RECORDER
         if rec.enabled:
             rec.count("index.posting_fetches")
-        if term == self._cache_term:
-            if rec.enabled:
-                rec.count("index.cache_hits")
-                rec.count("index.postings_returned", len(self._cache_list))
-            return self._cache_list
         blob = self._blobs.get(term)
         if blob is None:
             if strict:
@@ -173,8 +170,6 @@ class CompressedInvertedIndex:
             rec.count("index.posting_decodes")
             rec.count("index.bytes_read", len(blob))
             rec.count("index.postings_returned", len(decoded))
-        self._cache_term = term
-        self._cache_list = decoded
         return decoded
 
     def __contains__(self, term: str) -> bool:

@@ -1,0 +1,121 @@
+"""LRU postings cache: a caching proxy in front of any inverted index.
+
+:class:`CachingIndex` wraps an :class:`~repro.index.inverted.InvertedIndex`
+or :class:`~repro.index.compress.CompressedInvertedIndex` and serves
+repeated ``postings(term)`` calls from a size-bounded LRU keyed by term.
+It replaces the single most-recent-term cache the compressed index used
+to keep internally: the LRU holds the whole working set of a query mix
+(capacity is bounded in *postings*, the unit that actually costs
+memory), is shared by every query over the store, and is safe under the
+batch executor's thread pool.
+
+Accounting contract (the fix for the old double-count):
+
+- ``index.posting_fetches`` counts every logical fetch, hit or miss —
+  the cache layer counts it on hits, the wrapped index on misses;
+- ``index.postings_returned`` / ``index.bytes_read`` /
+  ``index.posting_decodes`` count **cold-path work only** (they are
+  emitted by the wrapped index when it is actually consulted), so they
+  stay mutually consistent: bytes and decodes explain exactly the
+  postings returned by real index reads;
+- ``index.cache_hits`` and ``cache.postings.hits/misses/evictions``
+  count the warm path.
+
+Posting lists are immutable once built (documents are append-only until
+the store's generation bumps, which discards the index and this wrapper
+with it), so cached lists are shared, never copied.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro import obs as _obs
+from repro.index.inverted import PostingList
+from repro.perf.lru import LRUCache
+
+__all__ = ["CachingIndex", "DEFAULT_POSTINGS_CAPACITY"]
+
+#: Default capacity in *postings* (tuples), not terms: ~200k postings is
+#: a few MB of tuples — generous for the synthetic corpora, tiny next to
+#: the store itself.
+DEFAULT_POSTINGS_CAPACITY = 200_000
+
+
+class CachingIndex:
+    """Caching proxy over an inverted index (see module docstring).
+
+    Implements the full lookup API of the wrapped index; anything else
+    (e.g. ``compressed_bytes`` on the compressed index) is forwarded via
+    ``__getattr__``.
+    """
+
+    def __init__(self, inner, capacity: int = DEFAULT_POSTINGS_CAPACITY):
+        self.inner = inner
+        self.cache = LRUCache(capacity, metric_prefix="cache.postings")
+
+    # -- the cached hot path ---------------------------------------------
+
+    def postings(self, term: str, strict: bool = False) -> PostingList:
+        cached = self.cache.get(term)
+        if cached is not None:
+            rec = _obs.RECORDER
+            if rec.enabled:
+                rec.count("index.posting_fetches")
+                rec.count("index.cache_hits")
+            return cached
+        pl = self.inner.postings(term, strict=strict)
+        # Cache known terms only: a non-strict miss on an unknown term
+        # returns an empty list, and caching it would let a later
+        # strict=True call silently skip the UnknownTermError path.
+        if len(pl) or term in self.inner:
+            self.cache.put(term, pl, weight=max(1, len(pl)))
+        return pl
+
+    # -- lookup API parity -------------------------------------------------
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.inner
+
+    @property
+    def n_documents(self) -> int:
+        return self.inner.n_documents
+
+    @property
+    def n_terms(self) -> int:
+        return self.inner.n_terms
+
+    def frequency(self, term: str) -> int:
+        return len(self.postings(term))
+
+    def document_frequency(self, term: str) -> int:
+        return self.postings(term).document_frequency
+
+    def idf(self, term: str) -> float:
+        df = self.document_frequency(term)
+        return math.log((self.n_documents + 1) / (df + 1)) + 1.0
+
+    def vocabulary(self) -> Iterable[str]:
+        return self.inner.vocabulary()
+
+    def element_counts(self, term: str):
+        from collections import Counter
+
+        from repro.index.inverted import P_DOC, P_NODE
+
+        counts: Counter = Counter()
+        for p in self.postings(term):
+            counts[(p[P_DOC], p[P_NODE])] += 1
+        return dict(counts)
+
+    def terms_sorted_by_frequency(self) -> List[Tuple[str, int]]:
+        return self.inner.terms_sorted_by_frequency()
+
+    def __getattr__(self, name: str):
+        # Anything not overridden (compression stats, future additions)
+        # is answered by the wrapped index.
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CachingIndex({self.inner!r}, {self.cache!r})"

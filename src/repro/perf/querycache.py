@@ -1,0 +1,328 @@
+"""Plan and result caches keyed on normalized query text + generation.
+
+Key construction is the whole invalidation story: every entry is keyed
+``(normalized query text, store.generation)``.  The normalized text —
+``unparse(parse(source))`` — makes differently-formatted spellings of
+the same query share one entry; the generation component makes entries
+from before a document add/remove *unreachable* (stale answers are
+impossible by construction, no flush call required), and the LRU bound
+ages the orphaned entries out under pressure.
+
+Three tiers, cheapest first:
+
+- a small normalization cache (raw source → parsed/normalized query)
+  so warm lookups skip the parser entirely;
+- :class:`ResultCache` — complete ``run_query`` answers.  Only
+  complete, un-truncated executions are ever stored; a guarded run that
+  tripped never pollutes the cache;
+- :class:`PlanCache` — compiled engine plans.  Compiled plans are
+  stateful operator trees (open/next/close), so each entry keeps a
+  small *pool*: concurrent callers check plans out and back in, and two
+  threads never drive the same operator tree at once.  Queries outside
+  the compilable shape cache their ``QueryCompileError`` verdict so the
+  compiler is consulted once, not per call.
+
+:class:`QueryCache` composes the tiers behind ``run_query`` /
+``run_query_guarded`` entry points with the same dispatch as
+:func:`repro.resilience.run.run_query_guarded`: compilable queries run
+on the pipelined engine, everything else on the reference evaluator.
+Caching is transparent to scores, node identity, and result order —
+``tests/differential/`` locks that equivalence down.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, NamedTuple, Optional
+
+from repro import obs as _obs
+from repro.errors import QueryCompileError
+from repro.perf.lru import LRUCache
+from repro.query.ast import Query
+from repro.query.parser import parse_query
+from repro.query.unparse import unparse
+
+__all__ = [
+    "NormalizedQuery", "normalize_query",
+    "PlanCache", "ResultCache", "QueryCache",
+]
+
+
+class NormalizedQuery(NamedTuple):
+    """A parsed query plus its canonical surface text (the cache key)."""
+
+    text: str
+    query: Query
+
+
+def normalize_query(source: str) -> NormalizedQuery:
+    """Parse ``source`` and render it back to canonical text.
+
+    ``parse(unparse(parse(q))) == parse(q)`` is an asserted roundtrip
+    property of the unparser, so the canonical text is a faithful key:
+    two sources normalize equal iff they parse to the same AST.
+    """
+    query = parse_query(source)
+    return NormalizedQuery(unparse(query), query)
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+
+class _PlanEntry:
+    """Pool of compiled plans for one (query, generation) key.
+
+    ``compilable`` starts ``True`` and flips permanently to ``False``
+    on the first :class:`QueryCompileError` — the negative verdict is
+    as cacheable as a plan.
+    """
+
+    __slots__ = ("idle", "lock", "compilable")
+
+    def __init__(self) -> None:
+        self.idle: List[object] = []
+        self.lock = threading.Lock()
+        self.compilable = True
+
+
+class PlanCache:
+    """Compiled-plan cache with per-entry pooling (see module docstring).
+
+    :param capacity: maximum number of (query, generation) entries;
+    :param max_pool: idle plans kept per entry — bounding what a burst
+        of concurrent identical queries can leave behind.
+    """
+
+    def __init__(self, store, capacity: int = 128, max_pool: int = 8):
+        self.store = store
+        self.max_pool = max_pool
+        self._entries = LRUCache(capacity, metric_prefix="cache.plan",
+                                 record=False)
+        # Lifetime tallies (hit = compile avoided).
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, norm: NormalizedQuery) -> _PlanEntry:
+        key = (norm.text, self.store.generation)
+        return self._entries.get_or_create(key, lambda: (_PlanEntry(), 1))
+
+    def acquire(self, norm: NormalizedQuery, registry=None):
+        """A compiled plan for ``norm``, or ``None`` when the query is
+        outside the compilable shape.  The plan is checked out: return
+        it with :meth:`release` (even after an execution error — plans
+        are left re-openable by the engine's error paths)."""
+        from repro.query.compiler import compile_query
+
+        entry = self._entry(norm)
+        with entry.lock:
+            if not entry.compilable:
+                self._count(hit=True)
+                return None
+            if entry.idle:
+                plan = entry.idle.pop()
+                self._count(hit=True)
+                return plan
+        # Compile outside the lock: concurrent first-misses may compile
+        # in parallel; every copy is equivalent and pools afterwards.
+        try:
+            plan = compile_query(self.store, norm.query, registry)
+        except QueryCompileError:
+            with entry.lock:
+                entry.compilable = False
+            self._count(hit=False)
+            return None
+        self._count(hit=False)
+        return plan
+
+    def release(self, norm: NormalizedQuery, plan) -> None:
+        """Check a plan back in for reuse."""
+        if plan is None:
+            return
+        entry = self._entry(norm)
+        with entry.lock:
+            if len(entry.idle) < self.max_pool:
+                entry.idle.append(plan)
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("cache.plan.hits" if hit else "cache.plan.misses")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+class ResultCache:
+    """Full-answer cache for ``run_query``-shaped executions.
+
+    Values are the result lists themselves; hits return a fresh *list*
+    (so callers may sort/slice freely) over shared trees — results are
+    read-only by convention everywhere in the engine.  Weight is the
+    result count, so the capacity bounds retained trees, not queries.
+    """
+
+    def __init__(self, store, capacity: int = 4096):
+        self.store = store
+        self._lru = LRUCache(capacity, metric_prefix="cache.result")
+
+    def _key(self, text: str):
+        return (text, self.store.generation)
+
+    def get(self, norm: NormalizedQuery) -> Optional[List]:
+        found = self._lru.get(self._key(norm.text))
+        return None if found is None else list(found)
+
+    def put(self, norm: NormalizedQuery, results: List) -> None:
+        self._lru.put(self._key(norm.text), list(results),
+                      weight=max(1, len(results)))
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+
+# ----------------------------------------------------------------------
+# The composed front door
+# ----------------------------------------------------------------------
+
+class QueryCache:
+    """Plan + result caches behind one ``run_query``-shaped call.
+
+    One instance serves one store; share it across queries (and across
+    the batch executor's threads) to share the warm state.  Pass
+    ``results=False`` to keep only the plan tier (e.g. when answers are
+    too large to retain).
+
+    Caching is bypassed when a custom function ``registry`` is supplied
+    — user functions may close over arbitrary state, which the key
+    cannot see.
+    """
+
+    def __init__(self, store, *, plan_capacity: int = 128,
+                 result_capacity: int = 4096, results: bool = True,
+                 norm_capacity: int = 512):
+        self.store = store
+        self.plans = PlanCache(store, capacity=plan_capacity)
+        self.results = (
+            ResultCache(store, capacity=result_capacity) if results
+            else None
+        )
+        self._norm = LRUCache(norm_capacity, metric_prefix="cache.norm",
+                              record=False)
+
+    # ------------------------------------------------------------------
+
+    def normalize(self, source: str) -> NormalizedQuery:
+        """Cached :func:`normalize_query` (keyed on the raw source)."""
+        return self._norm.get_or_create(
+            source, lambda: (normalize_query(source), 1)
+        )
+
+    def run_query(self, source: str, registry=None) -> List:
+        """Parse/compile/execute with every tier engaged.
+
+        Dispatch matches :func:`repro.resilience.run.run_query_guarded`:
+        compilable queries return the engine's ranked scored subtrees,
+        the rest the evaluator's constructed results.
+        """
+        from repro.engine.base import execute
+        from repro.query.evaluator import evaluate_query
+
+        if registry is not None:
+            from repro.query.evaluator import run_query as _run_query
+
+            return _run_query(self.store, source, registry)
+
+        norm = self.normalize(source)
+        if self.results is not None:
+            cached = self.results.get(norm)
+            if cached is not None:
+                return cached
+        plan = self.plans.acquire(norm)
+        if plan is not None:
+            try:
+                out = execute(plan)
+            finally:
+                self.plans.release(norm, plan)
+        else:
+            out = evaluate_query(self.store, norm.query)
+        if self.results is not None:
+            self.results.put(norm, out)
+        return out
+
+    def run_query_guarded(self, source: str, guard, registry=None):
+        """Guarded variant returning a
+        :class:`~repro.resilience.run.GuardedResult`.
+
+        Cache interaction rules:
+
+        - a result-cache **hit** is re-checked against the guard's row
+          budget (a cached complete answer larger than ``max_rows``
+          behaves exactly like an uncached over-budget run: strict mode
+          raises, degrade mode trims and flags truncated);
+        - only complete, un-truncated executions are **stored**;
+        - the plan tier is budget-independent (budgets live in the
+          guard, not the plan), so it is always engaged.
+        """
+        from repro.errors import ResourceExhaustedError
+        from repro.resilience.run import (
+            GuardedResult,
+            evaluate_guarded,
+            execute_guarded,
+        )
+
+        if registry is not None:
+            from repro.resilience.run import run_query_guarded
+
+            return run_query_guarded(self.store, source, guard, registry)
+
+        norm = self.normalize(source)
+        max_rows = getattr(guard, "max_rows", None)
+        if self.results is not None:
+            cached = self.results.get(norm)
+            if cached is not None:
+                if max_rows is not None and len(cached) > max_rows:
+                    exc = ResourceExhaustedError(
+                        f"query exceeded its row budget of {max_rows}"
+                    )
+                    if not guard.degrade:
+                        raise exc
+                    return GuardedResult(cached[:max_rows], truncated=True,
+                                         reason=str(exc), error=exc)
+                return GuardedResult(cached)
+        plan = self.plans.acquire(norm)
+        if plan is not None:
+            try:
+                res = execute_guarded(plan, guard)
+            finally:
+                self.plans.release(norm, plan)
+        else:
+            res = evaluate_guarded(self.store, norm.query, guard)
+        if self.results is not None and not res.truncated:
+            self.results.put(norm, res.results)
+        return res
+
+    def stats(self) -> dict:
+        """Hit/miss tallies for every tier (reports and tests)."""
+        out = {
+            "plan": {"hits": self.plans.hits, "misses": self.plans.misses},
+        }
+        if self.results is not None:
+            out["result"] = self.results._lru.stats()
+        return out

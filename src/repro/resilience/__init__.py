@@ -4,12 +4,13 @@ Three cooperating pieces (see ``docs/robustness.md``):
 
 - :mod:`repro.resilience.guard` — :class:`QueryGuard` (wall-clock
   deadline, row/materialization budgets, cooperative
-  :class:`CancellationToken`), installed process-wide like the obs
-  recorder and ticked by the engine and the access-method merge loops;
+  :class:`CancellationToken`), installed per-thread (so the batch
+  executor's workers don't cross-contaminate) and ticked by the engine
+  and the access-method merge loops;
 - :mod:`repro.resilience.run` — :func:`execute_guarded` /
-  :func:`run_query_guarded`, the executors that enforce budgets at the
-  sink and implement *degrade* mode (partial results flagged truncated
-  instead of an exception);
+  :func:`run_query_guarded` / :func:`evaluate_guarded`, the executors
+  that enforce budgets at the sink and implement *degrade* mode (partial
+  results flagged truncated instead of an exception);
 - :mod:`repro.resilience.faultinject` — deterministic, seed-driven fault
   injection at named points in the store/index/persistence paths, plus
   :func:`retry`, the transient-I/O backoff helper.
@@ -42,6 +43,7 @@ from repro.resilience.faultinject import (
 )
 from repro.resilience.run import (
     GuardedResult,
+    evaluate_guarded,
     execute_guarded,
     run_query_guarded,
 )
@@ -51,5 +53,6 @@ __all__ = [
     "current_guard", "guarded", "install_guard", "uninstall_guard",
     "INJECTOR", "FaultInjector", "FaultSpec", "NullInjector",
     "injecting", "install_faults", "retry", "uninstall_faults",
-    "GuardedResult", "execute_guarded", "run_query_guarded",
+    "GuardedResult", "evaluate_guarded", "execute_guarded",
+    "run_query_guarded",
 ]

@@ -25,13 +25,19 @@ one local boolean test per iteration when no guard is installed.  Always
 read the guard as a module attribute at call time (``_resguard.GUARD``),
 never ``from ... import GUARD``.
 
-Guards are cooperative and single-threaded by design (like the rest of
-the engine); a :class:`CancellationToken` may be flipped from another
-thread — it is a single attribute write, safe under the GIL.
+Installation is **per-thread**: :data:`GUARD` resolves through a module
+``__getattr__`` to thread-local state, so the batch executor
+(:func:`repro.perf.batch.execute_batch`) can run one guarded query per
+worker thread without the guards cross-contaminating — each thread sees
+its own guard, and threads with none installed see the shared null
+guard.  Within a thread, guards remain cooperative; a
+:class:`CancellationToken` may be flipped from any thread — it is a
+single attribute write, safe under the GIL.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterator, List, Optional
@@ -216,33 +222,52 @@ class QueryGuard(NullGuard):
         )
 
 
-#: The process-wide guard.  Read via ``guard_module.GUARD`` at call time.
-GUARD: NullGuard = NullGuard()
+#: Shared inactive guard: what every thread sees until it installs one.
+_NULL_GUARD = NullGuard()
 
-_stack: List[NullGuard] = []
+
+class _GuardState(threading.local):
+    """Per-thread installed guard + nesting stack.  ``threading.local``
+    runs ``__init__`` afresh in every thread that touches the state, so
+    worker threads start at the null guard with an empty stack."""
+
+    def __init__(self) -> None:
+        self.guard: NullGuard = _NULL_GUARD
+        self.stack: List[NullGuard] = []
+
+
+_STATE = _GuardState()
+
+
+def __getattr__(name: str) -> NullGuard:
+    # ``GUARD`` is documented as a module attribute (hot loops read
+    # ``_resguard.GUARD``); this resolves it per-thread without changing
+    # a single call site.
+    if name == "GUARD":
+        return _STATE.guard
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def current_guard() -> NullGuard:
-    """The currently installed guard (the null guard by default)."""
-    return GUARD
+    """The guard installed in the calling thread (null by default)."""
+    return _STATE.guard
 
 
 def install_guard(guard: NullGuard) -> None:
-    """Install ``guard`` as the active guard.  Installs nest:
-    :func:`uninstall_guard` restores the previously active guard."""
-    global GUARD
-    _stack.append(GUARD)
-    GUARD = guard
+    """Install ``guard`` as the calling thread's active guard.  Installs
+    nest: :func:`uninstall_guard` restores the previously active guard."""
+    _STATE.stack.append(_STATE.guard)
+    _STATE.guard = guard
 
 
 def uninstall_guard() -> None:
-    """Restore the guard active before the last :func:`install_guard`."""
-    global GUARD
-    if not _stack:
+    """Restore the guard active before the last :func:`install_guard`
+    in this thread."""
+    if not _STATE.stack:
         raise RuntimeError(
             "uninstall_guard() without a matching install_guard()"
         )
-    GUARD = _stack.pop()
+    _STATE.guard = _STATE.stack.pop()
 
 
 @contextmanager

@@ -27,7 +27,10 @@ from repro.resilience.guard import (
     uninstall_guard,
 )
 
-__all__ = ["GuardedResult", "execute_guarded", "run_query_guarded"]
+__all__ = [
+    "GuardedResult", "evaluate_guarded", "execute_guarded",
+    "run_query_guarded",
+]
 
 
 @dataclass
@@ -118,7 +121,6 @@ def run_query_guarded(store, source: str, guard: NullGuard,
     from repro.errors import QueryCompileError
     from repro.query import parse_query
     from repro.query.compiler import compile_query
-    from repro.query.evaluator import evaluate_query
 
     query = parse_query(source)
     try:
@@ -127,6 +129,21 @@ def run_query_guarded(store, source: str, guard: NullGuard,
         plan = None
     if plan is not None:
         return execute_guarded(plan, guard)
+    return evaluate_guarded(store, query, guard, registry)
+
+
+def evaluate_guarded(store, query, guard: NullGuard,
+                     registry=None) -> GuardedResult:
+    """Run a *parsed* query on the reference evaluator under ``guard``.
+
+    The fallback half of :func:`run_query_guarded`, split out so callers
+    that cache parsed queries (:class:`repro.perf.querycache.QueryCache`)
+    can reuse it without re-parsing.  The evaluator is not streaming, so
+    the row budget applies to the finished result list: over-budget
+    results raise in strict mode and are trimmed + flagged truncated in
+    degrade mode.
+    """
+    from repro.query.evaluator import evaluate_query
 
     install_guard(guard)
     try:

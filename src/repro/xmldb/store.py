@@ -76,6 +76,11 @@ class XMLStore:
         self._structure: Optional["StructureIndex"] = None
         self._stats: Optional["StoreStatistics"] = None
         self._compress_index = False
+        self._postings_cache_capacity: Optional[int] = None
+        #: Monotonic corpus-version counter, bumped whenever the document
+        #: set changes.  The :mod:`repro.perf` caches key every entry on
+        #: it, which makes stale answers unreachable by construction.
+        self.generation = 0
         self.counters = AccessCounters()
 
     def enable_index_compression(self, enabled: bool = True) -> None:
@@ -83,6 +88,24 @@ class XMLStore:
         (see :mod:`repro.index.compress`).  Takes effect on the next
         (re)build — any existing index is discarded."""
         self._compress_index = enabled
+        self._inverted = None
+
+    def enable_postings_cache(self, capacity: Optional[int] = None,
+                              enabled: bool = True) -> None:
+        """Serve ``index.postings()`` through a size-bounded LRU
+        (:class:`repro.perf.postings.CachingIndex`) wrapped around the
+        plain or compressed index.  ``capacity`` is in *postings*
+        (default :data:`repro.perf.postings.DEFAULT_POSTINGS_CAPACITY`).
+        Takes effect on the next (re)build — any existing index is
+        discarded."""
+        if enabled:
+            if capacity is None:
+                from repro.perf.postings import DEFAULT_POSTINGS_CAPACITY
+
+                capacity = DEFAULT_POSTINGS_CAPACITY
+            self._postings_cache_capacity = capacity
+        else:
+            self._postings_cache_capacity = None
         self._inverted = None
 
     # ------------------------------------------------------------------
@@ -110,10 +133,27 @@ class XMLStore:
         self._invalidate()
         return doc
 
+    def remove_document(self, name_or_id) -> Document:
+        """Unregister a document (by name or id) and return it.
+
+        Remaining documents are renumbered to keep doc_ids dense (the
+        ``doc_id == slot`` invariant that global node addressing and the
+        index builders rely on), so node addresses from before a removal
+        must not be held across it — the generation bump invalidates
+        every cache that might."""
+        doc = self.document(name_or_id)
+        del self._documents[doc.doc_id]
+        for slot in range(doc.doc_id, len(self._documents)):
+            self._documents[slot].doc_id = slot
+        self._by_name = {d.name: d.doc_id for d in self._documents}
+        self._invalidate()
+        return doc
+
     def _invalidate(self) -> None:
         self._inverted = None
         self._structure = None
         self._stats = None
+        self.generation += 1
 
     # ------------------------------------------------------------------
     # Catalog access
@@ -171,6 +211,12 @@ class XMLStore:
                     from repro.index.inverted import InvertedIndex
 
                     self._inverted = InvertedIndex.build(self)
+                if self._postings_cache_capacity is not None:
+                    from repro.perf.postings import CachingIndex
+
+                    self._inverted = CachingIndex(
+                        self._inverted, self._postings_cache_capacity
+                    )
             if rec.enabled:
                 rec.set_gauge("index.n_terms", self._inverted.n_terms)
         return self._inverted

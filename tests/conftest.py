@@ -13,6 +13,14 @@ from repro.xmldb.builder import DocumentBuilder
 from repro.xmldb.store import XMLStore
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the tests/golden/*.json snapshots from the current "
+             "outputs instead of comparing against them",
+    )
+
+
 @pytest.fixture()
 def store() -> XMLStore:
     """Fresh Figure-1 example store per test."""

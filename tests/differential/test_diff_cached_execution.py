@@ -1,0 +1,113 @@
+"""Differential tests: cached execution ≡ uncached execution.
+
+Every :class:`repro.perf.querycache.QueryCache` answer — cold, warm
+from the plan cache, warm from the result cache — must be
+indistinguishable from an uncached run of the same dispatch
+(:func:`run_query_guarded` with a null guard): same scores, same source
+node ids, same serialized trees, same order.  Checked over seeded
+random corpora, for the compilable pipeline path (``ScoreFooExact``)
+and the evaluator fallback (``ScoreFoo`` has no compiler lowering), and
+with the postings LRU / compressed index both on and off underneath.
+"""
+
+import random
+
+import pytest
+
+from repro.perf import QueryCache
+from repro.resilience import NullGuard, run_query_guarded
+from repro.xmldb.store import XMLStore
+
+from tests.conftest import build_random_document
+
+pytestmark = pytest.mark.differential
+
+SEEDS = [7, 21, 99]
+
+
+def seeded_store(seed: int, *, compress: bool = False,
+                 postings_cache: bool = False) -> XMLStore:
+    rng = random.Random(seed)
+    store = XMLStore()
+    for d in range(3):
+        store.add_document(build_random_document(
+            rng, 60, doc_id=d, name=f"diff{d}.xml"
+        ))
+    if compress:
+        store.enable_index_compression()
+    if postings_cache:
+        store.enable_postings_cache(capacity=10_000)
+    return store
+
+
+def compilable_query(doc: str = "diff0.xml") -> str:
+    return (
+        f'For $x in document("{doc}")//root/descendant-or-self::* '
+        'Score $x using ScoreFooExact($x, {"red"}, {"green"}) '
+        "Return $x Sortby(score)"
+    )
+
+
+def evaluator_query(doc: str = "diff0.xml") -> str:
+    # ScoreFoo has no register_score_factory lowering, so this takes the
+    # reference-evaluator path in both the cache and the uncached run.
+    return (
+        f'For $x in document("{doc}")//root/descendant-or-self::* '
+        'Score $x using ScoreFoo($x, {"red"}, {"green"}) '
+        "Return $x Sortby(score)"
+    )
+
+
+def fingerprint(results):
+    """Order-preserving identity: score, source node id, full tree."""
+    return [
+        (t.score, getattr(t.root, "source", None),
+         t.to_xml(with_scores=True))
+        for t in results
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("query_fn", [compilable_query, evaluator_query],
+                         ids=["compiled", "evaluator"])
+@pytest.mark.parametrize("compress,postings_cache",
+                         [(False, False), (True, False),
+                          (False, True), (True, True)],
+                         ids=["plain", "compressed", "lru", "lru+compressed"])
+def test_cached_equals_uncached(seed, query_fn, compress, postings_cache):
+    source = query_fn()
+    uncached_store = seeded_store(seed)
+    reference = fingerprint(
+        run_query_guarded(uncached_store, source, NullGuard()).results
+    )
+
+    store = seeded_store(seed, compress=compress,
+                         postings_cache=postings_cache)
+    cache = QueryCache(store)
+    cold = fingerprint(cache.run_query(source))       # fills both tiers
+    warm = fingerprint(cache.run_query(source))       # result-cache hit
+    assert cold == reference
+    assert warm == reference
+
+    plan_only = QueryCache(store, results=False)
+    plan_only.run_query(source)
+    plan_warm = fingerprint(plan_only.run_query(source))  # plan reuse
+    assert plan_warm == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_normalized_spellings_share_results(seed):
+    """Whitespace-different spellings of one query normalize to one cache
+    entry and return the same answer as their uncached runs."""
+    store = seeded_store(seed)
+    cache = QueryCache(store)
+    q1 = compilable_query()
+    q2 = q1.replace(" Score", "\n   Score").replace(" Return", "\n Return")
+    a = fingerprint(cache.run_query(q1))
+    b = fingerprint(cache.run_query(q2))
+    assert a == b
+    assert len(cache.results._lru) == 1  # one normalized entry
+    uncached = fingerprint(
+        run_query_guarded(seeded_store(seed), q2, NullGuard()).results
+    )
+    assert b == uncached

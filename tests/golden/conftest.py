@@ -1,0 +1,48 @@
+"""Golden-snapshot machinery.
+
+``golden`` is a fixture returning a checker: ``golden(name, data)``
+compares ``data`` (any JSON-serializable structure) against
+``tests/golden/<name>.json`` and fails with a diff-friendly message on
+mismatch.  Running pytest with ``--update-golden`` rewrites the
+snapshots instead — review the resulting git diff before committing;
+a score that "just shifted" is exactly the regression this suite
+exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+@pytest.fixture()
+def golden(request):
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, data) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        # Round-trip through JSON so tuples/lists etc. compare equal.
+        payload = json.loads(json.dumps(data))
+        if update:
+            path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden snapshot {path.name} is missing — generate it "
+                "with: pytest tests/golden --update-golden"
+            )
+        expected = json.loads(path.read_text(encoding="utf-8"))
+        assert payload == expected, (
+            f"output diverged from golden snapshot {path.name}; if the "
+            "change is intended, refresh with --update-golden and review "
+            "the diff"
+        )
+
+    return check

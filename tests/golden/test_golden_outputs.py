@@ -1,0 +1,132 @@
+"""Golden regression suite: ranking outputs pinned to JSON snapshots.
+
+Timings vary run to run; *rankings* must not.  These tests pin the
+actual outputs — (doc, node, score) lists — of the paper-query examples
+and of small-scale versions of the Table 1–5 workloads, so any change
+to scoring, merging, or ranking fails loudly with a diff instead of
+silently shifting scores.  Refresh intentionally with::
+
+    PYTHONPATH=src pytest tests/golden --update-golden
+"""
+
+import pytest
+
+from repro.access.composite import Comp3
+from repro.access.phrasefinder import PhraseFinder
+from repro.access.termjoin import TermJoin
+from repro.core.scoring import ProximityScorer, WeightedCountScorer
+from repro.exampledata import example_store
+from repro.query.evaluator import run_query
+from repro.workload import (
+    generate_corpus,
+    table123_spec,
+    table4_spec,
+    table5_spec,
+)
+
+from tests.integration.test_paper_queries import QUERY1, QUERY2, QUERY3
+
+pytestmark = pytest.mark.golden
+
+#: Small-scale workload parameters: big enough that every technique has
+#: real work, small enough that the whole suite stays in seconds.
+SCALE = 0.02
+N_ARTICLES = 60
+
+
+def tree_fingerprint(results):
+    """Order-preserving identity of a result list of scored trees."""
+    return [
+        {
+            "score": None if t.score is None else round(t.score, 6),
+            "xml": t.to_xml(with_scores=True),
+        }
+        for t in results
+    ]
+
+
+def ranking(matches, top: int = 25):
+    """(doc, node, score) triples, ranked score-desc with a stable
+    tiebreak, truncated — the shape Tables 1–4 rank by."""
+    rows = sorted(
+        ((m.doc_id, m.node_id, round(m.score, 6)) for m in matches),
+        key=lambda r: (-r[2], r[0], r[1]),
+    )
+    return [list(r) for r in rows[:top]]
+
+
+class TestPaperQueries:
+    """The §2/§5 example queries over the Figure-1 database."""
+
+    @pytest.mark.parametrize("name,source", [
+        ("query1", QUERY1), ("query2", QUERY2), ("query3", QUERY3),
+    ])
+    def test_paper_query_output(self, golden, name, source):
+        results = run_query(example_store(), source)
+        golden(f"paper_{name}", tree_fingerprint(results))
+
+
+@pytest.fixture(scope="module")
+def corpus123():
+    spec, rows = table123_spec(scale=SCALE, n_articles=N_ARTICLES)
+    return generate_corpus(spec), rows
+
+
+class TestTableWorkloads:
+    def test_table1_rankings(self, golden, corpus123):
+        store, rows = corpus123
+        out = {}
+        for row in rows["table1"]:
+            scorer = WeightedCountScorer([row.terms[0]], row.terms[1:])
+            out[str(row.label)] = ranking(
+                TermJoin(store, scorer).run(list(row.terms))
+            )
+        golden("table1_rankings", out)
+
+    def test_table2_rankings(self, golden, corpus123):
+        store, rows = corpus123
+        out = {}
+        for row in rows["table1"]:  # Table 2 reuses Table 1's sweep
+            scorer = ProximityScorer(row.terms)
+            out[str(row.label)] = ranking(
+                TermJoin(store, scorer, True).run(list(row.terms))
+            )
+        golden("table2_rankings", out)
+
+    def test_table3_rankings(self, golden, corpus123):
+        store, rows = corpus123
+        out = {}
+        for row in rows["table3"]:
+            scorer = ProximityScorer(row.terms)
+            out[str(row.label)] = ranking(
+                TermJoin(store, scorer, True).run(list(row.terms))
+            )
+        golden("table3_rankings", out)
+
+    def test_table4_rankings(self, golden):
+        spec, rows = table4_spec(scale=SCALE, n_articles=N_ARTICLES)
+        store = generate_corpus(spec)
+        out = {}
+        for row in rows:
+            scorer = ProximityScorer(row.terms)
+            out[str(row.label)] = ranking(
+                TermJoin(store, scorer, True).run(list(row.terms))
+            )
+        golden("table4_rankings", out)
+
+    def test_table5_phrase_matches(self, golden):
+        spec, rows = table5_spec(scale=SCALE, n_articles=N_ARTICLES)
+        store = generate_corpus(spec)
+        out = {}
+        for row in rows:
+            matches = [
+                [m.doc_id, m.node_id, m.count]
+                for m in PhraseFinder(store).run(list(row.terms))
+            ]
+            comp3 = [
+                [m.doc_id, m.node_id, m.count]
+                for m in Comp3(store).run(list(row.terms))
+            ]
+            assert matches == comp3  # differential, while we're here
+            out[str(row.query)] = matches[:25]
+        golden("table5_phrases", out)
