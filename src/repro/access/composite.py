@@ -34,8 +34,9 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.access.results import PhraseMatch, ScoredElement
 from repro.core.scoring import count_phrase
-from repro.index.inverted import P_DOC, P_NODE, P_OFFSET, P_POS
+from repro.index.inverted import P_DOC, P_NODE, P_OFFSET
 from repro.joins.structural import stack_tree_join
+from repro.resilience import guard as _resguard
 from repro.xmldb.store import XMLStore
 
 
@@ -57,7 +58,12 @@ class Comp1:
         index = self.store.index
         counters = self.store.counters
         per_term_groups: List[List[Tuple[Tuple[int, int], list]]] = []
+        guard = _resguard.GUARD
+        guard_active = guard.active
+        gi = 0
         for term in terms:
+            if guard_active:
+                guard.tick()
             postings = index.postings(term)
             counters.index_lookups += 1
             counters.postings_read += len(postings)
@@ -71,6 +77,10 @@ class Comp1:
                 Tuple[int, int, Tuple[str, int, int], SNode]
             ] = []
             for p in postings:
+                if guard_active:
+                    gi += 1
+                    if not (gi & 255):
+                        guard.tick(256)
                 doc = self.store.document(p[P_DOC])
                 node = p[P_NODE]
                 occ = (term, node, p[P_OFFSET])
@@ -164,13 +174,25 @@ class Comp2(Comp1):
 
         merged: Dict[Tuple[int, int], list] = {}
         order: List[Tuple[int, int]] = []
+        guard = _resguard.GUARD
+        guard_active = guard.active
+        gi = 0
         for term in terms:
+            if guard_active:
+                guard.tick()
             postings = index.postings(term)
             counters.index_lookups += 1
             counters.postings_read += len(postings)
             counters.nodes_fetched += len(all_elements)  # full scan
+            # stack_tree_join ticks internally; the containment output
+            # it returns can still dwarf its inputs, so the pair loop
+            # checks on its own stride too.
             pairs = stack_tree_join(all_elements, postings.postings)
             for anc, posting in pairs:
+                if guard_active:
+                    gi += 1
+                    if not (gi & 255):
+                        guard.tick(256)
                 key = (anc[0], anc[4])
                 occ = (term, posting[P_NODE], posting[P_OFFSET])
                 if key in merged:
@@ -199,7 +221,11 @@ class Comp3:
         # Index access per term: the basic lookup returns element ids
         # only (§5.1) — offsets are not used until the filter.
         candidate_sets: List[set] = []
+        guard = _resguard.GUARD
+        guard_active = guard.active
         for term in phrase_terms:
+            if guard_active:
+                guard.tick()
             postings = index.postings(term)
             counters.index_lookups += 1
             counters.postings_read += len(postings)
@@ -213,6 +239,11 @@ class Comp3:
         out: List[PhraseMatch] = []
         terms = [t.lower() for t in phrase_terms]
         for doc_id, node_id in sorted(candidates):
+            # One check per candidate: each iteration refetches and
+            # rescans an element's full text, heavy enough that strides
+            # would only delay the deadline.
+            if guard_active:
+                guard.tick()
             doc = self.store.document(doc_id)
             counters.nodes_fetched += 1
             words = doc.direct_words(node_id)

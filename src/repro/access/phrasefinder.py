@@ -13,7 +13,7 @@ to generate appropriate score values").
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Sequence, Set, Tuple
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from repro import obs as _obs
 from repro.resilience import guard as _resguard

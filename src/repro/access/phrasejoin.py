@@ -22,7 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro import obs as _obs
 from repro.resilience import guard as _resguard
-from repro.access.phrasefinder import PhraseFinder, PhraseOccurrence
+from repro.access.phrasefinder import PhraseFinder
 from repro.access.results import ScoredElement
 from repro.xmldb.store import XMLStore
 from repro.xmldb.text import tokenize_phrase

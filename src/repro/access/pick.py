@@ -147,7 +147,14 @@ class PickAccess:
         # frames: (node, child_iter_index, rebuilt_children)
         result_of = {}
         stack: List[Tuple[SNode, int, List[SNode]]] = [(tree.root, 0, [])]
+        guard = _resguard.GUARD
+        guard_active = guard.active
+        gi = 0
         while stack:
+            if guard_active:
+                gi += 1
+                if not (gi & 255):
+                    guard.tick(256)
             node, i, rebuilt = stack.pop()
             if i < len(node.children):
                 stack.append((node, i + 1, rebuilt))

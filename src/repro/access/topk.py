@@ -20,7 +20,9 @@ simple scoring function without materializing every total.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+from repro.resilience import guard as _resguard
 
 #: One source list: descending (score, item) pairs.
 ScoreList = Sequence[Tuple[float, Hashable]]
@@ -58,8 +60,17 @@ def threshold_algorithm(
     counter = 0
     positions = [0] * n
     reads = 0
+    guard = _resguard.GUARD
+    guard_active = guard.active
+    gi = 0
 
     while True:
+        # One check per round of sorted accesses (n reads + n random
+        # probes), strided so the uncontended path stays two int ops.
+        if guard_active:
+            gi += 1
+            if not (gi & 63):
+                guard.tick(64)
         frontier: List[float] = []
         progressed = False
         for i, lst in enumerate(lists):
@@ -121,8 +132,15 @@ def brute_force_topk(
 ) -> List[Tuple[float, Hashable]]:
     """Oracle: materialize every total, sort, cut."""
     totals: Dict[Hashable, float] = {}
+    guard = _resguard.GUARD
+    guard_active = guard.active
+    gi = 0
     for pairs in results_per_term:
         for score, item in pairs:
+            if guard_active:
+                gi += 1
+                if not (gi & 255):
+                    guard.tick(256)
             totals[item] = totals.get(item, 0.0) + score
     ranked = sorted(totals.items(), key=lambda kv: -kv[1])[:k]
     return [(score, item) for item, score in ranked]

@@ -10,7 +10,7 @@ that claim on synthetic relevance judgments
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Sequence, Set
+from typing import Dict, Hashable, Sequence, Set
 
 
 def precision_at_k(ranked: Sequence[Hashable],

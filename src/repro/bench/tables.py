@@ -9,7 +9,7 @@ generation, tests) can assert on the numbers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.access.composite import Comp1, Comp2, Comp3
 from repro.access.phrasefinder import PhraseFinder

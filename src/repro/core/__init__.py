@@ -22,7 +22,9 @@ clarity over speed.  The high-performance evaluation path is
 tested for equivalence against these operators.
 """
 
-from repro.core.trees import SNode, STree, snode_from_document, tree_from_document
+from repro.core.trees import (
+    SNode, STree, snode_from_document, tree_from_document,
+)
 from repro.core.pattern import (
     EdgeType,
     PatternNode,

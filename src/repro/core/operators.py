@@ -18,11 +18,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.matching import Match, find_embeddings
 from repro.core.pattern import (
     Combine,
-    ExistingScore,
     FromLabel,
     JoinScore,
     NodeScore,
-    PhraseScore,
     ScoredPatternTree,
 )
 from repro.core.pick import PickCriterion, pick_tree
@@ -183,7 +181,8 @@ def _build_witness(
         else:
             children.setdefault(p, []).append(i)
     for p, kids in children.items():
-        kids.sort(key=lambda i: (entities[i][1].order_start, depths[entities[i][0]]))
+        kids.sort(key=lambda i: (entities[i][1].order_start,
+                                 depths[entities[i][0]]))
         copies[p].children = [copies[i] for i in kids]
     assert root_copy is not None
     return STree(root_copy)
@@ -257,8 +256,8 @@ def scored_projection(
         node_scores: Dict[int, Optional[float]] = {}
         for nid, node in retained.items():
             primaries = [
-                l for l in node_labels[nid]
-                if isinstance(pattern.scoring.get(l), NodeScore)
+                lbl for lbl in node_labels[nid]
+                if isinstance(pattern.scoring.get(lbl), NodeScore)
             ]
             if primaries:
                 rule = pattern.scoring[primaries[0]]
@@ -394,7 +393,8 @@ def threshold(
     if top_k is not None:
         all_scores: List[float] = []
         for t in survivors:
-            all_scores.extend(n.score for n in label_nodes(t))  # type: ignore[misc]
+            all_scores.extend(
+                n.score for n in label_nodes(t))  # type: ignore[misc]
         all_scores.sort(reverse=True)
         if not all_scores:
             return []

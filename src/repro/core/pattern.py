@@ -31,7 +31,9 @@ Example — the pattern of Figure 3 (Query 2)::
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
+from typing import (
+    Callable, Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING,
+)
 
 from repro.errors import PatternError
 from repro.core.trees import SNode
@@ -159,7 +161,7 @@ class Combine(ScoreRule):
         return tuple(self.labels)
 
     def evaluate(self, scores: Dict[str, float]) -> float:
-        return self.fn(*[scores.get(l, 0.0) for l in self.labels])
+        return self.fn(*[scores.get(lbl, 0.0) for lbl in self.labels])
 
 
 class JoinScore(ScoreRule):
@@ -272,13 +274,14 @@ class ScoredPatternTree:
     def primary_ir_labels(self) -> List[str]:
         """Labels carrying an IR-style predicate (a :class:`PhraseScore`)."""
         return [
-            l for l, r in self.scoring.items() if isinstance(r, PhraseScore)
+            lbl for lbl, rule in self.scoring.items()
+            if isinstance(rule, PhraseScore)
         ]
 
     def ir_labels(self) -> List[str]:
         """All labels with a scoring rule attached (primary + secondary),
         excluding temporary join-score variables not in the tree."""
-        return [l for l in self.scoring if l in self._by_label]
+        return [lbl for lbl in self.scoring if lbl in self._by_label]
 
     def scoring_order(self) -> List[str]:
         """Scoring labels in dependency order (primaries and join scores

@@ -32,7 +32,7 @@ This reproduces Figure 8 from Figure 6 exactly (tested in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.core.trees import SNode, STree
@@ -72,7 +72,8 @@ class PickCriterion:
 
     def is_relevant(self, node: SNode) -> bool:
         """Condition 1): score at least the relevance threshold."""
-        return node.score is not None and node.score >= self.relevance_threshold
+        return (node.score is not None
+                and node.score >= self.relevance_threshold)
 
     def worth(self, node: SNode, candidate_children: Sequence[SNode]) -> bool:
         """Is ``node`` worth returning?  ``candidate_children`` are its

@@ -23,7 +23,7 @@ the most probable granularity, and so on.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Optional
 
 from repro.core.pattern import NodeScore
 from repro.core.trees import SNode, STree

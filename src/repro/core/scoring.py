@@ -24,7 +24,7 @@ both produce identical values, which the tests assert.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.trees import SNode
 from repro.xmldb.text import tokenize_phrase

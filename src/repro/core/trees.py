@@ -142,7 +142,9 @@ class SNode:
         attrs = dict(self.attrs)
         if with_scores and self.score is not None:
             attrs["score"] = f"{self.score:g}"
-        attr_str = "".join(f' {k}="{escape_attr(str(v))}"' for k, v in attrs.items())
+        attr_str = "".join(
+            f' {k}="{escape_attr(str(v))}"' for k, v in attrs.items()
+        )
         if not self.children and not self.words:
             out.append(f"<{self.tag}{attr_str}/>")
             return
@@ -221,7 +223,8 @@ class STree:
         return self.root.sketch()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"STree({self.root.tag}, {self.n_nodes()} nodes, score={self.score})"
+        return (f"STree({self.root.tag}, {self.n_nodes()} nodes, "
+                f"score={self.score})")
 
 
 # ----------------------------------------------------------------------
@@ -265,7 +268,8 @@ def build_minimal_hierarchy(nodes: Sequence[SNode]) -> List[SNode]:
     unique: Dict[int, SNode] = {}
     for n in nodes:
         unique[id(n)] = n
-    ordered = sorted(unique.values(), key=lambda n: (n.order_start, -n.order_end))
+    ordered = sorted(unique.values(),
+                     key=lambda n: (n.order_start, -n.order_end))
     roots: List[SNode] = []
     copies: List[SNode] = []
     stack: List[SNode] = []  # originals whose copies are open

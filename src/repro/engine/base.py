@@ -237,7 +237,8 @@ def explain(plan: Operator, _depth: int = 0, analyze: bool = False) -> str:
     was installed during the run), ``next()`` call count, and any
     access-method counters the operator reported::
 
-        termjoin-scan(...) [time=1.742ms rows=42 loops=43 postings_scanned=1204]
+        termjoin-scan(...) [time=1.742ms rows=42 loops=43
+                            postings_scanned=1204]
     """
     pad = "  " * _depth
     if analyze:

@@ -13,7 +13,6 @@ from typing import Callable, List, Optional, Sequence
 from repro import obs as _obs
 from repro.resilience import guard as _resguard
 from repro.access.phrasefinder import PhraseFinder
-from repro.access.pick import PickAccess
 from repro.access.termjoin import TermJoin
 from repro.core.operators import (
     PickCriterion,

@@ -13,7 +13,6 @@ figure-reproduction integration tests.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.core.pattern import (
     Combine,
@@ -109,7 +108,7 @@ def query1_pattern() -> ScoredPatternTree:
     """Query 1 (Figure 2): document components of articles.xml scored by
     ScoreFoo — a single-node IR pattern under the article."""
     p1 = PatternNode("$1", tag="article")
-    p4 = p1.add_child(PatternNode("$4"), EdgeType.ADS)
+    p1.add_child(PatternNode("$4"), EdgeType.ADS)
     return ScoredPatternTree(
         p1,
         scoring={
@@ -130,7 +129,7 @@ def query2_pattern() -> ScoredPatternTree:
         ),
         EdgeType.PC,
     )
-    p4 = p1.add_child(PatternNode("$4"), EdgeType.ADS)
+    p1.add_child(PatternNode("$4"), EdgeType.ADS)
     return ScoredPatternTree(
         p1,
         scoring={

@@ -18,7 +18,7 @@ Inputs use the flat tuple encodings of :mod:`repro.index`:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.index.structure import ElementRef
 from repro.resilience import guard as _resguard
@@ -101,7 +101,14 @@ def naive_structural_join(
     order matches :func:`stack_tree_join` (descendant-major, outermost
     ancestor first)."""
     out: List[JoinPair] = []
+    guard = _resguard.GUARD
+    guard_active = guard.active
     for d in descendants:
+        # Each iteration scans the whole ancestor table, so one check
+        # per descendant keeps the guard granularity comparable to the
+        # strided checks of the merge join.
+        if guard_active:
+            guard.tick()
         d_doc, d_pos = _desc_key(d)
         d_end = _desc_end(d)
         matches = [

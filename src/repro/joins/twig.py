@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.index.structure import E_DOC, E_END, E_LEVEL, E_NODE, E_START, ElementRef
+from repro.index.structure import E_DOC, E_END, E_NODE, E_START, ElementRef
 from repro.xmldb.store import XMLStore
 
 Match = Dict[str, Tuple[int, int]]

@@ -15,8 +15,8 @@ query terms (single terms and quoted phrases).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 
 @dataclass(frozen=True)

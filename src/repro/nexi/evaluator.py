@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scoring import WeightedCountScorer
 from repro.joins.twig import TwigNode, path_stack
-from repro.nexi.ast import AboutClause, BoolOp, NexiPath, Predicate
+from repro.nexi.ast import AboutClause, NexiPath, Predicate
 from repro.nexi.parser import parse_nexi
 from repro.xmldb.document import Document
 from repro.xmldb.store import XMLStore

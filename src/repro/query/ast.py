@@ -7,8 +7,8 @@ walk this tree.  The grammar the parser accepts is documented in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 
 # ----------------------------------------------------------------------

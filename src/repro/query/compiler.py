@@ -13,7 +13,8 @@ semantics; this compiler recognizes the paper's canonical IR-query shape
 
 and produces a pipelined engine plan built on the TermJoin access method:
 
-    TermJoinScan → structural filter → threshold(V) → sort → limit(K) → materialize
+    TermJoinScan → structural filter → threshold(V) → sort → limit(K)
+    → materialize
 
 Compilation requires the scoring function to have a registered *simple
 scorer factory* (term-level scoring the index can drive — see
@@ -31,7 +32,6 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.access.termjoin import TermJoin
-from repro.core.scoring import WeightedCountScorer
 from repro.core.trees import SNode, STree
 from repro.engine.base import Operator, execute, explain
 from repro.engine.operators import (
@@ -163,7 +163,8 @@ def _compile_query(store: XMLStore, query: Query,
 
 def _parse_for_path(for_clause: ForClause) -> Tuple[str, tuple]:
     source = for_clause.source
-    if not isinstance(source, PathExpr) or not isinstance(source.root, DocCall):
+    if (not isinstance(source, PathExpr)
+            or not isinstance(source.root, DocCall)):
         raise QueryCompileError(
             "compiled For source must be a document(...) path"
         )

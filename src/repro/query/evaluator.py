@@ -24,7 +24,7 @@ operands compare numerically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 from repro.access.pick import PickAccess
 from repro.core.trees import SNode, STree, tree_from_document
@@ -483,9 +483,9 @@ class QueryEvaluator:
         left = self.eval_expr(cmp.left, env, context)
         right = self.eval_expr(cmp.right, env, context)
         # Existential semantics over sequences.
-        for l in as_sequence(left) or [None]:
-            for r in as_sequence(right) or [None]:
-                if self._compare(cmp.op, l, r):
+        for lv in as_sequence(left) or [None]:
+            for rv in as_sequence(right) or [None]:
+                if self._compare(cmp.op, lv, rv):
                     return True
         return False
 

@@ -13,7 +13,7 @@ criteria are :class:`~repro.core.pick.PickCriterion` factories.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.core.pick import PickCriterion
 from repro.core.scoring import (

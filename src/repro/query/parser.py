@@ -116,7 +116,8 @@ class _Parser:
     # -- expressions ---------------------------------------------------------
 
     def parse_expr(self) -> Expr:
-        if self.peek().type == "keyword" and self.peek().value in _CLAUSE_KEYWORDS:
+        if (self.peek().type == "keyword"
+                and self.peek().value in _CLAUSE_KEYWORDS):
             return self.parse_flwor()
         if self.at("symbol", "<"):
             return self.parse_ctor()
@@ -129,7 +130,8 @@ class _Parser:
 
     def parse_flwor(self) -> FLWOR:
         clauses: List = []
-        while self.peek().type == "keyword" and self.peek().value in _CLAUSE_KEYWORDS:
+        while (self.peek().type == "keyword"
+               and self.peek().value in _CLAUSE_KEYWORDS):
             kw = self.advance().value
             if kw == "For":
                 var = self.expect("var").value
@@ -211,7 +213,7 @@ class _Parser:
             return Comparison(op, left, right)
         return left
 
-    # -- primaries --------------------------------------------------------------
+    # -- primaries ------------------------------------------------------
 
     def parse_primary(self) -> Expr:
         tok = self.peek()
@@ -341,7 +343,7 @@ class _Parser:
             return ContainsVar(var)
         return self.parse_or()
 
-    # -- element constructors ---------------------------------------------------
+    # -- element constructors -------------------------------------------
 
     def parse_ctor(self) -> ElementCtor:
         self.expect("symbol", "<")

@@ -29,7 +29,6 @@ from repro.query.ast import (
     Step,
     TermSet,
     TextContent,
-    ThresholdClause,
     VarRef,
     WhereClause,
 )

@@ -11,7 +11,7 @@ frequencies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.workload.corpus import CorpusSpec
 

@@ -8,7 +8,6 @@ scored trees of an exact size with a controllable relevant-score fraction.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.trees import SNode, STree
 

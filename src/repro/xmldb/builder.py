@@ -58,7 +58,8 @@ class DocumentBuilder:
     # Events
     # ------------------------------------------------------------------
 
-    def start_element(self, tag: str, attrs: Optional[Dict[str, str]] = None) -> int:
+    def start_element(self, tag: str,
+                      attrs: Optional[Dict[str, str]] = None) -> int:
         """Open an element; returns its node id."""
         if self._finished:
             raise TIXError("builder already finished")

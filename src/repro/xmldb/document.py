@@ -239,7 +239,8 @@ class Document:
 
     def is_ancestor(self, anc: int, desc: int) -> bool:
         """Region-containment ancestor test (strict)."""
-        return self.starts[anc] < self.starts[desc] and self.ends[desc] <= self.ends[anc]
+        return (self.starts[anc] < self.starts[desc]
+                and self.ends[desc] <= self.ends[anc])
 
     def level(self, node_id: int) -> int:
         """Depth of the node; the root is level 0."""
@@ -304,7 +305,8 @@ class Document:
     # Serialization
     # ------------------------------------------------------------------
 
-    def serialize(self, node_id: Optional[int] = None, indent: bool = False) -> str:
+    def serialize(self, node_id: Optional[int] = None,
+                  indent: bool = False) -> str:
         """Serialize the subtree at ``node_id`` (default: root) back to XML.
 
         With ``indent=True`` a readable pretty-printed form is produced;
@@ -312,7 +314,8 @@ class Document:
         parse → serialize round trip preserves text content exactly.
         """
         out: List[str] = []
-        self._serialize_into(node_id if node_id is not None else 0, out, indent, 0)
+        self._serialize_into(
+            node_id if node_id is not None else 0, out, indent, 0)
         return "".join(out)
 
     def _serialize_into(

@@ -41,7 +41,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro import obs as _obs
 from repro.errors import PersistError, TIXError

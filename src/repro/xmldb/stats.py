@@ -62,7 +62,8 @@ class StoreStatistics:
             n_elements=store.n_elements,
             n_words=store.n_words,
             max_fanout=max_fanout,
-            avg_fanout=(total_children / internal_nodes) if internal_nodes else 0.0,
+            avg_fanout=((total_children / internal_nodes)
+                        if internal_nodes else 0.0),
             max_depth=max_depth,
         )
 

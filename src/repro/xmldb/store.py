@@ -10,7 +10,7 @@ wall-clock time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro import obs as _obs
@@ -165,7 +165,8 @@ class XMLStore:
             try:
                 return self._documents[name_or_id]
             except IndexError:
-                raise DocumentNotFoundError(f"no document with id {name_or_id}")
+                raise DocumentNotFoundError(
+                    f"no document with id {name_or_id}")
         try:
             return self._documents[self._by_name[name_or_id]]
         except KeyError:

@@ -30,7 +30,8 @@ def tokenize_text(text: str) -> List[str]:
 def tokenize_with_spans(text: str) -> List[Tuple[str, int, int]]:
     """Like :func:`tokenize_text` but returns ``(term, start, end)`` character
     spans, used by tests that check offset bookkeeping."""
-    return [(m.group(0).lower(), m.start(), m.end()) for m in _TERM_RE.finditer(text)]
+    return [(m.group(0).lower(), m.start(), m.end())
+            for m in _TERM_RE.finditer(text)]
 
 
 def tokenize_phrase(phrase: str) -> List[str]:

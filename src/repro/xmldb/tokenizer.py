@@ -16,7 +16,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional
 
 from repro.errors import XMLParseError
 
@@ -64,7 +64,8 @@ def decode_entities(raw: str, line: int = 0, column: int = 0) -> str:
         try:
             return _PREDEFINED_ENTITIES[body]
         except KeyError:
-            raise XMLParseError(f"unknown entity &{body};", line, column) from None
+            raise XMLParseError(
+                f"unknown entity &{body};", line, column) from None
 
     return _ENTITY_RE.sub(repl, raw)
 
@@ -139,7 +140,8 @@ class XMLTokenizer:
                     end = n
                 raw = src[self.pos: end]
                 self._advance(end - self.pos)
-                yield Token(TokenType.TEXT, decode_entities(raw, line, col), line, col)
+                yield Token(TokenType.TEXT,
+                            decode_entities(raw, line, col), line, col)
         yield Token(TokenType.EOF, None, self.line, self.col)
 
     def _read_markup(self, line: int, col: int) -> Optional[Token]:
@@ -192,7 +194,8 @@ class XMLTokenizer:
             self_closing = True
         else:
             self._expect(">")
-        return Token(TokenType.START_TAG, (tag, attrs, self_closing), line, col)
+        return Token(TokenType.START_TAG, (tag, attrs, self_closing),
+                     line, col)
 
     def _read_attributes(self) -> Dict[str, str]:
         attrs: Dict[str, str] = {}
@@ -227,5 +230,6 @@ class XMLTokenizer:
         raw = self.source[self.pos: end]
         self._advance(end - self.pos + 1)
         if "<" in raw:
-            raise XMLParseError("'<' not allowed in attribute value", line, col)
+            raise XMLParseError(
+                "'<' not allowed in attribute value", line, col)
         return decode_entities(raw, line, col)
