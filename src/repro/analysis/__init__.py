@@ -1,0 +1,58 @@
+"""Engine invariant linter: AST rules for the contracts PRs 1-3
+introduced.
+
+``tix lint`` (and CI) run :func:`repro.analysis.lint` over ``src/``:
+six engine-specific rules check the operator lifecycle protocol, guard
+ticks in access-method loops, metric-name agreement with
+:mod:`repro.obs.catalog` and ``docs/observability.md``, fault-point
+names against :data:`repro.resilience.faultinject.FAULT_POINTS`, lock
+discipline in :mod:`repro.perf`, and context-managed file handles.
+See ``docs/static-analysis.md`` for the rule catalog and the
+``# tix-lint: disable=RULE`` suppression syntax.
+"""
+
+from repro.analysis.core import (
+    ERROR,
+    WARNING,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+    get_rules,
+    register,
+    rule_classes,
+)
+from repro.analysis.report import (
+    JSON_VERSION,
+    render_human,
+    render_json,
+    to_dict,
+)
+from repro.analysis.runner import (
+    LintResult,
+    build_project,
+    default_root,
+    lint,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "JSON_VERSION",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Severity",
+    "build_project",
+    "default_root",
+    "get_rules",
+    "lint",
+    "register",
+    "render_human",
+    "render_json",
+    "rule_classes",
+    "to_dict",
+]

@@ -1,0 +1,180 @@
+"""Rule ``fault-point-drift``: fault-point names match the declared
+registry.
+
+The chaos suite addresses injection sites by *string name*
+(``FaultSpec(point="persist.read_doc")``).  Rename the string at the
+``fire()`` site and every chaos scenario targeting it silently stops
+injecting — tests keep passing because nothing fails, which is exactly
+the wrong signal.  :data:`repro.resilience.faultinject.FAULT_POINTS` is
+the declared registry; this rule pins the code to it, both ways:
+
+- every point name that reaches ``INJECTOR.fire(...)`` — as a string
+  literal at the call, or as a literal passed to a wrapper function
+  with a ``point`` parameter (``_read_file(path, "persist.read_doc")``)
+  — must be a registry key;
+- every registry key must be fired by at least one such site (a stale
+  entry advertises an injection point the chaos suite can no longer
+  reach).
+
+Like the metric catalog, the registry is read with
+``ast.literal_eval`` from the tree being linted, not imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule, register
+
+_REGISTRY_RELPATH = "repro/resilience/faultinject.py"
+_PARAM = "point"
+
+#: (module, node, point-name) of a resolved fire site.
+_Site = Tuple[ModuleInfo, ast.Call, str]
+
+
+def _load_registry(module: ModuleInfo) -> Optional[Dict[str, str]]:
+    for node in module.tree.body:
+        target = None
+        if isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        else:
+            continue
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "FAULT_POINTS"
+            and value is not None
+        ):
+            try:
+                parsed = ast.literal_eval(value)
+            except ValueError:
+                return None
+            if isinstance(parsed, dict):
+                return parsed
+    return None
+
+
+def _entry_line(module: ModuleInfo, name: str) -> int:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Constant) and node.value == name:
+            return node.lineno
+    return 1
+
+
+def _point_arg(call: ast.Call, index: int) -> Optional[ast.expr]:
+    """The expression bound to the ``point`` parameter at ``index``."""
+    for kw in call.keywords:
+        if kw.arg == _PARAM:
+            return kw.value
+    if len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+def _wrapper_index(fn: ast.FunctionDef) -> Optional[int]:
+    """Positional index of a ``point`` parameter, skipping ``self``."""
+    names = [a.arg for a in fn.args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    if _PARAM in names:
+        return names.index(_PARAM)
+    return None
+
+
+@register
+class FaultPointDriftRule(Rule):
+    name = "fault-point-drift"
+    description = (
+        "fault-point names at INJECTOR.fire() sites (and wrapper call "
+        "sites) must match the FAULT_POINTS registry in "
+        "repro/resilience/faultinject.py, and every registered point "
+        "must be reachable"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registry_module = project.module_by_relpath(_REGISTRY_RELPATH)
+        if registry_module is None:
+            yield self.file_finding(
+                _REGISTRY_RELPATH, 1,
+                "fault-point registry module not found in the tree",
+            )
+            return
+        registry = _load_registry(registry_module)
+        if registry is None:
+            yield self.finding(
+                registry_module, None,
+                "FAULT_POINTS is missing or not a literal dict; the "
+                "chaos suite has no declared point registry",
+            )
+            return
+
+        # Wrapper functions taking a `point` parameter, by simple name.
+        # `fire` itself qualifies, which is correct: bare-name calls to
+        # it would be checked the same way as the attribute form below.
+        wrappers: Dict[str, int] = {}
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.FunctionDef):
+                    index = _wrapper_index(node)
+                    if index is not None:
+                        wrappers[node.name] = index
+
+        sites: List[_Site] = []
+        for module in project.modules:
+            if module.relpath == _REGISTRY_RELPATH:
+                continue  # the injector's own machinery, not a site
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                expr: Optional[ast.expr] = None
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fire"
+                ):
+                    expr = _point_arg(node, 0)
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in wrappers
+                ):
+                    expr = _point_arg(node, wrappers[node.func.id])
+                if expr is None:
+                    continue
+                if isinstance(expr, ast.Constant) and isinstance(
+                    expr.value, str
+                ):
+                    sites.append((module, node, expr.value))
+                # A non-literal expression is a pass-through (e.g. the
+                # wrapper forwarding its own `point` parameter) — the
+                # literal is checked where it enters the call chain.
+
+        fired: Set[str] = set()
+        for module, node, point in sites:
+            if point in registry:
+                fired.add(point)
+            else:
+                yield self.finding(
+                    module, node,
+                    f"fault point {point!r} is not declared in "
+                    f"FAULT_POINTS — chaos scenarios cannot target it "
+                    f"by contract; add it to the registry",
+                )
+
+        for point in sorted(set(registry) - fired):
+            yield self.finding(
+                registry_module,
+                _line_anchor(registry_module, point),
+                f"registered fault point {point!r} is never fired by "
+                f"any code path — remove the stale entry or restore "
+                f"the injection site",
+            )
+
+
+class _line_anchor:
+    """Line/col anchor for registry-entry findings."""
+
+    def __init__(self, module: ModuleInfo, name: str) -> None:
+        self.lineno = _entry_line(module, name)
+        self.col_offset = 0

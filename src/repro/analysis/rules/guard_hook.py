@@ -1,0 +1,132 @@
+"""Rule ``guard-hook``: hot access-method loops must tick the guard.
+
+The resilience layer's deadlines and cancellation are *cooperative*: a
+query is only as responsive as its tightest loop's willingness to call
+``guard.tick()``.  The engine's ``Operator.next()`` ticks once per row,
+but the access methods (TermJoin, PhraseFinder, Pick, the structural
+joins, the composite baselines) run data-dependent merge loops *inside*
+one ``next()``/``run()`` call — a loop over a million postings that
+never ticks turns a 100 ms deadline into an unbounded stall.
+
+The rule formalizes the PR 2 convention:
+
+- **scope**: every entry point in ``repro/access/*.py`` and
+  ``repro/joins/structural.py`` — public module-level functions, plus
+  methods named ``run`` / ``occurrences`` / ``picked_nodes`` (the
+  access-method driver protocol);
+- **obligation**: if the entry point's body contains a ``for``/``while``
+  loop, the body must call ``guard.tick(...)`` somewhere, **or** call a
+  project function that itself ticks (delegation — e.g.
+  ``PhraseFinder.run`` drives ``occurrences``, which ticks).
+
+Genuinely bounded loops can opt out with
+``# tix-lint: disable=guard-hook`` on the ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule, register
+
+#: Files whose entry points are governed.
+_TARGET_PREFIX = "repro/access/"
+_TARGET_FILES = ("repro/joins/structural.py",)
+
+#: Method names treated as access-method entry points.
+_ENTRY_METHODS = ("run", "occurrences", "picked_nodes")
+
+
+def _is_target(module: ModuleInfo) -> bool:
+    return (
+        module.relpath.startswith(_TARGET_PREFIX)
+        or module.relpath in _TARGET_FILES
+    )
+
+
+def _has_loop(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.While)):
+            return True
+    return False
+
+
+def _has_tick(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "tick"
+        ):
+            return True
+    return False
+
+
+def _called_names(fn: ast.FunctionDef) -> Set[str]:
+    """Simple names of everything the function calls (``f(...)`` →
+    ``f``; ``self.m(...)`` / ``obj.m(...)`` → ``m``)."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name):
+            out.add(node.func.id)
+        elif isinstance(node.func, ast.Attribute):
+            out.add(node.func.attr)
+    return out
+
+
+@register
+class GuardHookRule(Rule):
+    name = "guard-hook"
+    description = (
+        "data-dependent loops in access methods and structural joins "
+        "must call guard.tick() (directly or via a ticking helper) so "
+        "deadlines and cancellation stay responsive"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        # Pre-pass: names of project functions (in the governed files)
+        # that tick — delegation targets.
+        ticking: Set[str] = set()
+        for module in project.modules:
+            if not _is_target(module):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.FunctionDef) and _has_tick(node):
+                    ticking.add(node.name)
+
+        for module in project.modules:
+            if not _is_target(module):
+                continue
+            yield from self._check_module(module, ticking)
+
+    def _check_module(self, module: ModuleInfo,
+                      ticking: Set[str]) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                if not node.name.startswith("_"):
+                    yield from self._check_fn(module, node, ticking)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name in _ENTRY_METHODS
+                    ):
+                        yield from self._check_fn(module, item, ticking)
+
+    def _check_fn(self, module: ModuleInfo, fn: ast.FunctionDef,
+                  ticking: Set[str]) -> Iterator[Finding]:
+        if not _has_loop(fn):
+            return
+        if _has_tick(fn):
+            return
+        if _called_names(fn) & ticking:
+            return  # delegates to a ticking helper
+        yield self.finding(
+            module, fn,
+            f"{fn.name}() runs data-dependent loops without a guard "
+            f"tick; hoist `guard = _resguard.GUARD` and call "
+            f"guard.tick() in the hot loop (see docs/robustness.md)",
+        )

@@ -1,0 +1,148 @@
+"""Rule ``lock-discipline``: shared state of lock-holding perf classes
+is only mutated under the lock.
+
+The cache hierarchy (:mod:`repro.perf`) is the one part of the engine
+shared across the batch executor's worker threads.  Its classes follow
+one convention: a class that owns ``self._lock = threading.Lock()``
+mutates its shared attributes **only** inside ``with self._lock:``.
+A write that drifts outside the block is a data race that no test will
+catch deterministically — exactly the class of bug a static pass earns
+its keep on.
+
+Mechanics: within ``repro/perf/*.py``, for every class whose ``__init__``
+assigns ``self._lock`` from ``threading.Lock()`` / ``RLock()``, every
+*other* method's
+
+- assignment / augmented-assignment to ``self.<attr>`` or
+  ``self.<attr>[...]``, and
+- mutator call on a ``self.<attr>`` container (``pop``, ``clear``,
+  ``move_to_end``, ...)
+
+must have a ``with self._lock:`` ancestor.  ``__init__`` itself is
+exempt (the object is not yet published).  Reads are not checked — the
+codebase deliberately reads lifetime tallies without the lock — and
+methods may opt out with ``# tix-lint: disable=lock-discipline`` where
+single-threaded use is guaranteed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule, register
+
+_TARGET_PREFIX = "repro/perf/"
+
+#: Container methods that mutate in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "move_to_end", "add", "discard",
+})
+
+_LOCK_FACTORIES = ("Lock", "RLock")
+
+
+def _is_self_attr(expr: ast.expr, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and (attr is None or expr.attr == attr)
+    )
+
+
+def _assigns_lock(cls: ast.ClassDef) -> bool:
+    """Does any method do ``self._lock = threading.Lock()`` (or RLock)?"""
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(_is_self_attr(t, "_lock") for t in node.targets):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _LOCK_FACTORIES
+        ):
+            return True
+    return False
+
+
+def _under_lock(module: ModuleInfo, node: ast.AST,
+                stop: ast.FunctionDef) -> bool:
+    """Is ``node`` inside a ``with self._lock:`` block within ``stop``?"""
+    cur: Optional[ast.AST] = node
+    while cur is not None and cur is not stop:
+        if isinstance(cur, ast.With):
+            for item in cur.items:
+                if _is_self_attr(item.context_expr, "_lock"):
+                    return True
+        cur = module.parent_of(cur)
+    return False
+
+
+def _shared_write(node: ast.AST) -> Optional[str]:
+    """If ``node`` mutates ``self.<attr>`` state, the attribute name."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if _is_self_attr(target):
+                if target.attr == "_lock":
+                    continue  # installing the lock itself
+                return target.attr
+            if isinstance(target, ast.Subscript) and _is_self_attr(
+                target.value
+            ):
+                return target.value.attr
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATORS
+        and _is_self_attr(node.func.value)
+    ):
+        return node.func.value.attr
+    return None
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "in repro/perf, classes owning self._lock must mutate shared "
+        "attributes only inside `with self._lock:` blocks"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not module.relpath.startswith(_TARGET_PREFIX):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and _assigns_lock(node):
+                    yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleInfo,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        for item in cls.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name == "__init__":
+                continue  # not yet shared with other threads
+            yield from self._check_method(module, cls, item)
+
+    def _check_method(self, module: ModuleInfo, cls: ast.ClassDef,
+                      fn: ast.FunctionDef) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            attr = _shared_write(node)
+            if attr is None:
+                continue
+            if _under_lock(module, node, fn):
+                continue
+            yield self.finding(
+                module, node,
+                f"{cls.name}.{fn.name} mutates self.{attr} outside "
+                f"`with self._lock:` — a data race under the batch "
+                f"executor's thread pool",
+            )

@@ -1,0 +1,113 @@
+"""Rule ``operator-contract``: subclasses of the engine's ``Operator``
+must play by the checked state machine.
+
+The base class (:class:`repro.engine.base.Operator`) owns the lifecycle:
+``open``/``next``/``close`` enforce the NEW→OPEN→CLOSED transitions,
+tick the installed query guard, time the run, and — critically — close
+every already-opened child when ``open`` fails halfway (the PR 1
+regression class).  Subclasses participate through the ``_open`` /
+``_next`` / ``_close`` hooks.  Three ways to silently break the
+contract, all AST-detectable:
+
+1. overriding ``open``/``next``/``close`` directly — the state checks,
+   guard ticks, and error-path child cleanup are bypassed;
+2. not implementing ``_next`` anywhere in the subclass chain — the
+   operator explodes with ``NotImplementedError`` mid-query instead of
+   failing at definition time;
+3. defining ``__init__`` without calling ``super().__init__`` — the
+   lifecycle state, ``children`` list, and ``OpStats`` never exist, so
+   the first ``open()`` dies on a missing attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    ClassInfo,
+    Finding,
+    Project,
+    Rule,
+    register,
+)
+
+#: The protocol methods owned by the base class.
+_PROTOCOL = ("open", "next", "close")
+
+#: The root class, resolved by simple name across the project.
+_ROOT = "Operator"
+
+#: Module defining the root (its own ``Operator`` is the implementation,
+#: not a subclass to check).
+_ROOT_MODULE = "repro/engine/base.py"
+
+
+def _calls_super_init(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            return True
+    return False
+
+
+@register
+class OperatorContractRule(Rule):
+    name = "operator-contract"
+    description = (
+        "Operator subclasses must implement _next, must not override "
+        "open/next/close (bypassing the checked state machine and the "
+        "close-children-on-error path), and __init__ overrides must "
+        "call super().__init__"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for info in project.subclasses_of(_ROOT):
+            if info.module.relpath == _ROOT_MODULE:
+                continue
+            yield from self._check_class(project, info)
+
+    def _check_class(self, project: Project,
+                     info: ClassInfo) -> Iterator[Finding]:
+        for item in info.node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name in _PROTOCOL:
+                yield self.finding(
+                    info.module, item,
+                    f"{info.name} overrides Operator.{item.name}(); the "
+                    f"state machine, guard tick, and error-path child "
+                    f"cleanup live in the base method — implement "
+                    f"_{item.name}() instead",
+                )
+            if item.name == "__init__" and not _calls_super_init(item):
+                yield self.finding(
+                    info.module, item,
+                    f"{info.name}.__init__ does not call "
+                    f"super().__init__(); the operator state machine and "
+                    f"OpStats are never initialized",
+                )
+        if not self._implements_next(project, info):
+            yield self.finding(
+                info.module, info.node,
+                f"{info.name} neither defines nor inherits a concrete "
+                f"_next() implementation",
+            )
+
+    def _implements_next(self, project: Project, info: ClassInfo) -> bool:
+        if "_next" in info.method_names:
+            return True
+        for ancestor in project.ancestors_of(info):
+            # The base Operator's _next raises NotImplementedError and
+            # does not count as an implementation.
+            if ancestor.name == _ROOT:
+                continue
+            if "_next" in ancestor.method_names:
+                return True
+        return False

@@ -1,0 +1,69 @@
+"""Rule ``resource-safety``: file handles are opened in context
+managers.
+
+The persistence layer is exercised under fault injection — the chaos
+suite makes ``read``/``write`` raise at named points — so any
+``open()`` whose close depends on straight-line execution leaks its
+descriptor the moment a fault fires between open and close.  A ``with``
+block closes on every exit path; the rule makes that the only accepted
+form.
+
+Mechanics: every ``open(...)`` call (the builtin, i.e. a bare-name
+call — ``path.open()`` methods and ``os.open`` are other APIs and out
+of scope) must appear inside the context expression of a ``with``
+item, directly or wrapped (``with open(...) as f:``,
+``with contextlib.closing(open(...)):``).  Legitimate exceptions —
+e.g. a handle stored on ``self`` and closed in a ``close()`` method —
+opt out with ``# tix-lint: disable=resource-safety``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule, register
+
+
+def _in_with_item(module: ModuleInfo, call: ast.Call) -> bool:
+    """Is ``call`` (transitively) a ``with`` item's context expression?"""
+    cur: Optional[ast.AST] = call
+    while cur is not None:
+        parent = module.parent_of(cur)
+        if isinstance(parent, ast.withitem) and parent.context_expr is cur:
+            return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda, ast.Module)):
+            # Crossing a scope boundary: the handle escaped the
+            # expression; wrapping `with` blocks further out do not
+            # manage it.
+            return False
+        # Keep climbing through wrapper calls/expressions:
+        # contextlib.closing(open(...)), io.TextIOWrapper(open(...)), …
+        cur = parent
+    return False
+
+
+@register
+class ResourceSafetyRule(Rule):
+    name = "resource-safety"
+    description = (
+        "builtin open() calls must be used as context managers so "
+        "handles close on every exit path (including injected faults)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "open"
+                    and not _in_with_item(module, node)
+                ):
+                    yield self.finding(
+                        module, node,
+                        "open() outside a `with` block leaks the file "
+                        "handle on any exception between open and "
+                        "close — use `with open(...) as f:`",
+                    )

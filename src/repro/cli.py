@@ -36,6 +36,13 @@ Subcommands:
   table of the paper's evaluation section (``--scale`` shrinks planted
   frequencies for quick runs; ``--profile`` adds per-access-method
   metric breakdowns).
+- ``tix lint [PATH]`` — run the engine invariant linter
+  (:mod:`repro.analysis`) over the source tree: operator lifecycle,
+  guard ticks, metric/fault-point drift, lock discipline, resource
+  safety.  ``--json`` for the machine-readable report, ``--rule`` to
+  select rules, ``--fail-on warning|error`` for the exit-code
+  threshold (exit 1 when findings reach it), ``--list-rules`` for the
+  catalog.  See ``docs/static-analysis.md``.
 
 See ``docs/observability.md`` for the metric catalog and output formats.
 """
@@ -45,7 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.errors import TIXError
 from repro.xmldb.store import XMLStore
@@ -417,6 +424,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                              profile=profile))
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Severity, lint, render_human, render_json, rule_classes,
+    )
+
+    if args.list_rules:
+        for name, cls in sorted(rule_classes().items()):
+            print(f"{name:<20} [{cls.severity.name}] {cls.description}")
+        return 0
+    try:
+        result = lint(root=args.path, rules=args.rule or None)
+    except ValueError as exc:
+        raise SystemExit(f"tix lint: {exc}")
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_human(result, verbose=args.verbose))
+    return 1 if result.count_at_least(Severity(args.fail_on)) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tix",
@@ -542,6 +569,28 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--json-out", metavar="FILE",
                    help="write the table (and any profiles) as JSON")
     b.set_defaults(fn=_cmd_bench)
+
+    ln = sub.add_parser(
+        "lint",
+        help="run the engine invariant linter over the source tree",
+    )
+    ln.add_argument("path", nargs="?", default=None,
+                    help="source root to lint (default: the directory "
+                         "containing the importable repro package)")
+    ln.add_argument("--rule", action="append", metavar="NAME",
+                    help="run only this rule (repeatable; see "
+                         "--list-rules)")
+    ln.add_argument("--json", action="store_true",
+                    help="emit the versioned JSON report")
+    ln.add_argument("--fail-on", choices=["warning", "error"],
+                    default="error",
+                    help="exit 1 when findings of at least this "
+                         "severity exist (default: error)")
+    ln.add_argument("--list-rules", action="store_true",
+                    help="list registered rules and exit")
+    ln.add_argument("--verbose", action="store_true",
+                    help="also show suppressed findings")
+    ln.set_defaults(fn=_cmd_lint)
     return parser
 
 

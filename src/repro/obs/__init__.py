@@ -31,7 +31,7 @@ recorder and misses a later install.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Union
+from typing import ContextManager, Iterator, List, Optional, Union
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Span, Tracer
@@ -51,7 +51,7 @@ class _NullSpan:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -88,7 +88,7 @@ class Collector(NullRecorder):
 
     enabled = True
 
-    def __init__(self, max_spans: int = 100_000):
+    def __init__(self, max_spans: int = 100_000) -> None:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(max_spans=max_spans)
 
@@ -101,7 +101,8 @@ class Collector(NullRecorder):
     def set_gauge(self, name: str, value: Union[int, float]) -> None:
         self.metrics.set_gauge(name, value)
 
-    def span(self, name: str, **attrs: object):
+    def span(self, name: str,
+             **attrs: object) -> ContextManager[Optional[Span]]:
         return self.tracer.span(name, **attrs)
 
     def begin_span(self, name: str, **attrs: object) -> Optional[Span]:

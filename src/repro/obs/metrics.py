@@ -19,7 +19,7 @@ See ``docs/observability.md`` for the metric-name catalog.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Type, TypeVar, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -27,13 +27,16 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 _BUCKET_BASE = 2.0 ** 0.25
 _LOG_BASE = math.log(_BUCKET_BASE)
 
+#: The concrete metric type requested from the registry.
+_M = TypeVar("_M", "Counter", "Gauge", "Histogram")
+
 
 class Counter:
     """A monotonically increasing value."""
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
 
@@ -52,7 +55,7 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
 
@@ -75,7 +78,7 @@ class Histogram:
 
     __slots__ = ("name", "count", "total", "min", "max", "_zero", "_buckets")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -159,7 +162,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
 
-    def _get_or_create(self, name: str, cls):
+    def _get_or_create(self, name: str, cls: Type[_M]) -> _M:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name)
@@ -202,7 +205,7 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
         """The metric object registered under ``name`` (or ``None``)."""
         return self._metrics.get(name)
 

@@ -21,10 +21,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro import obs
 from repro.errors import QueryCompileError
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.xmldb.store import XMLStore
 
 __all__ = ["ProfileReport", "profile_query"]
 
@@ -98,7 +102,8 @@ class ProfileReport:
             json.dump(self.collector.tracer.to_chrome_trace(), f, indent=2)
 
 
-def _render_span(span, depth: int, max_depth: int = 3) -> List[str]:
+def _render_span(span: obs.Span, depth: int,
+                 max_depth: int = 3) -> List[str]:
     pad = "  " * depth
     lines = [f"{pad}{span.name}: {span.duration_ms:.3f}ms"]
     if depth < max_depth:
@@ -107,7 +112,9 @@ def _render_span(span, depth: int, max_depth: int = 3) -> List[str]:
     return lines
 
 
-def profile_query(store, source: str, registry=None) -> ProfileReport:
+def profile_query(store: "XMLStore", source: str,
+                  registry: Optional[MetricsRegistry] = None,
+                  ) -> ProfileReport:
     """Execute ``source`` against ``store`` under a fresh collector.
 
     Prefers the compiled pipelined plan (per-operator EXPLAIN ANALYZE);

@@ -30,7 +30,8 @@ class Span:
 
     __slots__ = ("name", "start_ns", "end_ns", "attrs", "children")
 
-    def __init__(self, name: str, start_ns: int, **attrs: object):
+    def __init__(self, name: str, start_ns: int,
+                 **attrs: object) -> None:
         self.name = name
         self.start_ns = start_ns
         self.end_ns: Optional[int] = None
@@ -70,7 +71,7 @@ class Tracer:
     open spans still completes correctly).
     """
 
-    def __init__(self, max_spans: int = 100_000):
+    def __init__(self, max_spans: int = 100_000) -> None:
         self.max_spans = max_spans
         self.roots: List[Span] = []
         self.dropped = 0

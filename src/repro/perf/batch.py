@@ -33,10 +33,15 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from repro import obs as _obs
 from repro.resilience.guard import QueryGuard
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.perf.querycache import QueryCache
+    from repro.xmldb.store import XMLStore
 
 __all__ = ["BatchOutcome", "BatchResult", "execute_batch"]
 
@@ -89,15 +94,17 @@ class BatchResult:
     def n_truncated(self) -> int:
         return sum(1 for o in self.outcomes if o.truncated)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[BatchOutcome]:
         return iter(self.outcomes)
 
     def __getitem__(self, i: int) -> BatchOutcome:
         return self.outcomes[i]
 
 
-def _run_one(store, outcome: BatchOutcome, *, timeout_ms, max_rows,
-             degrade, cache, registry) -> BatchOutcome:
+def _run_one(store: "XMLStore", outcome: BatchOutcome, *,
+             timeout_ms: Optional[float], max_rows: Optional[int],
+             degrade: bool, cache: "Optional[QueryCache]",
+             registry: "Optional[MetricsRegistry]") -> BatchOutcome:
     """Execute one query into its pre-slotted outcome (worker body)."""
     from repro.errors import TIXError
     from repro.query.evaluator import run_query
@@ -134,13 +141,14 @@ def _run_one(store, outcome: BatchOutcome, *, timeout_ms, max_rows,
     return outcome
 
 
-def execute_batch(store, sources: Sequence[str], *,
+def execute_batch(store: "XMLStore", sources: Sequence[str], *,
                   max_workers: Optional[int] = None,
                   timeout_ms: Optional[float] = None,
                   max_rows: Optional[int] = None,
                   degrade: bool = True,
-                  cache=None,
-                  registry=None) -> BatchResult:
+                  cache: "Optional[QueryCache]" = None,
+                  registry: "Optional[MetricsRegistry]" = None,
+                  ) -> BatchResult:
     """Run every query in ``sources`` against ``store`` on a thread pool.
 
     :param max_workers: pool width (default: enough for the batch, at

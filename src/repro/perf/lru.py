@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Tuple
 
 from repro import obs as _obs
 
@@ -46,7 +46,7 @@ class LRUCache:
     """
 
     def __init__(self, capacity: int, metric_prefix: str = "cache",
-                 record: bool = True):
+                 record: bool = True) -> None:
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
@@ -153,7 +153,7 @@ class LRUCache:
         with self._lock:
             return self._weight
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         """Lifetime tallies as a plain dict (for reports/tests)."""
         with self._lock:
             return {

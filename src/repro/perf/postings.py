@@ -29,7 +29,7 @@ with it), so cached lists are shared, never copied.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro import obs as _obs
 from repro.index.inverted import PostingList
@@ -51,7 +51,8 @@ class CachingIndex:
     ``__getattr__``.
     """
 
-    def __init__(self, inner, capacity: int = DEFAULT_POSTINGS_CAPACITY):
+    def __init__(self, inner: Any,
+                 capacity: int = DEFAULT_POSTINGS_CAPACITY) -> None:
         self.inner = inner
         self.cache = LRUCache(capacity, metric_prefix="cache.postings")
 
@@ -99,7 +100,7 @@ class CachingIndex:
     def vocabulary(self) -> Iterable[str]:
         return self.inner.vocabulary()
 
-    def element_counts(self, term: str):
+    def element_counts(self, term: str) -> Dict[Tuple[int, int], int]:
         from collections import Counter
 
         from repro.index.inverted import P_DOC, P_NODE
@@ -112,7 +113,7 @@ class CachingIndex:
     def terms_sorted_by_frequency(self) -> List[Tuple[str, int]]:
         return self.inner.terms_sorted_by_frequency()
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Anything not overridden (compression stats, future additions)
         # is answered by the wrapped index.
         return getattr(self.inner, name)

@@ -33,7 +33,7 @@ Caching is transparent to scores, node identity, and result order —
 from __future__ import annotations
 
 import threading
-from typing import List, NamedTuple, Optional
+from typing import TYPE_CHECKING, Any, List, NamedTuple, Optional
 
 from repro import obs as _obs
 from repro.errors import QueryCompileError
@@ -41,6 +41,12 @@ from repro.perf.lru import LRUCache
 from repro.query.ast import Query
 from repro.query.parser import parse_query
 from repro.query.unparse import unparse
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.resilience.guard import QueryGuard
+    from repro.resilience.run import GuardedResult
+    from repro.xmldb.store import XMLStore
 
 __all__ = [
     "NormalizedQuery", "normalize_query",
@@ -94,7 +100,8 @@ class PlanCache:
         of concurrent identical queries can leave behind.
     """
 
-    def __init__(self, store, capacity: int = 128, max_pool: int = 8):
+    def __init__(self, store: "XMLStore", capacity: int = 128,
+                 max_pool: int = 8) -> None:
         self.store = store
         self.max_pool = max_pool
         self._entries = LRUCache(capacity, metric_prefix="cache.plan",
@@ -107,7 +114,9 @@ class PlanCache:
         key = (norm.text, self.store.generation)
         return self._entries.get_or_create(key, lambda: (_PlanEntry(), 1))
 
-    def acquire(self, norm: NormalizedQuery, registry=None):
+    def acquire(self, norm: NormalizedQuery,
+                registry: "Optional[MetricsRegistry]" = None,
+                ) -> Optional[Any]:
         """A compiled plan for ``norm``, or ``None`` when the query is
         outside the compilable shape.  The plan is checked out: return
         it with :meth:`release` (even after an execution error — plans
@@ -135,7 +144,7 @@ class PlanCache:
         self._count(hit=False)
         return plan
 
-    def release(self, norm: NormalizedQuery, plan) -> None:
+    def release(self, norm: NormalizedQuery, plan: Optional[Any]) -> None:
         """Check a plan back in for reuse."""
         if plan is None:
             return
@@ -170,11 +179,11 @@ class ResultCache:
     result count, so the capacity bounds retained trees, not queries.
     """
 
-    def __init__(self, store, capacity: int = 4096):
+    def __init__(self, store: "XMLStore", capacity: int = 4096) -> None:
         self.store = store
         self._lru = LRUCache(capacity, metric_prefix="cache.result")
 
-    def _key(self, text: str):
+    def _key(self, text: str) -> Any:
         return (text, self.store.generation)
 
     def get(self, norm: NormalizedQuery) -> Optional[List]:
@@ -214,9 +223,9 @@ class QueryCache:
     cannot see.
     """
 
-    def __init__(self, store, *, plan_capacity: int = 128,
+    def __init__(self, store: "XMLStore", *, plan_capacity: int = 128,
                  result_capacity: int = 4096, results: bool = True,
-                 norm_capacity: int = 512):
+                 norm_capacity: int = 512) -> None:
         self.store = store
         self.plans = PlanCache(store, capacity=plan_capacity)
         self.results = (
@@ -234,7 +243,8 @@ class QueryCache:
             source, lambda: (normalize_query(source), 1)
         )
 
-    def run_query(self, source: str, registry=None) -> List:
+    def run_query(self, source: str,
+                  registry: "Optional[MetricsRegistry]" = None) -> List:
         """Parse/compile/execute with every tier engaged.
 
         Dispatch matches :func:`repro.resilience.run.run_query_guarded`:
@@ -266,7 +276,9 @@ class QueryCache:
             self.results.put(norm, out)
         return out
 
-    def run_query_guarded(self, source: str, guard, registry=None):
+    def run_query_guarded(self, source: str, guard: "QueryGuard",
+                          registry: "Optional[MetricsRegistry]" = None,
+                          ) -> "GuardedResult":
         """Guarded variant returning a
         :class:`~repro.resilience.run.GuardedResult`.
 

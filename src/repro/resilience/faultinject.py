@@ -14,19 +14,9 @@ seeded :class:`random.Random` — same seed, same spec, same call sequence
 ⇒ same faults, every run.  ``times`` caps how often a spec fires, which
 models transient errors (fail once, succeed on retry).
 
-Fault-point catalog (see ``docs/robustness.md``):
-
-================================  ====================================
-point                             fired before
-================================  ====================================
-``persist.read_manifest``         reading ``store.json``
-``persist.write_manifest``        atomically writing ``store.json``
-``persist.read_doc``              reading one document file
-``persist.write_doc``             atomically writing one document file
-``persist.replace``               the tmp→final ``os.replace``
-``index.build``                   building the inverted index
-``store.parse_doc``               parsing one loaded document
-================================  ====================================
+The point names in play are declared in :data:`FAULT_POINTS` (see also
+``docs/robustness.md``); the ``fault-point-drift`` lint rule keeps that
+registry and the ``fire()`` sites in agreement, both ways.
 
 :func:`retry` is the matching transient-I/O helper: call, catch
 retryable errors, back off exponentially, re-raise after ``attempts``.
@@ -45,9 +35,26 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro import obs as _obs
 
 __all__ = [
-    "FaultSpec", "NullInjector", "FaultInjector", "INJECTOR",
-    "install_faults", "uninstall_faults", "injecting", "retry",
+    "FAULT_POINTS", "FaultSpec", "NullInjector", "FaultInjector",
+    "INJECTOR", "install_faults", "uninstall_faults", "injecting",
+    "retry",
 ]
+
+#: The declared fault-point registry: name -> the operation the point
+#: precedes.  Must stay a literal dict — the ``fault-point-drift`` lint
+#: rule reads it with ``ast.literal_eval`` and checks every
+#: ``INJECTOR.fire(...)`` site against it (and that every entry here is
+#: still reachable), so a point cannot be added, renamed, or dropped
+#: without updating this table.
+FAULT_POINTS: Dict[str, str] = {
+    "persist.read_manifest": "reading store.json",
+    "persist.write_manifest": "atomically writing store.json",
+    "persist.read_doc": "reading one document file",
+    "persist.write_doc": "atomically writing one document file",
+    "persist.replace": "the tmp-to-final os.replace",
+    "index.build": "building the inverted index",
+    "store.parse_doc": "parsing one loaded document",
+}
 
 
 @dataclass
@@ -93,7 +100,8 @@ class FaultInjector(NullInjector):
 
     active = True
 
-    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+    def __init__(self, specs: Sequence[FaultSpec] = (),
+                 seed: int = 0) -> None:
         self.specs: List[FaultSpec] = list(specs)
         self.seed = seed
         self.rng = random.Random(seed)
@@ -174,7 +182,7 @@ def retry(
     retryable: Tuple[type, ...] = (OSError,),
     non_retryable: Tuple[type, ...] = (FileNotFoundError,),
     sleep: Callable[[float], None] = _real_sleep,
-):
+) -> object:
     """Call ``fn``, retrying transient failures with exponential backoff.
 
     A raised error is retried when it is an instance of ``retryable`` but

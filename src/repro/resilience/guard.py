@@ -116,7 +116,7 @@ class QueryGuard(NullGuard):
                  max_rows: Optional[int] = None,
                  max_materialized: Optional[int] = None,
                  token: Optional[CancellationToken] = None,
-                 degrade: bool = False):
+                 degrade: bool = False) -> None:
         if timeout_ms is not None and timeout_ms < 0:
             raise ValueError("timeout_ms must be >= 0")
         if max_rows is not None and max_rows < 0:

@@ -17,7 +17,7 @@ this module must not import the engine at module scope.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, Iterator, List, Optional
 
 from repro.errors import QueryAbortedError, ResourceExhaustedError
 from repro.resilience.guard import (
@@ -26,6 +26,10 @@ from repro.resilience.guard import (
     install_guard,
     uninstall_guard,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.xmldb.store import XMLStore
 
 __all__ = [
     "GuardedResult", "evaluate_guarded", "execute_guarded",
@@ -54,11 +58,11 @@ class GuardedResult:
     def n_results(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[object]:
         return iter(self.results)
 
 
-def execute_guarded(plan, guard: NullGuard) -> GuardedResult:
+def execute_guarded(plan: Any, guard: NullGuard) -> GuardedResult:
     """Open, drain, and close ``plan`` under ``guard``.
 
     The guard is installed for the duration (engine ``next()`` loops and
@@ -106,8 +110,9 @@ def execute_guarded(plan, guard: NullGuard) -> GuardedResult:
     return GuardedResult(out)
 
 
-def run_query_guarded(store, source: str, guard: NullGuard,
-                      registry=None) -> GuardedResult:
+def run_query_guarded(store: "XMLStore", source: str, guard: NullGuard,
+                      registry: "Optional[MetricsRegistry]" = None,
+                      ) -> GuardedResult:
     """Parse, compile, and execute a query string under ``guard``.
 
     Compilable queries run on the pipelined engine via
@@ -132,8 +137,9 @@ def run_query_guarded(store, source: str, guard: NullGuard,
     return evaluate_guarded(store, query, guard, registry)
 
 
-def evaluate_guarded(store, query, guard: NullGuard,
-                     registry=None) -> GuardedResult:
+def evaluate_guarded(store: "XMLStore", query: Any, guard: NullGuard,
+                     registry: "Optional[MetricsRegistry]" = None,
+                     ) -> GuardedResult:
     """Run a *parsed* query on the reference evaluator under ``guard``.
 
     The fallback half of :func:`run_query_guarded`, split out so callers
