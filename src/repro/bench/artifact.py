@@ -1,0 +1,197 @@
+"""Schema-versioned benchmark artifacts and regression diffing.
+
+``tix bench --json-out`` writes an *artifact*: the rendered
+:class:`~repro.bench.harness.BenchResult` wrapped in an envelope that
+records how it was produced (table, scale, runs) and a schema version,
+so artifacts committed at different PRs stay comparable::
+
+    {"schema_version": 1, "kind": "tix-bench",
+     "table": "table1", "scale": 0.05, "runs": 3,
+     "result": {"title": …, "columns": […], "rows": […], …}}
+
+:func:`diff_artifacts` compares two artifacts cell-by-cell (matching
+rows by label and columns by name) and reports relative changes beyond
+a threshold — the ``benchmarks/make_report.py --diff`` entry point
+flags >10% regressions between a committed baseline (e.g.
+``BENCH_PR5.json``) and a fresh run.  Lower is better for every timed
+cell, so ``ratio > 1`` is a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench.harness import BenchResult
+
+__all__ = [
+    "SCHEMA_VERSION", "make_artifact", "load_artifact",
+    "diff_artifacts", "render_diff", "diff_files", "CellDiff",
+]
+
+SCHEMA_VERSION = 1
+
+#: The envelope discriminator.
+_KIND = "tix-bench"
+
+
+def make_artifact(result: BenchResult, *, table: str,
+                  scale: float = 1.0, runs: int = 5,
+                  ) -> Dict[str, object]:
+    """Wrap a bench result in the schema-versioned envelope."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": _KIND,
+        "table": table,
+        "scale": scale,
+        "runs": runs,
+        "result": result.to_json(),
+    }
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    """Read + validate an artifact file.
+
+    Raises :class:`ValueError` on a non-artifact file, an unknown
+    ``kind``, or a schema version newer than this code understands.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if data.get("kind") != _KIND:
+        raise ValueError(
+            f"{path}: not a tix-bench artifact "
+            f"(kind={data.get('kind')!r})"
+        )
+    version = data.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"{path}: bad schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version} is newer than this "
+            f"build understands ({SCHEMA_VERSION})"
+        )
+    if not isinstance(data.get("result"), dict):
+        raise ValueError(f"{path}: missing result payload")
+    return data
+
+
+@dataclass
+class CellDiff:
+    """One compared cell: ``ratio = new / old`` (lower is better)."""
+
+    row: str
+    column: str
+    old: float
+    new: float
+    ratio: float
+
+    @property
+    def regression(self) -> bool:
+        return self.ratio > 1.0
+
+    def render(self) -> str:
+        arrow = "slower" if self.regression else "faster"
+        pct = abs(self.ratio - 1.0) * 100.0
+        return (f"{self.row} / {self.column}: "
+                f"{self.old:.4g} -> {self.new:.4g} "
+                f"({pct:.1f}% {arrow})")
+
+
+def _rows_by_label(result: Dict[str, object]) -> Dict[str, List[object]]:
+    rows = result.get("rows")
+    if not isinstance(rows, list):
+        return {}
+    return {str(row[0]): list(row) for row in rows if row}
+
+
+def diff_artifacts(old: Dict[str, object], new: Dict[str, object],
+                   threshold: float = 0.10,
+                   ) -> List[CellDiff]:
+    """Cells whose relative change exceeds ``threshold``.
+
+    Rows are matched by first-cell label and columns by name; cells
+    missing from either side, non-numeric cells, and near-zero
+    baselines (< 1e-9 — ratios would be meaningless noise) are skipped.
+    Returns regressions first, each sorted by ratio magnitude.
+    """
+    old_result = old.get("result")
+    new_result = new.get("result")
+    if not isinstance(old_result, dict) or not isinstance(new_result, dict):
+        raise ValueError("artifacts missing result payloads")
+    old_cols = old_result.get("columns")
+    new_cols = new_result.get("columns")
+    if not isinstance(old_cols, list) or not isinstance(new_cols, list):
+        return []
+    old_rows = _rows_by_label(old_result)
+    new_rows = _rows_by_label(new_result)
+    diffs: List[CellDiff] = []
+    for label, new_row in new_rows.items():
+        old_row = old_rows.get(label)
+        if old_row is None:
+            continue
+        for ci, column in enumerate(new_cols):
+            if ci == 0 or column not in old_cols:
+                continue
+            oi = old_cols.index(column)
+            if ci >= len(new_row) or oi >= len(old_row):
+                continue
+            ov, nv = old_row[oi], new_row[ci]
+            if not isinstance(ov, (int, float)) or \
+                    not isinstance(nv, (int, float)) or \
+                    isinstance(ov, bool) or isinstance(nv, bool):
+                continue
+            if abs(float(ov)) < 1e-9:
+                continue
+            ratio = float(nv) / float(ov)
+            if abs(ratio - 1.0) > threshold:
+                diffs.append(CellDiff(label, str(column), float(ov),
+                                      float(nv), ratio))
+    diffs.sort(key=lambda d: (not d.regression, -abs(d.ratio - 1.0)))
+    return diffs
+
+
+def render_diff(diffs: List[CellDiff],
+                threshold: float = 0.10) -> str:
+    """A human-readable diff report (empty-diff message included)."""
+    if not diffs:
+        return (f"no cells changed by more than "
+                f"{threshold * 100:.0f}%")
+    lines: List[str] = []
+    regressions = [d for d in diffs if d.regression]
+    if regressions:
+        lines.append(f"REGRESSIONS (> {threshold * 100:.0f}% slower):")
+        lines.extend(f"  {d.render()}" for d in regressions)
+    improvements = [d for d in diffs if not d.regression]
+    if improvements:
+        lines.append(f"improvements (> {threshold * 100:.0f}% faster):")
+        lines.extend(f"  {d.render()}" for d in improvements)
+    return "\n".join(lines)
+
+
+def diff_files(old_path: str, new_path: str,
+               threshold: float = 0.10,
+               ) -> Tuple[List[CellDiff], str]:
+    """Load two artifact files and diff them; returns the diffs plus a
+    header identifying what was compared."""
+    old = load_artifact(old_path)
+    new = load_artifact(new_path)
+    header = (
+        f"baseline: {old_path} (table={old.get('table')}, "
+        f"scale={old.get('scale')}, runs={old.get('runs')})\n"
+        f"candidate: {new_path} (table={new.get('table')}, "
+        f"scale={new.get('scale')}, runs={new.get('runs')})"
+    )
+    mismatched: List[str] = []
+    for key in ("table", "scale", "runs"):
+        if old.get(key) != new.get(key):
+            mismatched.append(key)
+    if mismatched:
+        header += (
+            "\nwarning: artifacts differ in "
+            + ", ".join(mismatched)
+            + " — ratios compare unlike runs"
+        )
+    return diff_artifacts(old, new, threshold), header

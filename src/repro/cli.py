@@ -36,6 +36,15 @@ Subcommands:
   table of the paper's evaluation section (``--scale`` shrinks planted
   frequencies for quick runs; ``--profile`` adds per-access-method
   metric breakdowns).
+- ``tix serve --store DIR|--doc name=path …`` — expose the telemetry
+  pipeline over HTTP (stdlib only): ``/metrics`` in the OpenMetrics
+  text format, ``/healthz`` liveness, ``/varz`` JSON (registry snapshot
+  + windowed rates from the time-series ring).  ``-q``/``-f`` run a
+  warmup batch at startup; ``--audit-log FILE`` appends one JSONL
+  record per query with ``--sample-rate``/``--slow-ms`` controls.
+- ``tix events FILE`` — inspect a query audit log: filter by
+  ``--outcome``, ``--kind``, ``--min-wall MS`` or ``--slow-only``,
+  ``--limit N`` for the tail, ``--json`` for raw records.
 - ``tix lint [PATH]`` — run the engine invariant linter
   (:mod:`repro.analysis`) over the source tree: operator lifecycle,
   guard ticks, metric/fault-point drift, lock discipline, resource
@@ -380,8 +389,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     def finish(result) -> int:
         if args.json_out:
+            from repro.bench.artifact import make_artifact
+
+            artifact = make_artifact(result, table=args.table,
+                                     scale=args.scale, runs=args.runs)
             with open(args.json_out, "w", encoding="utf-8") as f:
-                json.dump(result.to_json(), f, indent=2, sort_keys=True)
+                json.dump(artifact, f, indent=2, sort_keys=True)
             print(f"wrote {args.json_out}")
         return 0
 
@@ -422,6 +435,100 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     spec, rows5 = table5_spec(scale=args.scale * 0.05)
     return finish(run_table5(generate_corpus(spec), rows5, runs=runs,
                              profile=profile))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro import obs as _obs
+    from repro.obs import events as _events
+    from repro.obs.serve import ObsServer
+    from repro.obs.snapshot import Snapshotter
+
+    # SIGTERM (and a SIGINT left at SIG_IGN by a backgrounding shell)
+    # must take the same clean-teardown path as Ctrl-C, or supervisors
+    # would kill the process without closing the sink and snapshotter.
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+
+    store = _load_store(args.doc or [], args.store)
+    col = _obs.Collector()
+    _obs.install(col)
+    sink = None
+    if args.audit_log:
+        sink = _events.JsonlSink(
+            args.audit_log, sample_rate=args.sample_rate,
+            slow_ms=args.slow_ms,
+        )
+        _events.install_sink(sink)
+    # Build the lazy index/structure under the collector so the store
+    # gauges (index.n_terms, …) are populated before the first scrape.
+    store.index
+    store.structure
+    if args.query or args.file:
+        from repro.perf import QueryCache, execute_batch
+
+        queries = _read_batch_queries(args)
+        warm = execute_batch(store, queries, cache=QueryCache(store))
+        print(f"warmup: {warm.n_queries} queries, "
+              f"{warm.n_failed} failed", file=sys.stderr)
+    snap = Snapshotter(col.metrics, interval_s=args.snapshot_interval,
+                       capacity=args.snapshot_capacity)
+    snap.start()
+    server = ObsServer(col.metrics, snapshotter=snap,
+                       host=args.host, port=args.port)
+    print(f"serving metrics on {server.url}  "
+          f"(/metrics /healthz /varz; Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        snap.stop()
+        if sink is not None:
+            _events.uninstall_sink()
+            sink.close()
+        _obs.uninstall()
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from repro.obs.events import filter_events, iter_events
+
+    with open(args.file, "r", encoding="utf-8") as f:
+        records = list(iter_events(f))
+    selected = list(filter_events(
+        records, outcome=args.outcome, min_wall_ms=args.min_wall,
+        slow_only=args.slow_only,
+    ))
+    if args.kind:
+        selected = [r for r in selected if r.get("kind") == args.kind]
+    if args.limit is not None:
+        selected = selected[-args.limit:]
+    if args.json:
+        for record in selected:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        for r in selected:
+            mark = " SLOW" if r.get("slow") else ""
+            extras = []
+            if r.get("cache"):
+                extras.append(f"cache={r['cache']}")
+            if r.get("error_type"):
+                extras.append(f"error={r['error_type']}")
+            trip = r.get("guard", {}).get("trip")
+            if trip:
+                extras.append(f"trip={trip}")
+            tail = (" " + " ".join(extras)) if extras else ""
+            print(f"{r['ts']:.3f} {r['kind']:<6} {r['outcome']:<9} "
+                  f"{r['wall_ms']:8.2f}ms {r['rows']:>6} rows "
+                  f"{r['query_sha256']}{tail}{mark}")
+        print(f"({len(selected)} of {len(records)} events)")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -569,6 +676,62 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--json-out", metavar="FILE",
                    help="write the table (and any profiles) as JSON")
     b.set_defaults(fn=_cmd_bench)
+
+    sv = sub.add_parser(
+        "serve",
+        help="expose an OpenMetrics /metrics endpoint (plus /healthz "
+             "and /varz) for a loaded store",
+    )
+    sv.add_argument("--doc", action="append",
+                    help="load a document: name=path (repeatable)")
+    sv.add_argument("--store", help="load a saved store directory")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=9184,
+                    help="bind port (default 9184; 0 = ephemeral)")
+    sv.add_argument("-q", "--query", action="append",
+                    help="warmup query run once at startup to populate "
+                         "the metrics (repeatable)")
+    sv.add_argument("-f", "--file",
+                    help="file of warmup queries (tix batch format)")
+    sv.add_argument("--snapshot-interval", type=float, default=1.0,
+                    metavar="S",
+                    help="time-series sampling period in seconds "
+                         "(default 1.0)")
+    sv.add_argument("--snapshot-capacity", type=int, default=600,
+                    metavar="N",
+                    help="time-series ring slots kept (default 600)")
+    sv.add_argument("--audit-log", metavar="FILE",
+                    help="append one JSONL audit record per query "
+                         "to FILE")
+    sv.add_argument("--sample-rate", type=float, default=1.0,
+                    metavar="P",
+                    help="audit-log sampling probability (default 1.0)")
+    sv.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                    help="force-log queries slower than MS even when "
+                         "sampled out")
+    sv.set_defaults(fn=_cmd_serve)
+
+    ev = sub.add_parser(
+        "events",
+        help="inspect a query audit log (JSONL, written by "
+             "--audit-log or repro.obs.events)",
+    )
+    ev.add_argument("file", help="audit-log file to read")
+    ev.add_argument("--outcome", choices=["ok", "truncated", "error"],
+                    help="keep only this outcome")
+    ev.add_argument("--kind", help="keep only this query kind "
+                                   "(e.g. query, batch)")
+    ev.add_argument("--min-wall", type=float, metavar="MS",
+                    help="keep only queries at least this slow")
+    ev.add_argument("--slow-only", action="store_true",
+                    help="keep only slow-threshold force-logged queries")
+    ev.add_argument("--limit", type=int, metavar="N",
+                    help="show only the last N matching events")
+    ev.add_argument("--json", action="store_true",
+                    help="print raw JSON records instead of the "
+                         "human-readable table")
+    ev.set_defaults(fn=_cmd_events)
 
     ln = sub.add_parser(
         "lint",

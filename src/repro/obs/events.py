@@ -1,0 +1,468 @@
+"""Structured query audit log: one schema-versioned JSONL record per
+query.
+
+Metrics (:mod:`repro.obs.metrics`) answer *how much* the engine is
+doing; the audit log answers *what happened to each query* — the
+record a production operator greps when a user reports a slow or
+failing request.  Every top-level query execution that flows through
+:func:`repro.resilience.run.run_query_guarded`,
+:class:`repro.perf.querycache.QueryCache`, or
+:func:`repro.perf.batch.execute_batch` emits one event carrying
+
+- a stable hash of the query text (never the text itself — query
+  strings may embed user data),
+- the outcome (``ok`` / ``truncated`` / ``error``) with the guard
+  verdict and degradation flag,
+- wall time and row count,
+- result-cache and plan-cache hit/miss,
+- the top operators of the executed plan (from
+  :func:`repro.engine.base.plan_stats`).
+
+The sink follows the recorder's **zero-overhead contract**: the
+module-level :data:`SINK` is a :class:`NullSink` by default, and
+:func:`observe_query` returns a shared no-op context manager when no
+sink is installed — instrumented entry points pay one attribute test
+and one call per *query* (never per tuple).  Nested entry points
+(``execute_batch`` → ``QueryCache`` → ``run_query_guarded``) share one
+event per query: the outermost ``observe_query`` owns emission, inner
+layers annotate via :func:`current_event`.
+
+:class:`JsonlSink` adds production controls: a **sampling rate**
+(deterministic under a fixed ``seed``) bounds log volume, and a
+**slow-query threshold** force-logs outliers regardless of sampling so
+the tail is never sampled away.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+from contextlib import contextmanager
+from types import TracebackType
+from typing import (
+    IO,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Type,
+    Union,
+)
+
+from repro import obs as _obs
+
+__all__ = [
+    "SCHEMA_VERSION", "QueryEvent", "NullSink", "JsonlSink", "SINK",
+    "install_sink", "uninstall_sink", "logging_queries", "observe_query",
+    "current_event", "query_hash", "plan_top_ops", "iter_events",
+    "filter_events",
+]
+
+#: Version of the JSONL record layout (the ``"v"`` field).  Bump when a
+#: field changes meaning or disappears; adding fields is compatible.
+SCHEMA_VERSION = 1
+
+
+def query_hash(source: str) -> str:
+    """Stable 16-hex-digit SHA-256 prefix of the query text — enough to
+    correlate repeats without logging user-provided query strings."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+class QueryEvent:
+    """One query's audit record under construction.
+
+    Entry points mutate the fields as facts become known (cache tier
+    verdicts, guard trips, plan stats); :meth:`to_record` freezes the
+    schema-versioned JSON shape at emission time.
+    """
+
+    __slots__ = (
+        "source", "kind", "ts", "wall_ms", "outcome", "rows",
+        "truncated", "reason", "error_type", "cache", "plan_cache",
+        "guarded", "degraded", "guard_trip", "ops", "_t0",
+    )
+
+    def __init__(self, source: str, kind: str = "query") -> None:
+        self.source = source
+        self.kind = kind
+        self.ts = time.time()
+        self.wall_ms = 0.0
+        self.outcome = "ok"            # ok | truncated | error
+        self.rows = 0
+        self.truncated = False
+        self.reason = ""
+        self.error_type = ""
+        self.cache = ""                # result tier: hit | miss | ""
+        self.plan_cache = ""           # plan tier:   hit | miss | ""
+        self.guarded = False
+        self.degraded = False
+        self.guard_trip = ""           # exception type name of the trip
+        self.ops: List[Dict[str, object]] = []
+        self._t0 = time.perf_counter()
+
+    # -- annotation helpers (called by the wired entry points) ---------
+
+    def note_guard(self, guard: object) -> None:
+        """Record the guard verdict: active/degrade flags plus the trip
+        exception type when the guard tripped."""
+        if not getattr(guard, "active", False):
+            return
+        self.guarded = True
+        self.degraded = bool(getattr(guard, "degrade", False))
+        tripped = getattr(guard, "tripped", None)
+        if tripped is not None:
+            self.guard_trip = type(tripped).__name__
+
+    def note_result(self, n_rows: int, truncated: bool = False,
+                    reason: str = "") -> None:
+        """Record a well-formed result: row count and truncation."""
+        self.rows = n_rows
+        self.truncated = truncated
+        self.reason = reason
+        self.outcome = "truncated" if truncated else "ok"
+
+    def note_error(self, error_type: str, reason: str = "") -> None:
+        """Record a per-query failure (captured or propagating)."""
+        self.outcome = "error"
+        self.error_type = error_type
+        if reason:
+            self.reason = reason
+
+    def note_plan(self, plan: object, limit: int = 3) -> None:
+        """Attach the executed plan's top operators (by inclusive
+        time, then rows) from :func:`repro.engine.base.plan_stats`."""
+        self.ops = plan_top_ops(plan, limit=limit)
+
+    # -- emission ------------------------------------------------------
+
+    def to_record(self) -> Dict[str, object]:
+        """The schema-versioned JSON record (see ``SCHEMA_VERSION``)."""
+        return {
+            "v": SCHEMA_VERSION,
+            "ts": self.ts,
+            "kind": self.kind,
+            "query_sha256": query_hash(self.source),
+            "outcome": self.outcome,
+            "wall_ms": round(self.wall_ms, 3),
+            "rows": self.rows,
+            "truncated": self.truncated,
+            "reason": self.reason,
+            "error_type": self.error_type,
+            "cache": self.cache,
+            "plan_cache": self.plan_cache,
+            "guard": {
+                "active": self.guarded,
+                "degraded": self.degraded,
+                "trip": self.guard_trip,
+            },
+            "ops": list(self.ops),
+        }
+
+
+def plan_top_ops(plan: Any, limit: int = 3) -> List[Dict[str, object]]:
+    """The ``limit`` most expensive operators of an executed plan as
+    flat ``{operator, rows, time_ms}`` dicts, ordered by inclusive time
+    (rows break ties — timings are zero when no collector ran)."""
+    from repro.engine.base import plan_stats
+
+    ranked: List[Any] = []
+
+    def walk(node: Dict[str, Any]) -> None:
+        time_ms = float(node["time_ms"])
+        rows = int(node["rows"])
+        ranked.append((time_ms, rows, {
+            "operator": node["describe"],
+            "rows": rows,
+            "time_ms": round(time_ms, 3),
+        }))
+        for child in node["children"]:
+            walk(child)
+
+    walk(plan_stats(plan))
+    ranked.sort(key=lambda entry: (entry[0], entry[1]), reverse=True)
+    return [entry[2] for entry in ranked[:limit]]
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+class NullSink:
+    """The default sink: disabled, every method a no-op."""
+
+    enabled = False
+
+    def emit(self, event: QueryEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink(NullSink):
+    """Append-only JSONL sink with sampling and slow-query force-log.
+
+    :param target: a path (opened in append mode and owned by the sink)
+        or an open text file object (borrowed — ``close()`` leaves it
+        open);
+    :param sample_rate: fraction of events written (``1.0`` = all).
+        The decision sequence is drawn from ``random.Random(seed)``, so
+        a fixed seed makes sampling reproducible;
+    :param slow_ms: wall-time threshold above which an event is written
+        regardless of sampling, with ``"slow": true`` in the record —
+        the latency tail is never sampled away.
+
+    Writes are lock-serialized (one JSON object per line, flushed), so
+    the batch executor's workers can share one sink.
+    """
+
+    enabled = True
+
+    def __init__(self, target: Union[str, IO[str]], *,
+                 sample_rate: float = 1.0,
+                 slow_ms: Optional[float] = None,
+                 seed: Optional[int] = None) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate {sample_rate} outside [0, 1]"
+            )
+        if isinstance(target, str):
+            self.path: Optional[str] = target
+            # Long-lived handle by design: the sink IS the owner and
+            # close() releases it.
+            self._fh: IO[str] = open(  # tix-lint: disable=resource-safety
+                target, "a", encoding="utf-8"
+            )
+            self._owns = True
+        else:
+            self.path = getattr(target, "name", None)
+            self._fh = target
+            self._owns = False
+        self.sample_rate = sample_rate
+        self.slow_ms = slow_ms
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.emitted = 0
+        self.sampled_out = 0
+        self.slow_forced = 0
+
+    def emit(self, event: QueryEvent) -> None:
+        slow = (
+            self.slow_ms is not None and event.wall_ms >= self.slow_ms
+        )
+        with self._lock:
+            # One draw per event, slow or not, so the decision sequence
+            # under a fixed seed does not depend on observed latencies.
+            drawn = (
+                self.sample_rate >= 1.0
+                or self._rng.random() < self.sample_rate
+            )
+            if not (drawn or slow):
+                self.sampled_out += 1
+                rec = _obs.RECORDER
+                if rec.enabled:
+                    rec.count("obs.events.sampled_out")
+                return
+            record = event.to_record()
+            record["slow"] = slow
+            if slow and not drawn:
+                self.slow_forced += 1
+            self.emitted += 1
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("obs.events.emitted")
+            if slow and not drawn:
+                rec.count("obs.events.slow_forced")
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# Installation + the observe_query entry point
+# ----------------------------------------------------------------------
+
+#: The process-wide sink.  Read via ``events.SINK`` at call time.
+SINK: NullSink = NullSink()
+
+_sink_stack: List[NullSink] = []
+
+
+def install_sink(sink: NullSink) -> None:
+    """Install ``sink`` as the active audit-log sink.  Installs nest:
+    :func:`uninstall_sink` restores the previously active sink."""
+    global SINK
+    _sink_stack.append(SINK)
+    SINK = sink
+
+
+def uninstall_sink() -> None:
+    """Restore the sink active before the last :func:`install_sink`."""
+    global SINK
+    if not _sink_stack:
+        raise RuntimeError(
+            "uninstall_sink() without a matching install_sink()"
+        )
+    SINK = _sink_stack.pop()
+
+
+@contextmanager
+def logging_queries(target: Union[str, IO[str]],
+                    **kwargs: Any) -> Iterator[JsonlSink]:
+    """Install a fresh :class:`JsonlSink` for the duration of the
+    block (keyword arguments are forwarded to the sink)."""
+    sink = JsonlSink(target, **kwargs)
+    install_sink(sink)
+    try:
+        yield sink
+    finally:
+        uninstall_sink()
+        sink.close()
+
+
+class _EventState(threading.local):
+    """Per-thread stack of in-flight events: the outermost
+    ``observe_query`` owns the record, nested ones annotate it."""
+
+    def __init__(self) -> None:
+        self.stack: List[QueryEvent] = []
+
+
+_STATE = _EventState()
+
+
+def current_event() -> Optional[QueryEvent]:
+    """The in-flight event of the calling thread's outermost
+    ``observe_query`` (``None`` when no sink is installed or no query
+    is being observed).  Annotation sites (cache tiers, guarded
+    executors) use this to enrich the record without owning it."""
+    stack = _STATE.stack
+    return stack[-1] if stack else None
+
+
+class _NullObservation:
+    """Shared no-op context manager: the disabled path allocates
+    nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Optional[QueryEvent]:
+        return None
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> bool:
+        return False
+
+
+_NULL_OBSERVATION = _NullObservation()
+
+
+class _Observation:
+    """Context manager for one observed query.  Only the outermost
+    (non-nested) observation stamps wall time and emits."""
+
+    __slots__ = ("event", "_nested")
+
+    def __init__(self, event: QueryEvent, nested: bool) -> None:
+        self.event = event
+        self._nested = nested
+
+    def __enter__(self) -> QueryEvent:
+        return self.event
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> bool:
+        if self._nested:
+            return False
+        ev = self.event
+        stack = _STATE.stack
+        if stack and stack[-1] is ev:
+            stack.pop()
+        ev.wall_ms = (time.perf_counter() - ev._t0) * 1000.0
+        if exc_type is not None:
+            ev.note_error(exc_type.__name__, str(exc) if exc else "")
+        SINK.emit(ev)
+        return False
+
+
+def observe_query(
+    source: str, kind: str = "query",
+) -> Union[_NullObservation, _Observation]:
+    """Observe one query execution for the audit log.
+
+    Usage at an entry point::
+
+        with events.observe_query(source) as ev:
+            res = ...
+            if ev is not None:
+                ev.note_result(len(res))
+
+    Returns a shared no-op context manager (yielding ``None``) when no
+    sink is installed.  When the calling thread is already inside an
+    ``observe_query`` block, the *outer* event is yielded and emission
+    stays with the outer block — nested entry points annotate one
+    shared record instead of double-logging.
+    """
+    if not SINK.enabled:
+        return _NULL_OBSERVATION
+    stack = _STATE.stack
+    if stack:
+        return _Observation(stack[-1], nested=True)
+    event = QueryEvent(source, kind=kind)
+    stack.append(event)
+    return _Observation(event, nested=False)
+
+
+# ----------------------------------------------------------------------
+# Reading the log back (tix events, tests)
+# ----------------------------------------------------------------------
+
+def iter_events(lines: Iterable[str]) -> Iterator[Dict[str, object]]:
+    """Parse JSONL audit-log lines into records, skipping blank lines.
+    Raises :class:`ValueError` (with the line number) on a line that is
+    not a JSON object."""
+    for lineno, line in enumerate(lines, 1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"audit log line {lineno}: not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"audit log line {lineno}: expected a JSON object"
+            )
+        yield record
+
+
+def filter_events(records: Iterable[Dict[str, object]], *,
+                  outcome: Optional[str] = None,
+                  min_wall_ms: Optional[float] = None,
+                  slow_only: bool = False,
+                  ) -> Iterator[Dict[str, object]]:
+    """Filter audit records the way ``tix events`` does: by outcome,
+    by minimum wall time, and/or to force-logged slow queries only."""
+    for record in records:
+        if outcome is not None and record.get("outcome") != outcome:
+            continue
+        if min_wall_ms is not None:
+            wall = record.get("wall_ms")
+            if not isinstance(wall, (int, float)) or wall < min_wall_ms:
+                continue
+        if slow_only and not record.get("slow"):
+            continue
+        yield record

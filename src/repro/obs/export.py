@@ -1,0 +1,253 @@
+"""OpenMetrics text rendering (and a validating parser) for a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+The exposition format is the OpenMetrics text format (the Prometheus
+wire format): one ``# TYPE`` / ``# HELP`` header pair per metric
+family, one sample per line, ``# EOF`` terminator.  Mapping rules:
+
+- dotted engine names become underscore names under a ``tix_`` prefix
+  (``cache.plan.hits`` → ``tix_cache_plan_hits``); ``*`` never appears
+  (registries hold concrete names, wildcards live in the catalog);
+- the catalog (:mod:`repro.obs.catalog`) supplies ``# HELP`` text; the
+  *instance* type decides the rendered kind, so an uncataloged metric
+  still renders (with a placeholder help string) rather than vanishing
+  from the scrape;
+- counters get the mandated ``_total`` suffix;
+- histograms render their geometric buckets cumulatively with ``le``
+  upper bounds from :func:`~repro.obs.metrics.bucket_upper_bound`
+  (the zero bucket becomes ``le="0.0"``), then ``le="+Inf"``,
+  ``_count`` and ``_sum``.
+
+:func:`parse_openmetrics` is the matching validator — strict about the
+line grammar, header/sample ordering, cumulative bucket monotonicity
+and the ``# EOF`` terminator.  The unit tests and the CI serve-smoke
+job share it, so "the endpoint scrapes" means the same thing in both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs import catalog as _catalog
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_upper_bound,
+)
+
+__all__ = [
+    "render_openmetrics", "parse_openmetrics", "metric_name",
+    "CONTENT_TYPE",
+]
+
+#: The scrape response content type (OpenMetrics 1.0).
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def metric_name(name: str, prefix: str = "tix_") -> str:
+    """The OpenMetrics spelling of a dotted engine metric name."""
+    return prefix + name.replace(".", "_").replace("-", "_")
+
+
+def _fmt(value: Union[int, float]) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _help_for(name: str) -> str:
+    entry = _catalog.find(name)
+    if entry is not None:
+        return _catalog.CATALOG[entry][1]
+    return f"uncataloged metric {name}"
+
+
+def render_openmetrics(registry: MetricsRegistry,
+                       prefix: str = "tix_") -> str:
+    """The registry's state in the OpenMetrics text format."""
+    lines: List[str] = []
+    for name, metric in registry.items():
+        om = metric_name(name, prefix)
+        help_text = _escape_help(_help_for(name))
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {om} counter")
+            lines.append(f"# HELP {om} {help_text}")
+            lines.append(f"{om}_total {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {om} gauge")
+            lines.append(f"# HELP {om} {help_text}")
+            lines.append(f"{om} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {om} histogram")
+            lines.append(f"# HELP {om} {help_text}")
+            zero, buckets = metric.bucket_counts()
+            cum = zero
+            lines.append(f'{om}_bucket{{le="0.0"}} {_fmt(cum)}')
+            for idx in sorted(buckets):
+                cum += buckets[idx]
+                le = bucket_upper_bound(idx)
+                lines.append(
+                    f'{om}_bucket{{le="{le!r}"}} {_fmt(cum)}'
+                )
+            lines.append(
+                f'{om}_bucket{{le="+Inf"}} {_fmt(metric.count)}'
+            )
+            lines.append(f"{om}_count {_fmt(metric.count)}")
+            lines.append(f"{om}_sum {repr(float(metric.total))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Validating parser (shared by unit tests and the CI serve smoke)
+# ----------------------------------------------------------------------
+
+class OpenMetricsError(ValueError):
+    """A violation of the exposition format."""
+
+
+#: One parsed family: kind, help text, and ``(suffixed name, labels,
+#: value)`` samples in exposition order.
+Family = Dict[str, object]
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    body = text.strip()
+    if not body:
+        return labels
+    for part in body.split(","):
+        if "=" not in part:
+            raise OpenMetricsError(f"malformed label {part!r}")
+        key, _, raw = part.partition("=")
+        if not (raw.startswith('"') and raw.endswith('"') and
+                len(raw) >= 2):
+            raise OpenMetricsError(f"unquoted label value {part!r}")
+        labels[key.strip()] = raw[1:-1]
+    return labels
+
+
+def _sample_family(name: str) -> Tuple[str, str]:
+    """Split a suffixed sample name into (family, suffix)."""
+    for suffix in ("_total", "_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def parse_openmetrics(text: str) -> Dict[str, Family]:
+    """Parse + validate an OpenMetrics exposition.
+
+    Returns ``{family name: {"type", "help", "samples"}}``.  Raises
+    :class:`OpenMetricsError` on: a missing ``# EOF`` terminator,
+    samples before their ``# TYPE``, counter samples without
+    ``_total``, non-cumulative histogram buckets, a histogram whose
+    ``+Inf`` bucket disagrees with ``_count``, or malformed lines.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        raise OpenMetricsError("missing # EOF terminator")
+    families: Dict[str, Family] = {}
+    current: Optional[str] = None
+    for ln, line in enumerate(lines[:-1], start=1):
+        if not line.strip():
+            raise OpenMetricsError(f"line {ln}: blank line")
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            fam, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise OpenMetricsError(
+                    f"line {ln}: unknown type {kind!r}")
+            if fam in families:
+                raise OpenMetricsError(
+                    f"line {ln}: duplicate family {fam!r}")
+            families[fam] = {"type": kind, "help": "", "samples": []}
+            current = fam
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            fam, _, help_text = rest.partition(" ")
+            if fam not in families:
+                raise OpenMetricsError(
+                    f"line {ln}: HELP before TYPE for {fam!r}")
+            families[fam]["help"] = help_text
+            continue
+        if line.startswith("#"):
+            raise OpenMetricsError(f"line {ln}: stray comment {line!r}")
+        # Sample line: name[{labels}] value
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            labels_text, _, value_text = rest.partition("}")
+            labels = _parse_labels(labels_text)
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = {}
+        name = name.strip()
+        try:
+            value = float(value_text.strip())
+        except ValueError:
+            raise OpenMetricsError(
+                f"line {ln}: bad sample value {value_text!r}") from None
+        fam, suffix = _sample_family(name)
+        if fam not in families:
+            fam, suffix = name, ""  # gauge samples are unsuffixed
+        if fam not in families or fam != current:
+            raise OpenMetricsError(
+                f"line {ln}: sample {name!r} outside its family block")
+        kind = families[fam]["type"]
+        if kind == "counter" and suffix != "_total":
+            raise OpenMetricsError(
+                f"line {ln}: counter sample {name!r} lacks _total")
+        if kind == "gauge" and suffix != "":
+            raise OpenMetricsError(
+                f"line {ln}: gauge sample {name!r} has a suffix")
+        if kind == "histogram" and suffix not in ("_bucket", "_count",
+                                                  "_sum"):
+            raise OpenMetricsError(
+                f"line {ln}: unexpected histogram sample {name!r}")
+        samples = families[fam]["samples"]
+        assert isinstance(samples, list)
+        samples.append((name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, Family]) -> None:
+    for fam, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        samples = info["samples"]
+        assert isinstance(samples, list)
+        buckets = [s for s in samples if s[0] == f"{fam}_bucket"]
+        counts = [s for s in samples if s[0] == f"{fam}_count"]
+        sums = [s for s in samples if s[0] == f"{fam}_sum"]
+        if not buckets or len(counts) != 1 or len(sums) != 1:
+            raise OpenMetricsError(
+                f"{fam}: histogram needs buckets + _count + _sum")
+        prev = -1.0
+        prev_le = float("-inf")
+        for _, labels, value in buckets:
+            if "le" not in labels:
+                raise OpenMetricsError(f"{fam}: bucket without le")
+            le = float("inf") if labels["le"] == "+Inf" \
+                else float(labels["le"])
+            if le <= prev_le:
+                raise OpenMetricsError(
+                    f"{fam}: le bounds not increasing")
+            if value < prev:
+                raise OpenMetricsError(
+                    f"{fam}: bucket counts not cumulative")
+            prev, prev_le = value, le
+        if buckets[-1][1].get("le") != "+Inf":
+            raise OpenMetricsError(f"{fam}: missing +Inf bucket")
+        if buckets[-1][2] != counts[0][2]:
+            raise OpenMetricsError(
+                f"{fam}: +Inf bucket != _count")

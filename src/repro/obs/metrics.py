@@ -13,15 +13,26 @@ naturally by subsystem.  Everything here is dependency-free and cheap:
   answered from cumulative bucket counts with bounded relative error
   (≤ ~9%, half the bucket width) while memory stays O(#buckets).
 
+All three primitives (and the registry's get-or-create path) are
+**thread-safe**: the batch executor drives one collector from many
+worker threads, and ``value += n`` / dict upserts are not atomic under
+the GIL's bytecode-level preemption.  Each metric carries its own lock
+so contention stays per-name; the null-recorder zero-overhead contract
+is untouched (no lock is ever taken unless a collector is installed).
+
 See ``docs/observability.md`` for the metric-name catalog.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Type, TypeVar, Union
+import threading
+from typing import Dict, List, Optional, Tuple, Type, TypeVar, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "bucket_upper_bound", "quantile_from_buckets",
+]
 
 #: Geometric bucket growth factor: 4 buckets per octave.
 _BUCKET_BASE = 2.0 ** 0.25
@@ -34,17 +45,19 @@ _M = TypeVar("_M", "Counter", "Gauge", "Histogram")
 class Counter:
     """A monotonically increasing value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: Union[int, float] = 1) -> None:
         """Add ``n`` (must be non-negative)."""
         if n < 0:
             raise ValueError(f"counter {self.name}: negative increment {n}")
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def snapshot(self) -> Union[int, float]:
         return self.value
@@ -53,14 +66,16 @@ class Counter:
 class Gauge:
     """A last-write-wins value (e.g. ``index.n_terms``)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
 
     def set(self, value: Union[int, float]) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def snapshot(self) -> Union[int, float]:
         return self.value
@@ -76,7 +91,8 @@ class Histogram:
     Non-positive observations land in a dedicated zero bucket.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_zero", "_buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "_zero",
+                 "_buckets", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -86,21 +102,35 @@ class Histogram:
         self.max: Optional[float] = None
         self._zero = 0                      # observations <= 0
         self._buckets: Dict[int, int] = {}  # bucket index -> count
+        self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
         """Record one observation."""
         v = float(value)
-        self.count += 1
-        self.total += v
-        if self.min is None or v < self.min:
-            self.min = v
-        if self.max is None or v > self.max:
-            self.max = v
-        if v <= 0.0:
-            self._zero += 1
-            return
-        idx = math.floor(math.log(v) / _LOG_BASE)
-        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if self.min is None or v < self.min:
+                self.min = v
+            if self.max is None or v > self.max:
+                self.max = v
+            if v <= 0.0:
+                self._zero += 1
+                return
+            idx = math.floor(math.log(v) / _LOG_BASE)
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    def bucket_counts(self) -> Tuple[int, Dict[int, int]]:
+        """A consistent ``(zero_count, {bucket index: count})`` copy.
+
+        Bucket ``i`` covers ``(base**i, base**(i+1)]`` for
+        ``base = 2**(1/4)`` (:data:`bucket_base`); the zero bucket holds
+        observations ``<= 0``.  The snapshotter diffs these between
+        ticks to answer windowed quantiles, and the OpenMetrics exporter
+        renders them as cumulative ``le`` buckets.
+        """
+        with self._lock:
+            return self._zero, dict(self._buckets)
 
     @property
     def mean(self) -> float:
@@ -110,22 +140,23 @@ class Histogram:
         """Estimated ``q``-quantile (``0 <= q <= 1``); 0.0 when empty."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cum = self._zero
-        if cum >= rank:
-            return min(0.0, self.min or 0.0)
-        for idx in sorted(self._buckets):
-            cum += self._buckets[idx]
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            cum = self._zero
             if cum >= rank:
-                # Midpoint (geometric mean) of the bucket's bounds.
-                lo = _BUCKET_BASE ** idx
-                hi = lo * _BUCKET_BASE
-                est = math.sqrt(lo * hi)
-                assert self.min is not None and self.max is not None
-                return max(self.min, min(self.max, est))
-        return self.max if self.max is not None else 0.0
+                return min(0.0, self.min or 0.0)
+            for idx in sorted(self._buckets):
+                cum += self._buckets[idx]
+                if cum >= rank:
+                    # Midpoint (geometric mean) of the bucket's bounds.
+                    lo = _BUCKET_BASE ** idx
+                    hi = lo * _BUCKET_BASE
+                    est = math.sqrt(lo * hi)
+                    assert self.min is not None and self.max is not None
+                    return max(self.min, min(self.max, est))
+            return self.max if self.max is not None else 0.0
 
     @property
     def p50(self) -> float:
@@ -152,27 +183,68 @@ class Histogram:
         }
 
 
+def bucket_upper_bound(idx: int) -> float:
+    """Exclusive upper bound of geometric bucket ``idx``
+    (``base**(idx+1)``) — what the OpenMetrics exporter renders as the
+    bucket's ``le`` label."""
+    return _BUCKET_BASE ** (idx + 1)
+
+
+def quantile_from_buckets(zero: int, buckets: Dict[int, int],
+                          q: float) -> float:
+    """The ``q``-quantile of a raw ``(zero, {idx: count})`` bucket set.
+
+    Same estimator as :meth:`Histogram.quantile` but over *free-
+    standing* bucket counts — the snapshotter diffs two
+    :meth:`Histogram.bucket_counts` copies and feeds the delta here to
+    answer windowed quantiles (no min/max clamp is available for a
+    window, so estimates are pure bucket midpoints).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    count = zero + sum(buckets.values())
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cum = zero
+    if cum >= rank:
+        return 0.0
+    last = 0.0
+    for idx in sorted(buckets):
+        cum += buckets[idx]
+        lo = _BUCKET_BASE ** idx
+        last = math.sqrt(lo * lo * _BUCKET_BASE)
+        if cum >= rank:
+            return last
+    return last
+
+
 class MetricsRegistry:
     """Get-or-create registry of named metrics.
 
     One flat namespace: registering the same name with two different
     metric kinds is an error (it would silently split the accounting).
+    Creation and iteration are lock-protected so concurrent workers can
+    mint and read metrics safely; the per-metric fast paths
+    (``inc``/``observe``/``set``) take only the metric's own lock.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, cls: Type[_M]) -> _M:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(metric).__name__}, not {cls.__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, Counter)
@@ -203,24 +275,32 @@ class MetricsRegistry:
         return name in self._metrics
 
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
         """The metric object registered under ``name`` (or ``None``)."""
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
+
+    def items(self) -> List[Tuple[str, Union[Counter, Gauge, Histogram]]]:
+        """A consistent ``(name, metric)`` listing, sorted by name —
+        what the snapshotter and the exporters iterate (the plain dict
+        could grow under them mid-iteration)."""
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def snapshot(self) -> Dict[str, object]:
         """``{name: value}`` for counters/gauges, ``{name: {stats}}`` for
         histograms, sorted by name."""
-        return {n: self._metrics[n].snapshot() for n in self.names()}
+        return {n: m.snapshot() for n, m in self.items()}
 
     def render(self, prefix: str = "") -> str:
         """Plain-text dump, one metric per line, sorted by name."""
         lines: List[str] = []
-        for name in self.names():
+        for name, metric in self.items():
             if prefix and not name.startswith(prefix):
                 continue
-            metric = self._metrics[name]
             if isinstance(metric, Histogram):
                 s = metric.snapshot()
                 lines.append(

@@ -1,0 +1,256 @@
+"""Time-series snapshots of a :class:`MetricsRegistry`.
+
+Counters and histograms only ever accumulate — answering "what is the
+cache hit *rate* right now" or "what was p99 latency over the last
+minute" needs *deltas* between two points in time.  The
+:class:`Snapshotter` provides exactly that: a background (or manually
+ticked) sampler that appends cheap copies of a registry's state to a
+bounded ring buffer, plus window queries that diff the newest snapshot
+against the oldest one inside the window:
+
+- :meth:`Snapshotter.delta` / :meth:`Snapshotter.rate` — counter change
+  and per-second rate over a window (QPS is ``rate("batch.queries")``);
+- :meth:`Snapshotter.hit_rate` — ratio of two counter deltas (cache
+  hits vs misses) over the same window;
+- :meth:`Snapshotter.quantile_over` — windowed p50/p99 from *diffed*
+  histogram buckets (:func:`repro.obs.metrics.quantile_from_buckets`),
+  so an old latency spike ages out of the estimate instead of skewing
+  it forever.
+
+Memory is bounded by ``capacity`` ring slots regardless of uptime.  The
+clock is injectable so the window arithmetic is testable without
+sleeping; the background thread is a daemon and stops promptly via an
+event (no poll-loop sleeps to drain on shutdown).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro import obs as _obs
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+
+__all__ = ["Snapshot", "Snapshotter"]
+
+#: ``(zero bucket count, {bucket index: count})`` histogram state.
+_HistState = Tuple[int, int, float, Dict[int, int]]
+
+
+class Snapshot:
+    """One point-in-time copy of a registry's scalar state.
+
+    ``mono`` (monotonic seconds, from the snapshotter's clock) drives
+    all window arithmetic; ``ts`` (wall time) is for display only.
+    Histograms are stored as ``(count, zero, total, buckets)`` so
+    windowed quantiles can be answered from diffed bucket counts.
+    """
+
+    __slots__ = ("ts", "mono", "counters", "gauges", "hists")
+
+    def __init__(self, ts: float, mono: float) -> None:
+        self.ts = ts
+        self.mono = mono
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.hists: Dict[str, _HistState] = {}
+
+
+class Snapshotter:
+    """Bounded ring of periodic :class:`Snapshot` copies of a registry.
+
+    :param registry: the registry to sample;
+    :param interval_s: background sampling period (:meth:`start`);
+    :param capacity: ring slots kept — the queryable horizon is
+        ``capacity * interval_s`` seconds;
+    :param clock: monotonic-seconds source, injectable for tests
+        (defaults to :func:`time.monotonic`).
+
+    :meth:`tick` may also be called manually (tests, single-threaded
+    embedders); it is safe concurrently with the background thread and
+    with the window queries.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 interval_s: float = 1.0, capacity: int = 600,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.registry = registry
+        self.interval_s = interval_s
+        self.capacity = capacity
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic
+        )
+        self._ring: Deque[Snapshot] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.n_ticks = 0
+
+    # -- sampling ------------------------------------------------------
+
+    def tick(self) -> Snapshot:
+        """Sample the registry into the ring; returns the snapshot."""
+        snap = Snapshot(time.time(), self._clock())
+        for name, metric in self.registry.items():
+            if isinstance(metric, Counter):
+                snap.counters[name] = float(metric.value)
+            elif isinstance(metric, Gauge):
+                snap.gauges[name] = float(metric.value)
+            elif isinstance(metric, Histogram):
+                zero, buckets = metric.bucket_counts()
+                snap.hists[name] = (
+                    metric.count, zero, metric.total, buckets
+                )
+        with self._lock:
+            self._ring.append(snap)
+            self.n_ticks += 1
+        # Counted *after* sampling: the tick that mints this counter
+        # shows up in the next snapshot, never its own.
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count("obs.snapshot.ticks")
+        return snap
+
+    # -- background thread ---------------------------------------------
+
+    def start(self) -> None:
+        """Start the background sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="tix-snapshotter", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the background thread (idempotent, waits for exit)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.tick()
+
+    def __enter__(self) -> "Snapshotter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- window queries -------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def snapshots(self) -> List[Snapshot]:
+        """Ring contents, oldest first (a copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    def _window(self, window_s: float
+                ) -> Optional[Tuple[Snapshot, Snapshot]]:
+        """The ``(old, new)`` snapshot pair bounding ``window_s``.
+
+        ``new`` is the latest snapshot; ``old`` is the earliest one not
+        older than ``new.mono - window_s`` (falling back to the
+        second-newest so a too-small window still spans one interval).
+        ``None`` until two ticks exist.
+        """
+        snaps = self.snapshots()
+        if len(snaps) < 2:
+            return None
+        new = snaps[-1]
+        cutoff = new.mono - window_s
+        old = snaps[-2]
+        for snap in snaps[:-1]:
+            if snap.mono >= cutoff:
+                old = snap
+                break
+        return old, new
+
+    def delta(self, name: str, window_s: float) -> float:
+        """Counter increase over the window (0.0 until two ticks, or
+        for a counter absent from either endpoint)."""
+        pair = self._window(window_s)
+        if pair is None:
+            return 0.0
+        old, new = pair
+        return (new.counters.get(name, 0.0)
+                - old.counters.get(name, 0.0))
+
+    def rate(self, name: str, window_s: float) -> float:
+        """Counter increase per second over the window — QPS is
+        ``rate("batch.queries", 60)``."""
+        pair = self._window(window_s)
+        if pair is None:
+            return 0.0
+        old, new = pair
+        elapsed = new.mono - old.mono
+        if elapsed <= 0:
+            return 0.0
+        return (new.counters.get(name, 0.0)
+                - old.counters.get(name, 0.0)) / elapsed
+
+    def hit_rate(self, hits: str, misses: str, window_s: float) -> float:
+        """``Δhits / (Δhits + Δmisses)`` over the window (0.0 when the
+        window saw no traffic)."""
+        dh = self.delta(hits, window_s)
+        dm = self.delta(misses, window_s)
+        total = dh + dm
+        return dh / total if total > 0 else 0.0
+
+    def quantile_over(self, name: str, q: float,
+                      window_s: float) -> float:
+        """Windowed quantile of histogram ``name`` from diffed bucket
+        counts (0.0 when the window saw no observations)."""
+        pair = self._window(window_s)
+        if pair is None:
+            return 0.0
+        old, new = pair
+        new_state = new.hists.get(name)
+        if new_state is None:
+            return 0.0
+        _, new_zero, _, new_buckets = new_state
+        old_zero = 0
+        old_buckets: Dict[int, int] = {}
+        old_state = old.hists.get(name)
+        if old_state is not None:
+            _, old_zero, _, old_buckets = old_state
+        zero = max(0, new_zero - old_zero)
+        buckets = {
+            idx: count
+            for idx, count in (
+                (idx, n - old_buckets.get(idx, 0))
+                for idx, n in new_buckets.items()
+            )
+            if count > 0
+        }
+        return quantile_from_buckets(zero, buckets, q)
+
+    def stats(self) -> Dict[str, float]:
+        """Ring occupancy and tick count (for ``/varz`` and tests)."""
+        with self._lock:
+            return {
+                "ticks": float(self.n_ticks),
+                "ring": float(len(self._ring)),
+                "capacity": float(self.capacity),
+                "interval_s": self.interval_s,
+            }

@@ -6,6 +6,14 @@ stack, so a span begun while another is active becomes its child — the
 engine's recursive ``open()``/``close()`` therefore produces a span tree
 mirroring the plan tree with zero bookkeeping at the call sites.
 
+The stack is **per-thread** (``threading.local``): the batch executor
+drives one collector from many workers, and a single shared stack would
+interleave spans across threads — child spans adopted by a parent on
+another thread, and out-of-order closes corrupting both timelines.
+Each span is tagged with the thread id that opened it (:attr:`Span.tid`)
+so a span tree always nests within one thread; the shared root list and
+the span/drop accounting are lock-protected.
+
 Per-tuple ``next()`` calls are deliberately *not* traced as spans (a
 million-row scan would produce a million spans); their cost is
 aggregated per operator in :class:`repro.engine.base.OpStats` and
@@ -13,11 +21,13 @@ attached to the operator's ``close`` span as attributes.
 
 Exports: :meth:`Tracer.to_dict` (nested JSON) and
 :meth:`Tracer.to_chrome_trace` (the Chrome/Perfetto ``traceEvents``
-format — load it at ``chrome://tracing`` or https://ui.perfetto.dev).
+format — load it at ``chrome://tracing`` or https://ui.perfetto.dev;
+each thread renders as its own timeline row via the ``tid`` field).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
@@ -26,9 +36,10 @@ __all__ = ["Span", "Tracer"]
 
 
 class Span:
-    """One timed phase; children are spans begun while it was active."""
+    """One timed phase; children are spans begun while it was active
+    on the same thread (``tid`` records which)."""
 
-    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children")
+    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children", "tid")
 
     def __init__(self, name: str, start_ns: int,
                  **attrs: object) -> None:
@@ -37,6 +48,7 @@ class Span:
         self.end_ns: Optional[int] = None
         self.attrs: Dict[str, object] = dict(attrs)
         self.children: List["Span"] = []
+        self.tid: int = 0
 
     @property
     def duration_ns(self) -> int:
@@ -55,6 +67,7 @@ class Span:
             "start_ns": self.start_ns,
             "duration_ns": self.duration_ns,
             "duration_ms": self.duration_ms,
+            "tid": self.tid,
         }
         if self.attrs:
             d["attrs"] = dict(self.attrs)
@@ -63,53 +76,72 @@ class Span:
         return d
 
 
+class _ThreadStack(threading.local):
+    """Per-thread open-span stack.  ``threading.local`` re-runs
+    ``__init__`` in every thread that touches it, so each worker starts
+    with an empty stack."""
+
+    def __init__(self) -> None:
+        self.stack: List[Span] = []
+
+
 class Tracer:
-    """Collects a forest of nested spans.
+    """Collects a forest of nested spans, one subtree per thread.
 
     ``max_spans`` bounds memory: once the budget is exhausted new spans
     are counted in :attr:`dropped` but not stored (timing of already
-    open spans still completes correctly).
+    open spans still completes correctly).  Safe for concurrent
+    ``begin``/``end`` from many threads — the open-span stack is
+    thread-local, the shared root list and counters take a lock.
     """
 
     def __init__(self, max_spans: int = 100_000) -> None:
         self.max_spans = max_spans
         self.roots: List[Span] = []
         self.dropped = 0
-        self._stack: List[Span] = []
+        self._local = _ThreadStack()
         self._n_spans = 0
+        self._lock = threading.Lock()
 
     # -- explicit begin/end (hot-path friendly: no generator frames) ----
 
     def begin(self, name: str, **attrs: object) -> Optional[Span]:
         """Open a span; returns ``None`` when over the span budget."""
-        if self._n_spans >= self.max_spans:
-            self.dropped += 1
-            return None
+        with self._lock:
+            if self._n_spans >= self.max_spans:
+                self.dropped += 1
+                return None
+            self._n_spans += 1
         span = Span(name, time.perf_counter_ns(), **attrs)
-        self._n_spans += 1
-        if self._stack:
-            self._stack[-1].children.append(span)
+        span.tid = threading.get_ident()
+        stack = self._local.stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         return span
 
     def end(self, span: Optional[Span]) -> None:
         """Close ``span`` (a no-op for the ``None`` over-budget token).
 
-        Spans must close innermost-first; closing out of order closes
-        the intervening spans too (so an exception that skips ``end``
-        calls cannot corrupt the stack).
+        Spans must close innermost-first on their own thread; closing
+        out of order closes the intervening spans too (so an exception
+        that skips ``end`` calls cannot corrupt the stack).
         """
         if span is None:
             return
         now = time.perf_counter_ns()
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._local.stack
+        while stack:
+            top = stack.pop()
             top.end_ns = now
             if top is span:
                 return
-        raise ValueError(f"span {span.name!r} is not open")
+        raise ValueError(
+            f"span {span.name!r} is not open on this thread"
+        )
 
     @contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[Optional[Span]]:
@@ -126,9 +158,13 @@ class Tracer:
     def n_spans(self) -> int:
         return self._n_spans
 
+    def _root_snapshot(self) -> List[Span]:
+        with self._lock:
+            return list(self.roots)
+
     def to_dict(self) -> Dict[str, object]:
         return {
-            "spans": [s.to_dict() for s in self.roots],
+            "spans": [s.to_dict() for s in self._root_snapshot()],
             "n_spans": self._n_spans,
             "dropped": self.dropped,
         }
@@ -136,11 +172,17 @@ class Tracer:
     def to_chrome_trace(self) -> Dict[str, object]:
         """The Chrome ``traceEvents`` JSON: one complete (``"ph": "X"``)
         event per span, timestamps in microseconds relative to the first
-        span."""
+        span.  Thread idents are compacted to small stable ``tid``
+        values (ordered by each thread's first span) so every thread
+        gets its own readable timeline row."""
         events: List[Dict[str, object]] = []
-        if not self.roots:
+        roots = self._root_snapshot()
+        if not roots:
             return {"traceEvents": events}
-        t0 = min(s.start_ns for s in self.roots)
+        t0 = min(s.start_ns for s in roots)
+        tids: Dict[int, int] = {}
+        for root in sorted(roots, key=lambda s: s.start_ns):
+            tids.setdefault(root.tid, len(tids))
 
         def emit(span: Span) -> None:
             events.append({
@@ -149,12 +191,12 @@ class Tracer:
                 "ts": (span.start_ns - t0) / 1e3,
                 "dur": span.duration_ns / 1e3,
                 "pid": 0,
-                "tid": 0,
+                "tid": tids.setdefault(span.tid, len(tids)),
                 "args": dict(span.attrs),
             })
             for child in span.children:
                 emit(child)
 
-        for root in self.roots:
+        for root in roots:
             emit(root)
         return {"traceEvents": events}

@@ -36,6 +36,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from repro import obs as _obs
+from repro.obs import events as _events
 from repro.resilience.guard import QueryGuard
 
 if TYPE_CHECKING:
@@ -116,27 +117,36 @@ def _run_one(store: "XMLStore", outcome: BatchOutcome, *,
                    degrade=degrade)
         if (timeout_ms is not None or max_rows is not None) else None
     )
-    try:
-        if guard is not None:
-            if cache is not None:
-                res = cache.run_query_guarded(outcome.source, guard,
-                                              registry)
+    with _events.observe_query(outcome.source, kind="batch") as ev:
+        try:
+            if guard is not None:
+                if cache is not None:
+                    res = cache.run_query_guarded(outcome.source, guard,
+                                                  registry)
+                else:
+                    res = run_query_guarded(store, outcome.source, guard,
+                                            registry)
+                outcome.results = res.results
+                outcome.truncated = res.truncated
+                outcome.reason = res.reason
+            elif cache is not None:
+                outcome.results = cache.run_query(outcome.source, registry)
             else:
-                res = run_query_guarded(store, outcome.source, guard,
-                                        registry)
-            outcome.results = res.results
-            outcome.truncated = res.truncated
-            outcome.reason = res.reason
-        elif cache is not None:
-            outcome.results = cache.run_query(outcome.source, registry)
-        else:
-            outcome.results = run_query(store, outcome.source, registry)
-    except TIXError as exc:
-        outcome.error = str(exc)
-        outcome.error_type = type(exc).__name__
-    except Exception as exc:  # defensive: never lose the batch
-        outcome.error = str(exc)
-        outcome.error_type = type(exc).__name__
+                outcome.results = run_query(store, outcome.source, registry)
+        except TIXError as exc:
+            outcome.error = str(exc)
+            outcome.error_type = type(exc).__name__
+        except Exception as exc:  # defensive: never lose the batch
+            outcome.error = str(exc)
+            outcome.error_type = type(exc).__name__
+        if ev is not None:
+            # Captured failures never propagate, so stamp the audit
+            # record from the outcome before emission.
+            if outcome.error:
+                ev.note_error(outcome.error_type, outcome.error)
+            else:
+                ev.note_result(outcome.n_results, outcome.truncated,
+                               outcome.reason)
     outcome.elapsed_ms = (perf_counter() - t0) * 1000.0
     return outcome
 

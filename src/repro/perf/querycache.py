@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Any, List, NamedTuple, Optional
 
 from repro import obs as _obs
 from repro.errors import QueryCompileError
+from repro.obs import events as _events
 from repro.perf.lru import LRUCache
 from repro.query.ast import Query
 from repro.query.parser import parse_query
@@ -161,6 +162,9 @@ class PlanCache:
         rec = _obs.RECORDER
         if rec.enabled:
             rec.count("cache.plan.hits" if hit else "cache.plan.misses")
+        ev = _events.current_event()
+        if ev is not None:
+            ev.plan_cache = "hit" if hit else "miss"
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -254,27 +258,40 @@ class QueryCache:
         from repro.engine.base import execute
         from repro.query.evaluator import evaluate_query
 
-        if registry is not None:
-            from repro.query.evaluator import run_query as _run_query
+        with _events.observe_query(source) as ev:
+            if registry is not None:
+                from repro.query.evaluator import run_query as _run_query
 
-            return _run_query(self.store, source, registry)
+                out = _run_query(self.store, source, registry)
+                if ev is not None:
+                    ev.note_result(len(out))
+                return out
 
-        norm = self.normalize(source)
-        if self.results is not None:
-            cached = self.results.get(norm)
-            if cached is not None:
-                return cached
-        plan = self.plans.acquire(norm)
-        if plan is not None:
-            try:
-                out = execute(plan)
-            finally:
-                self.plans.release(norm, plan)
-        else:
-            out = evaluate_query(self.store, norm.query)
-        if self.results is not None:
-            self.results.put(norm, out)
-        return out
+            norm = self.normalize(source)
+            if self.results is not None:
+                cached = self.results.get(norm)
+                if cached is not None:
+                    if ev is not None:
+                        ev.cache = "hit"
+                        ev.note_result(len(cached))
+                    return cached
+            if ev is not None and self.results is not None:
+                ev.cache = "miss"
+            plan = self.plans.acquire(norm)
+            if plan is not None:
+                try:
+                    out = execute(plan)
+                finally:
+                    self.plans.release(norm, plan)
+                if ev is not None:
+                    ev.note_plan(plan)
+            else:
+                out = evaluate_query(self.store, norm.query)
+            if self.results is not None:
+                self.results.put(norm, out)
+            if ev is not None:
+                ev.note_result(len(out))
+            return out
 
     def run_query_guarded(self, source: str, guard: "QueryGuard",
                           registry: "Optional[MetricsRegistry]" = None,
@@ -299,36 +316,52 @@ class QueryCache:
             execute_guarded,
         )
 
-        if registry is not None:
-            from repro.resilience.run import run_query_guarded
+        with _events.observe_query(source) as ev:
+            if registry is not None:
+                from repro.resilience.run import run_query_guarded
 
-            return run_query_guarded(self.store, source, guard, registry)
+                return run_query_guarded(self.store, source, guard,
+                                         registry)
 
-        norm = self.normalize(source)
-        max_rows = getattr(guard, "max_rows", None)
-        if self.results is not None:
-            cached = self.results.get(norm)
-            if cached is not None:
-                if max_rows is not None and len(cached) > max_rows:
-                    exc = ResourceExhaustedError(
-                        f"query exceeded its row budget of {max_rows}"
-                    )
-                    if not guard.degrade:
-                        raise exc
-                    return GuardedResult(cached[:max_rows], truncated=True,
-                                         reason=str(exc), error=exc)
-                return GuardedResult(cached)
-        plan = self.plans.acquire(norm)
-        if plan is not None:
-            try:
-                res = execute_guarded(plan, guard)
-            finally:
-                self.plans.release(norm, plan)
-        else:
-            res = evaluate_guarded(self.store, norm.query, guard)
-        if self.results is not None and not res.truncated:
-            self.results.put(norm, res.results)
-        return res
+            norm = self.normalize(source)
+            max_rows = getattr(guard, "max_rows", None)
+            if self.results is not None:
+                cached = self.results.get(norm)
+                if cached is not None:
+                    if ev is not None:
+                        ev.cache = "hit"
+                        ev.note_guard(guard)
+                    if max_rows is not None and len(cached) > max_rows:
+                        exc = ResourceExhaustedError(
+                            f"query exceeded its row budget of {max_rows}"
+                        )
+                        if not guard.degrade:
+                            raise exc
+                        if ev is not None:
+                            ev.note_result(max_rows, truncated=True,
+                                           reason=str(exc))
+                        return GuardedResult(
+                            cached[:max_rows], truncated=True,
+                            reason=str(exc), error=exc,
+                        )
+                    if ev is not None:
+                        ev.note_result(len(cached))
+                    return GuardedResult(cached)
+            if ev is not None and self.results is not None:
+                ev.cache = "miss"
+            plan = self.plans.acquire(norm)
+            if plan is not None:
+                try:
+                    res = execute_guarded(plan, guard)
+                finally:
+                    self.plans.release(norm, plan)
+            else:
+                res = evaluate_guarded(self.store, norm.query, guard)
+            if self.results is not None and not res.truncated:
+                self.results.put(norm, res.results)
+            if ev is not None:
+                ev.note_result(res.n_results, res.truncated, res.reason)
+            return res
 
     def stats(self) -> dict:
         """Hit/miss tallies for every tier (reports and tests)."""

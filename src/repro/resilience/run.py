@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, List, Optional
 
 from repro.errors import QueryAbortedError, ResourceExhaustedError
+from repro.obs import events as _events
 from repro.resilience.guard import (
     NullGuard,
     QueryGuard,
@@ -101,6 +102,10 @@ def execute_guarded(plan: Any, guard: NullGuard) -> GuardedResult:
                 guard.publish()
     finally:
         uninstall_guard()
+    ev = _events.current_event()
+    if ev is not None:
+        ev.note_guard(guard)
+        ev.note_plan(plan)
     if trip is not None:
         if not guard.degrade:
             raise trip
@@ -127,14 +132,23 @@ def run_query_guarded(store: "XMLStore", source: str, guard: NullGuard,
     from repro.query import parse_query
     from repro.query.compiler import compile_query
 
-    query = parse_query(source)
-    try:
-        plan = compile_query(store, query, registry)
-    except QueryCompileError:
-        plan = None
-    if plan is not None:
-        return execute_guarded(plan, guard)
-    return evaluate_guarded(store, query, guard, registry)
+    with _events.observe_query(source) as ev:
+        query = parse_query(source)
+        try:
+            plan = compile_query(store, query, registry)
+        except QueryCompileError:
+            plan = None
+        if plan is not None:
+            res = execute_guarded(plan, guard)
+        else:
+            res = evaluate_guarded(store, query, guard, registry)
+        if ev is not None:
+            ev.note_result(res.n_results, res.truncated, res.reason)
+            if res.error is not None and not ev.guard_trip:
+                # Evaluator-fallback trims never fire guard._trip, so
+                # the verdict comes from the result's error instead.
+                ev.guard_trip = type(res.error).__name__
+        return res
 
 
 def evaluate_guarded(store: "XMLStore", query: Any, guard: NullGuard,
@@ -172,6 +186,9 @@ def evaluate_guarded(store: "XMLStore", query: Any, guard: NullGuard,
                 [], truncated=True, reason=str(exc), error=exc
             )
         finally:
+            ev = _events.current_event()
+            if ev is not None:
+                ev.note_guard(guard)
             if isinstance(guard, QueryGuard):
                 guard.publish()
     finally:

@@ -175,7 +175,7 @@ class TestOpenErrorPath:
             with pytest.raises(RuntimeError):
                 _FailingOpen([_CloseTracking()]).open()
         # spans were closed despite the exception
-        assert not col.tracer._stack
+        assert not col.tracer._local.stack
 
 
 class _SeedTermJoin(TermJoin):

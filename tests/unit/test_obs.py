@@ -134,7 +134,7 @@ class TestTracer:
         inner = t.begin("inner")
         t.end(outer)                      # closes inner too
         assert inner.end_ns is not None
-        assert not t._stack
+        assert not t._local.stack
 
     def test_end_unknown_span_raises(self):
         t = Tracer()
