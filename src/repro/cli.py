@@ -9,7 +9,11 @@ Subcommands:
   query against XML files loaded into a fresh store (``-f FILE`` reads
   the query from a file).
 - ``tix explain -q QUERY --doc name=path …`` — show the compiled
-  pipelined plan for a compilable query.
+  pipelined plan for a compilable query, each operator annotated with
+  its estimated cardinality (``est_rows``, from the statistics
+  catalog).  ``--analyze`` executes the plan and shows estimated vs
+  actual rows with the per-operator q-error; ``--json`` emits the
+  plan tree (estimates, actuals, timings) as JSON.
 - ``tix profile -q QUERY --doc name=path …`` — execute the query under
   the observability collector and print an EXPLAIN ANALYZE tree with
   per-operator time/rows/loops and access-method counters, phase span
@@ -45,6 +49,11 @@ Subcommands:
 - ``tix events FILE`` — inspect a query audit log: filter by
   ``--outcome``, ``--kind``, ``--min-wall MS`` or ``--slow-only``,
   ``--limit N`` for the tail, ``--json`` for raw records.
+- ``tix feedback FILE`` — aggregate an audit log into a misestimation
+  report: the worst-misestimated operators and query shapes ranked by
+  median q-error (count, median/max q-error, mean estimated vs actual
+  rows).  Reads both audit-log schema versions; ``--min-count`` drops
+  singletons, ``--json`` for the machine-readable report.
 - ``tix lint [PATH]`` — run the engine invariant linter
   (:mod:`repro.analysis`) over the source tree: operator lifecycle,
   guard ticks, metric/fault-point drift, lock discipline, resource
@@ -250,11 +259,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.engine.base import explain, plan_stats
     from repro.query import parse_query
-    from repro.query.compiler import explain_query
+    from repro.query.compiler import compile_query
 
     store = _load_store(args.doc or [], args.store)
-    print(explain_query(store, parse_query(_read_query(args))))
+    plan = compile_query(store, parse_query(_read_query(args)))
+    if args.analyze:
+        from repro import obs
+        from repro.engine.base import execute
+        from repro.plan.estimate import publish_qerrors
+
+        with obs.collecting():
+            execute(plan)
+            publish_qerrors(plan)
+    if args.json:
+        print(json.dumps(plan_stats(plan), indent=2, sort_keys=True))
+    else:
+        print(explain(plan, analyze=args.analyze))
     return 0
 
 
@@ -271,15 +293,20 @@ def _cmd_save(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    # Served entirely from the generation-cached statistics catalog —
+    # no inverted-index build just to print frequencies.
     store = _load_store(args.doc or [], args.store)
     stats = store.stats
     print(store)
     print(f"  max depth:   {stats.max_depth}")
+    print(f"  avg depth:   {stats.avg_depth:.2f}")
     print(f"  max fan-out: {stats.max_fanout}")
     print(f"  avg fan-out: {stats.avg_fanout:.2f}")
-    print(f"  vocabulary:  {store.index.n_terms} terms")
+    print(f"  vocabulary:  {len(stats.term_frequency)} terms")
     print("  most frequent terms:")
-    for term, freq in store.index.terms_sorted_by_frequency()[:10]:
+    ranked = sorted(stats.term_frequency.items(),
+                    key=lambda kv: (-kv[1], kv[0]))
+    for term, freq in ranked[:10]:
         print(f"    {term:<20} {freq}")
     return 0
 
@@ -531,6 +558,20 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_feedback(args: argparse.Namespace) -> int:
+    from repro.obs.events import iter_events
+    from repro.plan.feedback import feedback_report
+
+    with open(args.file, "r", encoding="utf-8") as f:
+        records = list(iter_events(f))
+    report = feedback_report(records, min_count=args.min_count)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(limit=args.limit))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         Severity, lint, render_human, render_json, rule_classes,
@@ -603,12 +644,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Chrome trace (chrome://tracing) to FILE")
     p.set_defaults(fn=_cmd_profile)
 
-    e = sub.add_parser("explain", help="show the compiled plan")
+    e = sub.add_parser("explain", help="show the compiled plan with "
+                                       "cardinality estimates")
     e.add_argument("-q", "--query", help="query text")
     e.add_argument("-f", "--file", help="file containing the query")
     e.add_argument("--doc", action="append",
                    help="load a document: name=path (repeatable)")
     e.add_argument("--store", help="load a saved store directory")
+    e.add_argument("--analyze", action="store_true",
+                   help="execute the plan and show estimated vs actual "
+                        "rows with per-operator q-error")
+    e.add_argument("--json", action="store_true",
+                   help="emit the plan tree (est_rows, rows, q_error, "
+                        "timings) as JSON")
     e.set_defaults(fn=_cmd_explain)
 
     s = sub.add_parser("save", help="persist documents as a store dir")
@@ -732,6 +780,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print raw JSON records instead of the "
                          "human-readable table")
     ev.set_defaults(fn=_cmd_events)
+
+    fb = sub.add_parser(
+        "feedback",
+        help="aggregate an audit log into a misestimation report "
+             "(worst operators and query shapes by median q-error)",
+    )
+    fb.add_argument("file", help="audit-log JSONL file to read")
+    fb.add_argument("--min-count", type=int, default=1, metavar="N",
+                    help="hide operators/shapes seen fewer than N times "
+                         "(default 1)")
+    fb.add_argument("--limit", type=int, default=10, metavar="N",
+                    help="show the N worst entries per section "
+                         "(default 10)")
+    fb.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON")
+    fb.set_defaults(fn=_cmd_feedback)
 
     ln = sub.add_parser(
         "lint",

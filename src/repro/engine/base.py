@@ -34,6 +34,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from repro import obs as _obs
 from repro.core.trees import STree
 from repro.errors import PlanError
+from repro.plan.estimate import qerror
 from repro.resilience import guard as _resguard
 
 #: Operator lifecycle states.  ``open()`` moves NEW/CLOSED → OPEN,
@@ -83,6 +84,13 @@ class Operator:
         self._state = _NEW
         self.rows_out = 0
         self.stats = OpStats()
+        #: Estimated output cardinality / cumulative cost, annotated by
+        #: :func:`repro.plan.estimate.estimate_plan` at compile time
+        #: (``None`` on hand-built plans).  Plan properties, not run
+        #: stats: they survive ``open()``'s recursive stats reset so
+        #: EXPLAIN ANALYZE can show estimated-vs-actual afterwards.
+        self.est_rows: Optional[float] = None
+        self.est_cost: Optional[float] = None
 
     @property
     def _opened(self) -> bool:
@@ -232,27 +240,39 @@ def explain(plan: Operator, _depth: int = 0, analyze: bool = False) -> str:
     """Render the plan tree, one operator per line, with row counts from
     the most recent execution.
 
+    Plans annotated by the estimator additionally show
+    ``(est_rows=N)`` per line; with ``analyze=True`` the estimate moves
+    into the bracket next to the actual row count along with the
+    per-operator q-error (``max(est/actual, actual/est)``, 1-safe), so
+    estimated-vs-actual reads off one line.
+
     With ``analyze=True`` each line additionally shows cumulative
     operator time (inclusive of children, measured only when a collector
     was installed during the run), ``next()`` call count, and any
     access-method counters the operator reported::
 
-        termjoin-scan(...) [time=1.742ms rows=42 loops=43
-                            postings_scanned=1204]
+        termjoin-scan(...) [time=1.742ms rows=42 est_rows=38
+                            q_error=1.11 loops=43 postings_scanned=1204]
     """
     pad = "  " * _depth
+    est = plan.est_rows
     if analyze:
         st = plan.stats
         parts_line = [
             f"time={_fmt_ms(st.total_ns)}",
             f"rows={plan.rows_out}",
-            f"loops={st.loops}",
         ]
+        if est is not None:
+            parts_line.append(f"est_rows={est:.0f}")
+            parts_line.append(f"q_error={qerror(est, plan.rows_out):.2f}")
+        parts_line.append(f"loops={st.loops}")
         for key in sorted(st.counters):
             parts_line.append(f"{key}={st.counters[key]}")
         line = f"{pad}{plan.describe()} [{' '.join(parts_line)}]"
     else:
         line = f"{pad}{plan.describe()} [rows={plan.rows_out}]"
+        if est is not None:
+            line += f" (est_rows={est:.0f})"
     parts = [line]
     for child in plan.children:
         parts.append(explain(child, _depth + 1, analyze))
@@ -265,14 +285,22 @@ def plan_stats(plan: Operator) -> Dict[str, object]:
 
     ``time_ms`` is inclusive of children; ``self_time_ms`` subtracts the
     children's inclusive totals (clamped at zero — blocking operators
-    that drain a child inside ``_open`` overlap with it)."""
+    that drain a child inside ``_open`` overlap with it).
+
+    ``est_rows``/``q_error`` are ``None`` on plans the estimator never
+    annotated (hand-built trees); otherwise ``q_error`` compares the
+    estimate against this run's actual row count."""
     st = plan.stats
     children = [plan_stats(c) for c in plan.children]
     child_ns = sum(c.stats.total_ns for c in plan.children)
+    est = plan.est_rows
     return {
         "operator": plan.name,
         "describe": plan.describe(),
         "rows": plan.rows_out,
+        "est_rows": est,
+        "q_error": (qerror(est, plan.rows_out)
+                    if est is not None else None),
         "loops": st.loops,
         "time_ms": st.total_ns / 1e6,
         "self_time_ms": max(0, st.total_ns - child_ns) / 1e6,

@@ -65,7 +65,12 @@ __all__ = [
 
 #: Version of the JSONL record layout (the ``"v"`` field).  Bump when a
 #: field changes meaning or disappears; adding fields is compatible.
-SCHEMA_VERSION = 1
+#:
+#: - v1: initial layout;
+#: - v2: per-operator ``est_rows``/``q_error`` in ``ops`` (``None`` on
+#:   plans the estimator never annotated).  Readers (``tix events``,
+#:   ``tix feedback``) accept both versions.
+SCHEMA_VERSION = 2
 
 
 def query_hash(source: str) -> str:
@@ -167,8 +172,11 @@ class QueryEvent:
 
 def plan_top_ops(plan: Any, limit: int = 3) -> List[Dict[str, object]]:
     """The ``limit`` most expensive operators of an executed plan as
-    flat ``{operator, rows, time_ms}`` dicts, ordered by inclusive time
-    (rows break ties — timings are zero when no collector ran)."""
+    flat ``{operator, rows, est_rows, q_error, time_ms}`` dicts, ordered
+    by inclusive time (rows break ties — timings are zero when no
+    collector ran).  ``est_rows``/``q_error`` are ``None`` when the
+    estimator never annotated the plan (schema v2; see
+    ``SCHEMA_VERSION``)."""
     from repro.engine.base import plan_stats
 
     ranked: List[Any] = []
@@ -176,9 +184,13 @@ def plan_top_ops(plan: Any, limit: int = 3) -> List[Dict[str, object]]:
     def walk(node: Dict[str, Any]) -> None:
         time_ms = float(node["time_ms"])
         rows = int(node["rows"])
+        est = node["est_rows"]
+        q = node["q_error"]
         ranked.append((time_ms, rows, {
             "operator": node["describe"],
             "rows": rows,
+            "est_rows": round(float(est), 1) if est is not None else None,
+            "q_error": round(float(q), 3) if q is not None else None,
             "time_ms": round(time_ms, 3),
         }))
         for child in node["children"]:

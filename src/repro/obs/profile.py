@@ -140,6 +140,9 @@ def profile_query(store: "XMLStore", source: str,
             else:
                 with col.span("execute"):
                     results = execute(plan)
+                from repro.plan.estimate import publish_qerrors
+
+                publish_qerrors(plan)
         store.counters.publish(col)
     after = store.counters.snapshot()
     deltas = {k: after[k] - before[k] for k in after}

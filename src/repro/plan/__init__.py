@@ -1,0 +1,47 @@
+"""Plan-level estimation and feedback (the optimizer's eyes).
+
+The paper's access methods (TermJoin vs Comp1/Comp2, PhraseFinder vs
+Comp3, structural vs twig joins) are rival physical plans for the same
+logical work; choosing between them needs per-operator cardinality and
+cost estimates, and *trusting* the choice needs visibility into how
+wrong those estimates are.  This package provides both halves of that
+observe-then-adapt loop:
+
+- :mod:`repro.plan.estimate` — a catalog-driven estimator that walks a
+  compiled operator tree and annotates every node with ``est_rows`` /
+  ``est_cost`` from :class:`~repro.xmldb.stats.StoreStatistics`
+  (cached on the store keyed by ``store.generation``), plus the
+  ``q-error`` metric surfaced by ``explain(analyze=True)``;
+- :mod:`repro.plan.feedback` — aggregation of estimated-vs-actual plan
+  stats out of the audit log (:mod:`repro.obs.events`) into a
+  misestimation report, the re-costing input a cost-based planner
+  consumes (``tix feedback``).
+"""
+
+from repro.plan.estimate import (
+    containment_selectivity,
+    estimate_plan,
+    phrase_estimate,
+    publish_qerrors,
+    qerror,
+    structural_join_estimate,
+    term_estimate,
+)
+from repro.plan.feedback import (
+    FeedbackReport,
+    OpFeedback,
+    feedback_report,
+)
+
+__all__ = [
+    "containment_selectivity",
+    "estimate_plan",
+    "phrase_estimate",
+    "publish_qerrors",
+    "qerror",
+    "structural_join_estimate",
+    "term_estimate",
+    "FeedbackReport",
+    "OpFeedback",
+    "feedback_report",
+]

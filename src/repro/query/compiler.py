@@ -95,11 +95,19 @@ class StructuralFilter(Operator):
 
 def compile_query(store: XMLStore, query: Query,
                   registry: Optional[FunctionRegistry] = None) -> Operator:
-    """Compile ``query`` to an engine plan (see module docstring)."""
+    """Compile ``query`` to an engine plan (see module docstring).
+
+    The returned plan is estimator-annotated: every operator carries
+    ``est_rows``/``est_cost`` from the store's statistics catalog, so
+    ``explain()`` shows estimates before execution and
+    ``explain(analyze=True)`` shows estimated-vs-actual afterwards."""
     from repro import obs
+    from repro.plan.estimate import estimate_plan
 
     with obs.RECORDER.span("compile"):
-        return _compile_query(store, query, registry)
+        plan = _compile_query(store, query, registry)
+        estimate_plan(plan, store)
+        return plan
 
 
 def _compile_query(store: XMLStore, query: Query,

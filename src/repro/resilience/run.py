@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, List, Optional
 
+from repro import obs as _obs
 from repro.errors import QueryAbortedError, ResourceExhaustedError
 from repro.obs import events as _events
 from repro.resilience.guard import (
@@ -102,6 +103,10 @@ def execute_guarded(plan: Any, guard: NullGuard) -> GuardedResult:
                 guard.publish()
     finally:
         uninstall_guard()
+    if _obs.RECORDER.enabled:
+        from repro.plan.estimate import publish_qerrors
+
+        publish_qerrors(plan)
     ev = _events.current_event()
     if ev is not None:
         ev.note_guard(guard)

@@ -7,7 +7,13 @@ Two consumers:
   from 20 to 10,000);
 - the Pick access method, whose auxiliary data (§5.3) is a histogram of
   data IR-node scores that lets a user express "top X% relevant" without
-  knowing the absolute score distribution.
+  knowing the absolute score distribution;
+- the plan estimator (:mod:`repro.plan.estimate`), which derives
+  per-operator cardinality estimates from the term frequencies, the
+  fan-out statistics, and the level histogram.  The store caches one
+  :class:`StoreStatistics` per ``store.generation``
+  (:meth:`repro.xmldb.store.XMLStore.stats`), so estimation never pays
+  the corpus scan twice for the same document set.
 """
 
 from __future__ import annotations
@@ -30,6 +36,10 @@ class StoreStatistics:
     tag_counts: Dict[str, int]
     """Number of elements per tag."""
 
+    level_counts: Dict[int, int]
+    """Elements per tree level (root = 0) — the level histogram the
+    plan estimator reads containment selectivity off."""
+
     n_elements: int
     n_words: int
     max_fanout: int
@@ -40,6 +50,7 @@ class StoreStatistics:
     def build(cls, store: "XMLStore") -> "StoreStatistics":
         term_freq: Counter = Counter()
         tag_counts: Counter = Counter()
+        level_counts: Counter = Counter()
         max_fanout = 0
         total_children = 0
         internal_nodes = 0
@@ -47,6 +58,7 @@ class StoreStatistics:
         for doc in store.documents():
             term_freq.update(doc.word_terms)
             tag_counts.update(doc.tags)
+            level_counts.update(doc.levels)
             for nid in range(len(doc)):
                 k = doc.n_children(nid)
                 if k:
@@ -59,6 +71,7 @@ class StoreStatistics:
         return cls(
             term_frequency=dict(term_freq),
             tag_counts=dict(tag_counts),
+            level_counts=dict(level_counts),
             n_elements=store.n_elements,
             n_words=store.n_words,
             max_fanout=max_fanout,
@@ -66,6 +79,17 @@ class StoreStatistics:
                         if internal_nodes else 0.0),
             max_depth=max_depth,
         )
+
+    @property
+    def avg_depth(self) -> float:
+        """Mean element level, from the level histogram."""
+        total = sum(self.level_counts.values())
+        if not total:
+            return 0.0
+        weighted = sum(
+            level * count for level, count in self.level_counts.items()
+        )
+        return weighted / total
 
     def frequency(self, term: str) -> int:
         """Corpus frequency of ``term`` (0 if absent)."""

@@ -75,6 +75,7 @@ class XMLStore:
         self._inverted = None  # InvertedIndex or CompressedInvertedIndex
         self._structure: Optional["StructureIndex"] = None
         self._stats: Optional["StoreStatistics"] = None
+        self._stats_generation = -1
         self._compress_index = False
         self._postings_cache_capacity: Optional[int] = None
         #: Monotonic corpus-version counter, bumped whenever the document
@@ -235,12 +236,24 @@ class XMLStore:
 
     @property
     def stats(self) -> "StoreStatistics":
-        """Corpus statistics (term document frequencies, fan-out, sizes)."""
-        if self._stats is None:
+        """Corpus statistics (term frequencies, fan-out, the level
+        histogram) — the estimation catalog of
+        :mod:`repro.plan.estimate`.
+
+        Built at most once per ``store.generation``: the cached copy is
+        keyed on the generation counter explicitly (not just cleared by
+        ``_invalidate``), so per-query estimation and ``tix stats``
+        never repeat the full corpus scan for an unchanged document
+        set.  Rebuilds are counted in ``estimate.catalog_rebuilds``."""
+        if self._stats is None or self._stats_generation != self.generation:
             from repro.xmldb.stats import StoreStatistics
 
-            with _obs.RECORDER.span("stats.build"):
+            rec = _obs.RECORDER
+            with rec.span("stats.build"):
                 self._stats = StoreStatistics.build(self)
+            self._stats_generation = self.generation
+            if rec.enabled:
+                rec.count("estimate.catalog_rebuilds")
         return self._stats
 
     # ------------------------------------------------------------------

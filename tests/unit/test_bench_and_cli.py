@@ -88,19 +88,74 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["query", "--doc", "nopath", "-q", "For $a in $b Return $a"])
 
+    EXPLAINABLE = (
+        'For $x in document("a.xml")//a/descendant-or-self::* '
+        'Score $x using ScoreFooExact($x, {"queries"}) '
+        'Return $x Sortby(score)'
+    )
+
     def test_explain(self, tmp_path, capsys):
         doc = tmp_path / "a.xml"
         doc.write_text("<a><b>hello queries</b></a>")
         rc = main([
-            "explain",
-            "--doc", f"a.xml={doc}",
-            "-q",
-            'For $x in document("a.xml")//a/descendant-or-self::* '
-            'Score $x using ScoreFooExact($x, {"queries"}) '
-            'Return $x Sortby(score)',
+            "explain", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
         ])
         assert rc == 0
-        assert "termjoin-scan" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "termjoin-scan" in out
+        assert "(est_rows=1)" in out  # 'queries' appears once
+
+    def test_explain_analyze(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        rc = main([
+            "explain", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--analyze",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "est_rows=" in out and "q_error=" in out
+        assert "time=" in out
+
+    def test_explain_json(self, tmp_path, capsys):
+        import json as _json
+
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        rc = main([
+            "explain", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--analyze", "--json",
+        ])
+        assert rc == 0
+        tree = _json.loads(capsys.readouterr().out)
+        assert tree["est_rows"] is not None
+        assert tree["q_error"] >= 1.0
+        assert tree["children"]
+
+    def test_stats_serves_from_catalog(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello hello queries</b></a>")
+        assert main(["stats", "--doc", f"a.xml={doc}"]) == 0
+        out = capsys.readouterr().out
+        assert "hello                2" in out
+        assert "avg depth" in out
+
+    def test_feedback_cli(self, tmp_path, capsys):
+        import json as _json
+
+        log = tmp_path / "audit.jsonl"
+        log.write_text(_json.dumps({
+            "v": 2, "query_sha256": "ab", "ops": [
+                {"operator": "sort", "rows": 2, "est_rows": 8.0,
+                 "q_error": 4.0, "time_ms": 0.1},
+            ],
+        }) + "\n")
+        assert main(["feedback", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "worst-misestimated operators" in out and "sort" in out
+        assert main(["feedback", str(log), "--json"]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["operators"][0]["median_qerror"] == 4.0
 
     def test_bench_pick_small(self, capsys, monkeypatch):
         import repro.cli as cli_mod

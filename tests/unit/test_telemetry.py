@@ -171,7 +171,7 @@ class TestAuditLogSchema:
 
     def test_versioned_fields(self):
         r = self._one_record()
-        assert r["v"] == events.SCHEMA_VERSION == 1
+        assert r["v"] == events.SCHEMA_VERSION == 2
         for field in ("ts", "kind", "query_sha256", "outcome",
                       "wall_ms", "rows", "truncated", "reason",
                       "error_type", "cache", "plan_cache", "guard",
@@ -187,10 +187,15 @@ class TestAuditLogSchema:
         assert r["guard"] == {
             "active": True, "degraded": True, "trip": "",
         }
-        # compilable query → top operators attached
+        # compilable query → top operators attached, with the v2
+        # estimator columns populated (compiled plans are annotated)
         assert r["ops"] and all(
-            set(op) == {"operator", "rows", "time_ms"} for op in r["ops"]
+            set(op) == {"operator", "rows", "est_rows", "q_error",
+                        "time_ms"}
+            for op in r["ops"]
         )
+        assert all(op["est_rows"] is not None and op["q_error"] >= 1.0
+                   for op in r["ops"])
 
     def test_error_outcome(self):
         store = make_store(1)
