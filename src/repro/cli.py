@@ -46,6 +46,18 @@ Subcommands:
   + windowed rates from the time-series ring).  ``-q``/``-f`` run a
   warmup batch at startup; ``--audit-log FILE`` appends one JSONL
   record per query with ``--sample-rate``/``--slow-ms`` controls.
+  ``--query-port N`` additionally serves the length-prefixed JSON
+  wire protocol (:mod:`repro.server`) with admission control
+  (``--max-inflight``, ``--queue-timeout-ms``) and a draining
+  shutdown (``--drain-timeout``).
+- ``tix client --port N -q QUERY`` — query a running server over the
+  wire protocol: ``--timeout``/``--max-rows`` set server-side budgets,
+  ``--no-degrade`` requests strict execution, ``--ping``/``--stats``
+  for health and admission statistics, ``--json`` for raw output.
+- ``tix loadtest --port N -q Q …`` — drive a running server with
+  ``--clients`` concurrent workers sending ``--total`` requests and
+  report the outcome mix (ok/truncated/rejected/error/transport plus
+  latency quantiles); exit status 3 on any transport error.
 - ``tix events FILE`` — inspect a query audit log: filter by
   ``--outcome``, ``--kind``, ``--min-wall MS`` or ``--slow-only``,
   ``--limit N`` for the tail, ``--json`` for raw records.
@@ -505,6 +517,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     snap = Snapshotter(col.metrics, interval_s=args.snapshot_interval,
                        capacity=args.snapshot_capacity)
     snap.start()
+    qserver = None
+    if args.query_port is not None:
+        from repro.perf import QueryCache as _QC
+        from repro.server import QueryServer
+
+        qserver = QueryServer(
+            store, host=args.host, port=args.query_port,
+            max_inflight=args.max_inflight,
+            queue_timeout_ms=args.queue_timeout_ms,
+            max_timeout_ms=args.max_timeout,
+            cache=None if args.no_query_cache else _QC(store),
+        )
+        qserver.start()
+        print(f"serving queries on {qserver.address}  "
+              f"(wire protocol v1; max_inflight={args.max_inflight})",
+              file=sys.stderr)
     server = ObsServer(col.metrics, snapshotter=snap,
                        host=args.host, port=args.port)
     print(f"serving metrics on {server.url}  "
@@ -514,6 +542,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if qserver is not None:
+            # Drain before the telemetry teardown so every accepted
+            # request is answered while metrics are still live.
+            drained = qserver.close(drain_s=args.drain_timeout)
+            stats = qserver.admission.snapshot()
+            state = "drained clean" if drained else "drain timed out"
+            print(f"query server {state}: {stats['admitted']} admitted, "
+                  f"{stats['rejected_overload']} rejected overloaded, "
+                  f"{stats['degraded']} degraded", file=sys.stderr)
         server.server_close()
         snap.stop()
         if sink is not None:
@@ -521,6 +558,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             sink.close()
         _obs.uninstall()
     return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.errors import QueryAbortedError, ServerError
+    from repro.server import PooledClient
+
+    with PooledClient(args.host, args.port,
+                      call_timeout_s=args.call_timeout) as client:
+        if args.ping:
+            ok = client.ping()
+            print("pong" if ok else "no response")
+            return 0 if ok else 3
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        source = _read_query(args)
+        try:
+            res = client.query(
+                source, timeout_ms=args.timeout, max_rows=args.max_rows,
+                degrade=not args.no_degrade, with_scores=args.scores,
+            )
+        except (QueryAbortedError, ServerError) as exc:
+            print(f"query refused/aborted: {exc}", file=sys.stderr)
+            return 3
+        if args.json:
+            print(json.dumps({
+                "n_results": res.n_results,
+                "truncated": res.truncated,
+                "reason": res.reason,
+                "degraded": res.degraded,
+                "generation": res.generation,
+                "rows": [
+                    {"score": r.score, "xml": r.xml} for r in res.rows
+                ],
+            }, indent=2, sort_keys=True))
+            return 0
+        for i, row in enumerate(res.rows, 1):
+            score = f" score={row.score:g}" if row.score is not None else ""
+            print(f"-- result {i}{score}")
+            print(row.xml)
+        notes = []
+        if res.truncated:
+            notes.append(f"truncated: {res.reason}")
+        if res.degraded:
+            notes.append("degraded under load")
+        tail = f" ({'; '.join(notes)})" if notes else ""
+        print(f"({res.n_results} results, generation "
+              f"{res.generation}){tail}")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.server import run_loadtest
+
+    queries = _read_batch_queries(args)
+    report = run_loadtest(
+        args.host, args.port, queries,
+        clients=args.clients, total=args.total,
+        timeout_ms=args.timeout, max_rows=args.max_rows,
+        degrade=not args.no_degrade,
+        call_timeout_s=args.call_timeout,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 3 if report.n_transport_errors else 0
 
 
 def _cmd_events(args: argparse.Namespace) -> int:
@@ -758,7 +863,95 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--slow-ms", type=float, default=None, metavar="MS",
                     help="force-log queries slower than MS even when "
                          "sampled out")
+    sv.add_argument("--query-port", type=int, default=None, metavar="N",
+                    help="also serve the wire-protocol query endpoint "
+                         "on this port (0 = ephemeral)")
+    sv.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                    help="admission control: concurrent queries "
+                         "executing at once (default 8)")
+    sv.add_argument("--queue-timeout-ms", type=float, default=1000.0,
+                    metavar="MS",
+                    help="admission control: how long a request may "
+                         "queue before a typed OVERLOADED rejection "
+                         "(default 1000)")
+    sv.add_argument("--max-timeout", type=float, default=None,
+                    metavar="MS",
+                    help="cap every remote query's deadline at MS even "
+                         "if the client asks for more")
+    sv.add_argument("--no-query-cache", action="store_true",
+                    help="serve queries without the result/plan cache")
+    sv.add_argument("--drain-timeout", type=float, default=5.0,
+                    metavar="S",
+                    help="on shutdown, wait up to S seconds for "
+                         "in-flight queries to finish (default 5)")
     sv.set_defaults(fn=_cmd_serve)
+
+    cl = sub.add_parser(
+        "client",
+        help="query a running `tix serve --query-port` server over "
+             "the wire protocol",
+    )
+    cl.add_argument("--host", default="127.0.0.1",
+                    help="server address (default 127.0.0.1)")
+    cl.add_argument("--port", type=int, required=True,
+                    help="server query port")
+    cl.add_argument("-q", "--query", help="query text")
+    cl.add_argument("-f", "--file", help="file containing the query")
+    cl.add_argument("--timeout", type=float, metavar="MS",
+                    help="server-side wall-clock deadline in "
+                         "milliseconds")
+    cl.add_argument("--max-rows", type=int, metavar="N",
+                    help="server-side output-row budget")
+    cl.add_argument("--no-degrade", action="store_true",
+                    help="abort on a guard trip (typed error) instead "
+                         "of returning partial results")
+    cl.add_argument("--scores", action="store_true",
+                    help="serialize node scores as attributes")
+    cl.add_argument("--call-timeout", type=float, default=30.0,
+                    metavar="S",
+                    help="client-side socket timeout per call "
+                         "(default 30)")
+    cl.add_argument("--ping", action="store_true",
+                    help="health-check the server and exit")
+    cl.add_argument("--stats", action="store_true",
+                    help="print the server's admission statistics")
+    cl.add_argument("--json", action="store_true",
+                    help="emit the response as JSON")
+    cl.set_defaults(fn=_cmd_client)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive a running query server with a concurrent client "
+             "fleet and report the outcome mix",
+    )
+    lt.add_argument("--host", default="127.0.0.1",
+                    help="server address (default 127.0.0.1)")
+    lt.add_argument("--port", type=int, required=True,
+                    help="server query port")
+    lt.add_argument("-q", "--query", action="append",
+                    help="query text (repeatable; requests round-robin "
+                         "over the set)")
+    lt.add_argument("-f", "--file",
+                    help="file of queries (tix batch format)")
+    lt.add_argument("--clients", type=int, default=8,
+                    help="concurrent client workers (default 8)")
+    lt.add_argument("--total", type=int, default=64,
+                    help="total requests to send (default 64)")
+    lt.add_argument("--timeout", type=float, metavar="MS",
+                    help="per-request server-side deadline")
+    lt.add_argument("--max-rows", type=int, metavar="N",
+                    help="per-request server-side row budget")
+    lt.add_argument("--no-degrade", action="store_true",
+                    help="request strict (non-degrading) execution")
+    lt.add_argument("--call-timeout", type=float, default=30.0,
+                    metavar="S",
+                    help="client-side socket timeout per call "
+                         "(default 30)")
+    lt.add_argument("--seed", type=int, default=0,
+                    help="retry-jitter RNG seed (default 0)")
+    lt.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    lt.set_defaults(fn=_cmd_loadtest)
 
     ev = sub.add_parser(
         "events",

@@ -82,6 +82,35 @@ class QueryCancelledError(QueryAbortedError):
     :class:`~repro.resilience.CancellationToken` is cancelled."""
 
 
+class ServerError(TIXError):
+    """Base class for the query-serving layer (wire protocol, admission
+    control, client pool).  Catch this to handle "the server could not
+    run the query" uniformly; the subclasses say why."""
+
+
+class ProtocolError(ServerError):
+    """Raised on a malformed wire frame: torn length prefix, body that
+    is not a JSON object, oversized frame, or unsupported protocol
+    version."""
+
+
+class OverloadedError(ServerError):
+    """Raised when admission control rejects a request because the
+    server is at ``max_inflight`` and the request waited longer than the
+    queue timeout.  Clients should back off (with jitter) and retry."""
+
+
+class ShuttingDownError(ServerError):
+    """Raised when a request arrives while the server is draining for
+    shutdown.  In-flight requests are answered; new work is refused."""
+
+
+class CircuitOpenError(ServerError):
+    """Raised by the pooled client when its circuit breaker is open:
+    consecutive connect failures exceeded the threshold, so calls fail
+    fast until the cooldown elapses."""
+
+
 class PersistError(TIXError):
     """Raised by store persistence on any I/O, format, or integrity
     failure.  Wraps raw ``OSError``/``json.JSONDecodeError``/``KeyError``

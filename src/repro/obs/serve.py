@@ -29,7 +29,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro import obs as _obs
 from repro.obs.export import CONTENT_TYPE, render_openmetrics
@@ -46,6 +46,11 @@ class _Handler(BaseHTTPRequestHandler):
     """Routes one request; state lives on the server object."""
 
     server: "ObsServer"  # type: ignore[assignment]
+
+    # Bound how long a stalled client can pin a handler thread: the
+    # socket read times out and the handler exits instead of blocking
+    # in recv forever.
+    timeout = 30.0
 
     # Scrapers poll; the default per-request stderr line is noise.
     def log_message(self, format: str, *args: object) -> None:
@@ -100,6 +105,11 @@ class ObsServer(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+    # ThreadingMixIn's own close path joins handler threads with NO
+    # timeout, so one stalled scrape (slowloris) would hang shutdown
+    # forever.  We track handler threads ourselves and drain them with
+    # a *bounded* join in :meth:`stop` instead.
+    block_on_close = False
 
     def __init__(self, registry: MetricsRegistry, *,
                  snapshotter: Optional[Snapshotter] = None,
@@ -109,6 +119,23 @@ class ObsServer(ThreadingHTTPServer):
         self.snapshotter = snapshotter
         self._started = time.time()
         self._thread: Optional[threading.Thread] = None
+        self._handler_lock = threading.Lock()
+        self._handlers: List[threading.Thread] = []
+
+    def process_request(  # type: ignore[override]
+            self, request: object, client_address: object) -> None:
+        """One thread per request (as ThreadingMixIn), but tracked, so
+        :meth:`stop` can drain in-flight scrapes with a bounded join
+        before the socket teardown."""
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            daemon=self.daemon_threads,
+        )
+        with self._handler_lock:
+            self._handlers = [t for t in self._handlers if t.is_alive()]
+            self._handlers.append(thread)
+        thread.start()
 
     @property
     def port(self) -> int:
@@ -155,12 +182,24 @@ class ObsServer(ThreadingHTTPServer):
         self._thread.start()
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Shut the server down and release the socket (idempotent)."""
+        """Shut the server down and release the socket (idempotent).
+
+        In-flight scrapes are *drained* first: handler threads are
+        joined against a shared ``timeout`` deadline, so a completing
+        ``/metrics`` response is never cut off by the teardown — and a
+        stalled client delays shutdown by at most ``timeout``."""
+        deadline = time.monotonic() + timeout
         self.shutdown()
         thread = self._thread
         if thread is not None:
             thread.join(timeout)
             self._thread = None
+        with self._handler_lock:
+            handlers = list(self._handlers)
+        for t in handlers:
+            t.join(max(0.0, deadline - time.monotonic()))
+        with self._handler_lock:
+            self._handlers = [t for t in self._handlers if t.is_alive()]
         self.server_close()
 
     def __enter__(self) -> "ObsServer":

@@ -19,7 +19,8 @@ The point names in play are declared in :data:`FAULT_POINTS` (see also
 registry and the ``fire()`` sites in agreement, both ways.
 
 :func:`retry` is the matching transient-I/O helper: call, catch
-retryable errors, back off exponentially, re-raise after ``attempts``.
+retryable errors, back off (deterministic exponential, or seedable
+decorrelated jitter for client fleets), re-raise after ``attempts``.
 Retries and give-ups are recorded as ``resilience.retries`` /
 ``resilience.retry_giveups`` counters when a collector is installed.
 """
@@ -54,6 +55,9 @@ FAULT_POINTS: Dict[str, str] = {
     "persist.replace": "the tmp-to-final os.replace",
     "index.build": "building the inverted index",
     "store.parse_doc": "parsing one loaded document",
+    "server.accept": "accepting one client connection",
+    "server.frame_read": "reading one wire-protocol frame",
+    "server.frame_write": "writing one wire-protocol frame",
 }
 
 
@@ -182,17 +186,40 @@ def retry(
     retryable: Tuple[type, ...] = (OSError,),
     non_retryable: Tuple[type, ...] = (FileNotFoundError,),
     sleep: Callable[[float], None] = _real_sleep,
+    jitter: bool = False,
+    max_delay: Optional[float] = None,
+    rng: Optional[random.Random] = None,
 ) -> object:
-    """Call ``fn``, retrying transient failures with exponential backoff.
+    """Call ``fn``, retrying transient failures with backoff.
 
     A raised error is retried when it is an instance of ``retryable`` but
-    not of ``non_retryable`` (a missing file is not transient).  Delays
-    are ``base_delay * 2**k`` for retry ``k``; after ``attempts`` total
-    calls the last error is re-raised.  ``sleep`` is injectable so tests
-    assert the backoff schedule without waiting.
+    not of ``non_retryable`` (a missing file is not transient).  After
+    ``attempts`` total calls the last error is re-raised.  ``sleep`` is
+    injectable so tests assert the backoff schedule without waiting.
+
+    Two backoff schedules:
+
+    - ``jitter=False`` (default) — deterministic exponential,
+      ``base_delay * 2**k`` for retry ``k``.  Right for a single
+      process retrying local I/O, where reproducibility matters more
+      than herd behaviour.
+    - ``jitter=True`` — *decorrelated jitter*: each delay is drawn
+      uniformly from ``[base_delay, 3 * previous_delay]``.  Right for
+      fleets of clients retrying against one recovering server —
+      deterministic exponential backoff keeps a synchronized herd
+      synchronized (every client sleeps the same schedule and stampedes
+      together), while decorrelated draws spread the re-arrival times.
+      Pass a seeded ``rng`` (:class:`random.Random`) to make the
+      schedule reproducible for the chaos suite; without one a private
+      unseeded RNG is used.
+
+    ``max_delay`` caps a single sleep under either schedule.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
+    if jitter and rng is None:
+        rng = random.Random()
+    prev_delay = base_delay
     for attempt in range(attempts):
         try:
             return fn()
@@ -205,5 +232,13 @@ def retry(
             rec = _obs.RECORDER
             if rec.enabled:
                 rec.count("resilience.retries")
-            sleep(base_delay * (2 ** attempt))
+            if jitter:
+                assert rng is not None
+                delay = rng.uniform(base_delay, prev_delay * 3.0)
+            else:
+                delay = base_delay * (2 ** attempt)
+            if max_delay is not None:
+                delay = min(delay, max_delay)
+            prev_delay = delay
+            sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

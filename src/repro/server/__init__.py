@@ -1,0 +1,37 @@
+"""Query-serving layer: wire protocol, admission control, client pool.
+
+``repro.server`` turns the engine into a *database server*: a
+length-prefixed JSON-frame protocol (:mod:`repro.server.protocol`), a
+threaded socket server that runs every request through the resilience
+layer's :class:`~repro.resilience.guard.QueryGuard`
+(:mod:`repro.server.server`), a semaphore-bounded admission controller
+with a queue → reject → degrade → drain overload ladder
+(:mod:`repro.server.admission`), and a pooled client with
+health-checked checkout, jittered retries, and a circuit breaker
+(:mod:`repro.server.client`).  :mod:`repro.server.loadtest` drives a
+client fleet against a live server.
+
+See ``docs/robustness.md`` ("Serving and admission control") for the
+frame formats, the error taxonomy, and the overload ladder.
+"""
+
+from repro.server.admission import AdmissionController, StoreGate
+from repro.server.client import CircuitBreaker, Connection, PooledClient
+from repro.server.loadtest import LoadtestReport, run_loadtest
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    error_code,
+    exception_for,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import QueryServer
+
+__all__ = [
+    "AdmissionController", "StoreGate",
+    "CircuitBreaker", "Connection", "PooledClient",
+    "LoadtestReport", "run_loadtest",
+    "PROTOCOL_VERSION", "error_code", "exception_for",
+    "read_frame", "write_frame",
+    "QueryServer",
+]

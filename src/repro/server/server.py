@@ -1,0 +1,454 @@
+"""The threaded query-serving socket server.
+
+:class:`QueryServer` listens on a TCP socket, speaks the
+length-prefixed JSON-frame protocol (:mod:`repro.server.protocol`),
+and runs every ``query`` request through
+:func:`~repro.resilience.run.run_query_guarded` under a per-request
+:class:`~repro.resilience.guard.QueryGuard` — the request's
+``timeout_ms`` / ``max_rows`` budgets (clamped by server-side caps)
+become the guard's budgets, so one slow or hungry client degrades or
+fails alone.
+
+Robustness properties:
+
+- **admission control** — requests pass the
+  :class:`~repro.server.admission.AdmissionController` before touching
+  the engine: queue → typed ``OVERLOADED`` rejection → tightened
+  budgets under sustained pressure (the response carries
+  ``degraded: true``) → drain on shutdown;
+- **pinned read visibility** — each admitted query executes inside
+  :meth:`StoreGate.read`, pinned to the ``store.generation`` it
+  entered at; :meth:`add_document` / :meth:`remove_document` take the
+  gate's write side and rebuild the lazy indexes before readers
+  re-enter, so no query ever observes a half-mutated corpus;
+- **graceful shutdown** — :meth:`close` stops accepting, drains
+  in-flight requests (every accepted request is *answered*), cancels
+  stragglers through their guards' cooperative tokens, and only then
+  closes sockets;
+- **slow-client defense** — connections idle (or stalled mid-frame)
+  longer than ``idle_timeout_s`` are closed, so a slowloris peer pins
+  one thread for a bounded time only;
+- **typed failures** — every engine exception crossing the wire is an
+  :func:`~repro.server.protocol.error_response` envelope; a client
+  never sees an unexplained disconnect for an in-protocol failure.
+
+One thread per connection (requests on a connection answered in
+order); the accept loop runs on its own thread.  Guard installation is
+thread-local (:mod:`repro.resilience.guard`), so concurrent requests
+never cross-contaminate budgets.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
+
+from repro import obs as _obs
+from repro.errors import ProtocolError, QueryAbortedError, TIXError
+from repro.resilience import faultinject as _faults
+from repro.resilience.guard import CancellationToken, QueryGuard
+from repro.server.admission import AdmissionController, StoreGate
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+
+if TYPE_CHECKING:
+    from repro.perf.querycache import QueryCache
+    from repro.resilience.run import GuardedResult
+    from repro.xmldb.document import Document
+    from repro.xmldb.store import XMLStore
+
+__all__ = ["QueryServer"]
+
+#: Signature of a pluggable query runner: ``(source, guard) -> result``.
+Runner = Callable[[str, QueryGuard], "GuardedResult"]
+
+_KNOWN_OPS = ("query", "ping", "stats")
+
+
+class QueryServer:
+    """Serve queries over the wire protocol (module docstring).
+
+    :param store: the corpus to serve (its lazy indexes are built on
+        :meth:`start`, before the first request);
+    :param host: bind address (default loopback);
+    :param port: bind port (0 = ephemeral; read :attr:`port` after
+        construction);
+    :param max_inflight: concurrently executing requests;
+    :param queue_timeout_ms: longest a request queues for a slot
+        before the typed ``OVERLOADED`` rejection;
+    :param default_timeout_ms: guard deadline applied when the request
+        names none (``None`` = unbounded);
+    :param max_timeout_ms: cap on the deadline a request may ask for;
+    :param max_rows_cap: cap on the row budget a request may ask for;
+    :param degrade_timeout_ms: deadline forced onto admitted requests
+        under sustained overload (tightens a requested deadline by
+        ``min``);
+    :param degrade_max_rows: row budget forced under sustained
+        overload;
+    :param idle_timeout_s: close connections idle/stalled this long;
+    :param max_frame_bytes: per-frame size ceiling;
+    :param cache: optional shared
+        :class:`~repro.perf.querycache.QueryCache`;
+    :param runner: pluggable execution hook for tests/chaos — defaults
+        to the cache (if any) or ``run_query_guarded``.
+    """
+
+    def __init__(self, store: "XMLStore", *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_inflight: int = 8,
+                 queue_timeout_ms: float = 1000.0,
+                 default_timeout_ms: Optional[float] = None,
+                 max_timeout_ms: Optional[float] = None,
+                 max_rows_cap: Optional[int] = None,
+                 degrade_timeout_ms: float = 1000.0,
+                 degrade_max_rows: int = 100,
+                 idle_timeout_s: float = 30.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 cache: "Optional[QueryCache]" = None,
+                 runner: Optional[Runner] = None) -> None:
+        self.store = store
+        self.cache = cache
+        self.default_timeout_ms = default_timeout_ms
+        self.max_timeout_ms = max_timeout_ms
+        self.max_rows_cap = max_rows_cap
+        self.degrade_timeout_ms = degrade_timeout_ms
+        self.degrade_max_rows = degrade_max_rows
+        self.idle_timeout_s = idle_timeout_s
+        self.max_frame_bytes = max_frame_bytes
+        self._runner = runner
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            queue_timeout_s=queue_timeout_ms / 1000.0,
+        )
+        self.gate = StoreGate(store)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self._listener.settimeout(0.2)
+        self._lock = threading.Lock()
+        self._conns: Set[socket.socket] = set()
+        self._threads: List[threading.Thread] = []
+        self._tokens: Set[CancellationToken] = set()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closing = False
+        self._closed = False
+
+    # -- addressing ------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return str(self._listener.getsockname()[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._listener.getsockname()[1])
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "QueryServer":
+        """Build the store's lazy indexes, then accept connections on a
+        background thread (idempotent)."""
+        if self._accept_thread is not None:
+            return self
+        # Build once here so reader threads share finished structures
+        # (StoreGate writers rebuild after every mutation).
+        self.store.index
+        self.store.structure
+        self.store.stats
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tix-query-accept", daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self, drain_s: float = 5.0,
+              cancel_grace_s: float = 1.0) -> bool:
+        """Gracefully shut down: stop accepting, drain in-flight
+        requests, cancel stragglers via their guard tokens, close
+        sockets.  Returns ``True`` when every in-flight request was
+        answered within the drain budget (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return True
+            self._closing = True
+        thread = self._accept_thread
+        if thread is not None:
+            thread.join(drain_s + 2.0)
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        drained = self.admission.drain(drain_s)
+        if not drained:
+            # Stragglers: trip their guards cooperatively, then give
+            # them a short grace period to surface partial results.
+            with self._lock:
+                tokens = list(self._tokens)
+            for token in tokens:
+                token.cancel()
+            drained = self.admission.drain(cancel_grace_s)
+        with self._lock:
+            conns = list(self._conns)
+            threads = list(self._threads)
+            self._closed = True
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        for t in threads:
+            t.join(1.0)
+        return drained
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- corpus mutation (write side of the gate) ------------------------
+
+    def add_document(self, name: str, source: str) -> "Document":
+        """Parse and register a document under exclusive access; the
+        lazy indexes are rebuilt before queries resume."""
+        with self.gate.write() as store:
+            return store.load(name, source)
+
+    def remove_document(self, name_or_id: object) -> "Document":
+        """Unregister a document under exclusive access."""
+        with self.gate.write() as store:
+            return store.remove_document(name_or_id)
+
+    # -- accept / connection loops ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        rec = _obs.RECORDER
+        while not self._closing:
+            try:
+                _faults.INJECTOR.fire("server.accept")
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                # Injected accept fault or a racing close: the server
+                # keeps serving unless it is shutting down.
+                if self._closing:
+                    break
+                continue
+            if rec.enabled:
+                rec.count("server.connections")
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="tix-query-conn", daemon=True,
+            )
+            with self._lock:
+                self._conns.add(conn)
+                # Prune finished handlers, then track the new one (not
+                # started yet, so it must not go through the filter).
+                self._threads = [
+                    t for t in self._threads if t.is_alive()
+                ]
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(self.idle_timeout_s)
+        try:
+            while not self._closing:
+                try:
+                    req = read_frame(conn, self.max_frame_bytes)
+                except ProtocolError as exc:
+                    # Torn/oversized/non-JSON frame: answer typed, then
+                    # close — framing is lost, resync is impossible.
+                    self._send(conn, error_response(None, exc))
+                    break
+                except socket.timeout:
+                    break  # idle or slowloris: bounded occupancy
+                except OSError:
+                    break
+                if req is None:
+                    break  # clean close at a frame boundary
+                if not self._handle_frame(conn, req):
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            with self._lock:
+                self._conns.discard(conn)
+
+    # -- request handling ------------------------------------------------
+
+    def _handle_frame(self, conn: socket.socket,
+                      req: Dict[str, Any]) -> bool:
+        """Answer one request frame.  Returns ``False`` when the
+        connection must close (response could not be written)."""
+        t0 = perf_counter()
+        rid = req.get("id")
+        raw_op = req.get("op")
+        op = raw_op if raw_op in _KNOWN_OPS else "other"
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.count(f"server.requests.{op}")
+        version = req.get("v")
+        if not isinstance(version, int) or not (
+                1 <= version <= PROTOCOL_VERSION):
+            sent = self._send(conn, error_response(
+                rid,
+                ProtocolError(f"unsupported protocol version {version!r}"),
+                code="BAD_REQUEST",
+            ))
+        elif op == "ping":
+            sent = self._send(conn, ok_response(
+                rid, pong=True, generation=self.store.generation,
+                draining=self.admission.draining,
+            ))
+        elif op == "stats":
+            sent = self._send(conn, ok_response(
+                rid, stats=self.admission.snapshot(),
+            ))
+        elif op == "query":
+            sent = self._handle_query(conn, rid, req)
+        else:
+            sent = self._send(conn, error_response(
+                rid, ProtocolError(f"unknown op {raw_op!r}"),
+                code="BAD_REQUEST",
+            ))
+        if rec.enabled:
+            rec.observe("server.request_ms",
+                        (perf_counter() - t0) * 1000.0)
+        return sent
+
+    def _handle_query(self, conn: socket.socket, rid: Any,
+                      req: Dict[str, Any]) -> bool:
+        source = req.get("q")
+        if not isinstance(source, str) or not source.strip():
+            return self._send(conn, error_response(
+                rid, ProtocolError("query op requires a non-empty 'q'"),
+                code="BAD_REQUEST",
+            ))
+        try:
+            ticket = self.admission.admit(self.store.generation)
+        except TIXError as exc:  # OverloadedError / ShuttingDownError
+            return self._send(conn, error_response(rid, exc))
+        token = CancellationToken()
+        with self._lock:
+            self._tokens.add(token)
+        try:
+            timeout_ms, max_rows, degrade = self._budgets(req, ticket)
+            with self.gate.read() as generation:
+                guard = QueryGuard(
+                    timeout_ms=timeout_ms, max_rows=max_rows,
+                    token=token, degrade=degrade,
+                )
+                try:
+                    res = self._run(source, guard)
+                except QueryAbortedError as exc:
+                    # Strict-mode guard trip: typed, never a disconnect.
+                    return self._send(conn, error_response(
+                        rid, exc, generation=generation))
+                except TIXError as exc:
+                    return self._send(conn, error_response(
+                        rid, exc, generation=generation))
+                except Exception as exc:  # defensive: INTERNAL envelope
+                    return self._send(conn, error_response(
+                        rid, exc, generation=generation))
+                with_scores = bool(req.get("with_scores", False))
+                rows = [self._row(t, with_scores) for t in res.results]
+                return self._send(conn, ok_response(
+                    rid, rows=rows, n=len(rows),
+                    truncated=res.truncated, reason=res.reason,
+                    degraded=ticket.degraded, generation=generation,
+                    queued_ms=round(ticket.queued_ms, 3),
+                ))
+        finally:
+            with self._lock:
+                self._tokens.discard(token)
+            # Released only after the response write: a drain that
+            # completes implies every admitted request was *answered*.
+            self.admission.release(ticket)
+
+    def _budgets(self, req: Dict[str, Any], ticket: Any,
+                 ) -> "tuple[Optional[float], Optional[int], bool]":
+        """Resolve the request's guard budgets against the server caps
+        and the admission ticket's degradation verdict."""
+        timeout_ms = req.get("timeout_ms")
+        timeout_ms = (
+            float(timeout_ms) if timeout_ms is not None
+            else self.default_timeout_ms
+        )
+        if self.max_timeout_ms is not None:
+            timeout_ms = (
+                self.max_timeout_ms if timeout_ms is None
+                else min(timeout_ms, self.max_timeout_ms)
+            )
+        max_rows = req.get("max_rows")
+        max_rows = int(max_rows) if max_rows is not None else None
+        if self.max_rows_cap is not None:
+            max_rows = (
+                self.max_rows_cap if max_rows is None
+                else min(max_rows, self.max_rows_cap)
+            )
+        degrade = bool(req.get("degrade", True))
+        if ticket.degraded:
+            # Sustained overload: tighten budgets and force partial
+            # results so the server sheds load instead of dying.
+            timeout_ms = (
+                self.degrade_timeout_ms if timeout_ms is None
+                else min(timeout_ms, self.degrade_timeout_ms)
+            )
+            max_rows = (
+                self.degrade_max_rows if max_rows is None
+                else min(max_rows, self.degrade_max_rows)
+            )
+            degrade = True
+        return timeout_ms, max_rows, degrade
+
+    def _run(self, source: str, guard: QueryGuard) -> "GuardedResult":
+        if self._runner is not None:
+            return self._runner(source, guard)
+        if self.cache is not None:
+            return self.cache.run_query_guarded(source, guard)
+        from repro.resilience.run import run_query_guarded
+
+        return run_query_guarded(self.store, source, guard)
+
+    @staticmethod
+    def _row(tree: object, with_scores: bool) -> Dict[str, Any]:
+        score = getattr(tree, "score", None)
+        to_xml = getattr(tree, "to_xml", None)
+        xml = (
+            to_xml(with_scores=with_scores) if callable(to_xml)
+            else str(tree)
+        )
+        return {"score": score, "xml": xml}
+
+    def _send(self, conn: socket.socket, resp: Dict[str, Any]) -> bool:
+        rec = _obs.RECORDER
+        if rec.enabled and not resp.get("ok"):
+            code = resp.get("error", {}).get("code", "INTERNAL")
+            rec.count(f"server.errors.{code}")
+        try:
+            write_frame(conn, resp, self.max_frame_bytes)
+            return True
+        except (ProtocolError, OSError):
+            return False

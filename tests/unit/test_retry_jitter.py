@@ -1,0 +1,88 @@
+"""Decorrelated-jitter backoff tests for :func:`repro.resilience.retry`:
+seeded determinism, the [base, 3·prev] envelope, the max_delay cap, and
+the default deterministic-exponential schedule staying unchanged."""
+
+import random
+
+import pytest
+
+from repro.resilience.faultinject import retry
+
+
+def _failing(times):
+    """A callable failing ``times`` times before succeeding."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= times:
+            raise OSError(f"transient #{state['calls']}")
+        return state["calls"]
+
+    return fn
+
+
+def _run_schedule(attempts, *, jitter, seed=None, base=0.01, cap=None):
+    delays = []
+    result = retry(
+        _failing(attempts - 1),
+        attempts=attempts,
+        base_delay=base,
+        sleep=delays.append,
+        jitter=jitter,
+        max_delay=cap,
+        rng=random.Random(seed) if seed is not None else None,
+    )
+    return result, delays
+
+
+class TestDeterministicExponential:
+    def test_default_schedule_unchanged(self):
+        _, delays = _run_schedule(4, jitter=False, base=0.01)
+        assert delays == [0.01, 0.02, 0.04]
+
+    def test_max_delay_caps_exponential(self):
+        _, delays = _run_schedule(5, jitter=False, base=0.01, cap=0.02)
+        assert delays == [0.01, 0.02, 0.02, 0.02]
+
+
+class TestDecorrelatedJitter:
+    def test_same_seed_same_schedule(self):
+        _, first = _run_schedule(5, jitter=True, seed=42)
+        _, second = _run_schedule(5, jitter=True, seed=42)
+        assert first == second
+        assert len(first) == 4
+
+    def test_different_seeds_decorrelate(self):
+        schedules = {
+            tuple(_run_schedule(5, jitter=True, seed=s)[1])
+            for s in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_delays_stay_inside_the_decorrelated_envelope(self):
+        base = 0.01
+        for seed in range(20):
+            _, delays = _run_schedule(6, jitter=True, seed=seed,
+                                      base=base)
+            prev = base
+            for delay in delays:
+                assert base <= delay <= prev * 3.0
+                prev = delay
+
+    def test_max_delay_caps_jitter(self):
+        cap = 0.015
+        for seed in range(20):
+            _, delays = _run_schedule(6, jitter=True, seed=seed,
+                                      base=0.01, cap=cap)
+            assert all(d <= cap for d in delays)
+
+    def test_unseeded_jitter_still_works(self):
+        result, delays = _run_schedule(3, jitter=True)
+        assert result == 3
+        assert len(delays) == 2
+
+    def test_exhausted_attempts_reraise(self):
+        with pytest.raises(OSError, match="transient #2"):
+            retry(_failing(5), attempts=2, sleep=lambda _d: None,
+                  jitter=True, rng=random.Random(1))

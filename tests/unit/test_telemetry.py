@@ -539,6 +539,69 @@ class TestObsServer:
             obs.uninstall()
 
 
+class TestObsServerShutdown:
+    """Regression tests for the draining stop(): a stalled client must
+    not hang shutdown (ThreadingMixIn's unbounded handler join), and an
+    in-flight scrape must complete before the socket teardown."""
+
+    def test_stop_bounded_with_stalled_client(self):
+        import socket
+
+        col = obs.Collector()
+        srv = ObsServer(col.metrics)
+        srv.start()
+        # a slowloris peer: connects, sends half a request line, stalls
+        stall = socket.create_connection(("127.0.0.1", srv.port),
+                                         timeout=5.0)
+        stall.sendall(b"GET /met")
+        time.sleep(0.1)  # let the handler thread block in recv
+        t0 = time.monotonic()
+        srv.stop(timeout=1.0)
+        elapsed = time.monotonic() - t0
+        stall.close()
+        # without the bounded drain this join never returns (the
+        # handler sits in a 30 s socket read)
+        assert elapsed < 5.0
+
+    def test_stop_drains_inflight_scrape(self, monkeypatch):
+        col = obs.Collector()
+        col.metrics.count("batch.queries", 1)
+        srv = ObsServer(col.metrics)
+        slow = threading.Event()
+
+        def slow_varz():
+            slow.set()
+            time.sleep(0.3)
+            return {"uptime_s": 0.0, "metrics": {}}
+
+        monkeypatch.setattr(srv, "varz", slow_varz)
+        srv.start()
+        got = []
+
+        def scrape():
+            body = urllib.request.urlopen(
+                srv.url + "/varz", timeout=10).read()
+            got.append(json.loads(body.decode()))
+
+        th = threading.Thread(target=scrape)
+        th.start()
+        assert slow.wait(5.0)  # the scrape is now in flight
+        srv.stop(timeout=5.0)
+        th.join(5.0)
+        # the in-flight response completed despite the shutdown
+        assert got and "metrics" in got[0]
+
+    def test_stop_idempotent_after_drain(self):
+        col = obs.Collector()
+        srv = ObsServer(col.metrics)
+        srv.start()
+        body = urllib.request.urlopen(
+            srv.url + "/healthz", timeout=5).read()
+        assert body == b"ok\n"
+        srv.stop()
+        srv.stop()  # second stop must not raise
+
+
 # ----------------------------------------------------------------------
 # Disabled-path overhead (extends the zero-overhead contract to the
 # event log and snapshotter; see test_explain_analyze's TermJoin test)
