@@ -1,0 +1,175 @@
+"""Declared registry of the physical access methods.
+
+The paper offers rival physical operators for the same logical work —
+TermJoin vs EnhancedTermJoin vs the Comp1/Comp2 baselines for term
+scoring, PhraseFinder vs Comp3 for phrase finding, PhraseJoin for
+phrase scoring, Pick for score utilization.  The cost-based planner
+(:mod:`repro.plan.optimizer`) enumerates its alternatives from this
+table rather than from hard-coded lists, and the ``tix lint``
+``planner-registry-drift`` rule pins the table to the code both ways:
+every concrete access-method class under ``repro/access`` /
+``repro/joins`` (a public class with a ``name`` literal and a ``run``
+method) must be declared here, and every entry must name such a class.
+
+Each entry declares the operator's *preconditions* — the properties the
+planner needs to decide whether the method is a legal alternative for a
+given query:
+
+- ``work``: the logical job — ``"score"`` (score every element whose
+  subtree matches the query items), ``"phrase-find"`` (enumerate phrase
+  occurrences), or ``"pick"`` (score utilization);
+- ``phrases``: whether the method handles multi-word phrase items;
+- ``terms``: whether the method handles plain single-word term items;
+- ``complex_scoring``: whether the method supports the paper's complex
+  (occurrence-level) scoring mode;
+- ``cost``: the key of the cost formula in :mod:`repro.plan.rules`.
+
+The mapping is a **pure literal** on purpose: the lint rule reads it
+with ``ast.literal_eval`` from the tree being checked (the same idiom
+as the metric catalog and the fault-point registry), so linting never
+depends on which copy of the package is importable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = [
+    "ACCESS_METHODS",
+    "method_properties",
+    "score_methods",
+    "build_score_method",
+]
+
+# tix-lint: this mapping is read by AST, keep it a pure literal.
+ACCESS_METHODS: Dict[str, Dict[str, Any]] = {
+    "TermJoin": {
+        "module": "repro.access.termjoin",
+        "work": "score",
+        "terms": True,
+        "phrases": False,
+        "complex_scoring": True,
+        "cost": "termjoin",
+        "doc": "stack-based single-pass posting merge (Fig. 11)",
+    },
+    "EnhancedTermJoin": {
+        "module": "repro.access.termjoin",
+        "work": "score",
+        "terms": True,
+        "phrases": False,
+        "complex_scoring": True,
+        "cost": "enhanced-termjoin",
+        "doc": "TermJoin with child counts from the structure index",
+    },
+    "Comp1": {
+        "module": "repro.access.composite",
+        "work": "score",
+        "terms": True,
+        "phrases": False,
+        "complex_scoring": True,
+        "cost": "comp1",
+        "doc": "composite baseline: per-term ancestor walks + union",
+    },
+    "Comp2": {
+        "module": "repro.access.composite",
+        "work": "score",
+        "terms": True,
+        "phrases": False,
+        "complex_scoring": True,
+        "cost": "comp2",
+        "doc": "composite baseline with structural joins pushed down",
+    },
+    "PhraseJoin": {
+        "module": "repro.access.phrasejoin",
+        "work": "score",
+        "terms": True,
+        "phrases": True,
+        "complex_scoring": False,
+        "cost": "phrasejoin",
+        "doc": "stack join over phrase occurrences (single words "
+               "degenerate to TermJoin semantics)",
+    },
+    "PhraseFinder": {
+        "module": "repro.access.phrasefinder",
+        "work": "phrase-find",
+        "terms": False,
+        "phrases": True,
+        "complex_scoring": False,
+        "cost": "phrasefinder",
+        "doc": "phrase verification during posting intersection",
+    },
+    "Comp3": {
+        "module": "repro.access.composite",
+        "work": "phrase-find",
+        "terms": False,
+        "phrases": True,
+        "complex_scoring": False,
+        "cost": "comp3",
+        "doc": "phrase baseline: intersect, refetch, filter",
+    },
+    "PickAccess": {
+        "module": "repro.access.pick",
+        "work": "pick",
+        "terms": False,
+        "phrases": False,
+        "complex_scoring": False,
+        "cost": "pick",
+        "doc": "stack-based Pick evaluator (Fig. 12)",
+    },
+}
+
+
+def method_properties(name: str) -> Dict[str, Any]:
+    """The declared properties of one access method; raises
+    ``KeyError`` on undeclared names (the planner treats that as a
+    registry-drift bug, which ``tix lint`` catches statically)."""
+    return ACCESS_METHODS[name]
+
+
+def score_methods(  # tix-lint: disable=guard-hook (fixed 8-entry dict)
+        phrase_mode: bool) -> List[str]:
+    """Names of the score-generating methods whose preconditions admit
+    the query: with any multi-word phrase item only phrase-capable
+    methods qualify, otherwise every term-capable scorer does.
+    Registry order is preserved — it is the planner's tie-break."""
+    out: List[str] = []
+    for name, props in ACCESS_METHODS.items():
+        if props["work"] != "score":
+            continue
+        if phrase_mode and not props["phrases"]:
+            continue
+        if not phrase_mode and not props["terms"]:
+            continue
+        out.append(name)
+    return out
+
+
+def build_score_method(name: str, store: Any, scorer: Any) -> Any:
+    """Construct the named score-generating method over ``store`` with
+    ``scorer``.  PhraseJoin is built through its scorer adapter (the
+    phrase list and weights carry over); the others share the
+    ``(store, scorer)`` constructor."""
+    props = method_properties(name)
+    if props["work"] != "score":
+        raise ValueError(f"{name} is not a score-generating method")
+    if name == "TermJoin":
+        from repro.access.termjoin import TermJoin
+
+        return TermJoin(store, scorer)
+    if name == "EnhancedTermJoin":
+        from repro.access.termjoin import EnhancedTermJoin
+
+        return EnhancedTermJoin(store, scorer)
+    if name == "Comp1":
+        from repro.access.composite import Comp1
+
+        return Comp1(store, scorer)
+    if name == "Comp2":
+        from repro.access.composite import Comp2
+
+        return Comp2(store, scorer)
+    if name == "PhraseJoin":
+        from repro.access.phrasejoin import PhraseJoin
+
+        return PhraseJoin.from_scorer(store, scorer)
+    raise ValueError(f"no constructor for access method {name!r}")

@@ -7,6 +7,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-time registration)
     lock_discipline,
     metric_drift,
     operator_contract,
+    planner_registry_drift,
     resource_safety,
 )
 
@@ -16,5 +17,6 @@ __all__ = [
     "lock_discipline",
     "metric_drift",
     "operator_contract",
+    "planner_registry_drift",
     "resource_safety",
 ]

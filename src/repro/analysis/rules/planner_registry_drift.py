@@ -1,0 +1,198 @@
+"""Rule ``planner-registry-drift``: access-method classes match the
+planner's declared registry.
+
+The cost-based planner enumerates physical alternatives from
+:data:`repro.access.registry.ACCESS_METHODS` — a pure-literal mapping
+keyed by class name.  Add a new access method without declaring it and
+the planner silently never considers it; delete or rename a class and a
+stale entry advertises an operator ``--force-op`` can no longer build.
+This rule pins the registry to the code, both ways:
+
+- every *qualifying* class — a public class defined under
+  ``repro/access/`` or ``repro/joins/`` with a class-level ``name``
+  string-literal assignment and a ``run`` method (its own, or inherited
+  from a project base class) — must be a registry key;
+- every registry key must name such a class, and its declared
+  ``module`` must be the module that actually defines the class.
+
+Like the metric catalog and fault-point rules, the registry is read
+with ``ast.literal_eval`` from the tree being linted, not imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule, register
+
+_REGISTRY_RELPATH = "repro/access/registry.py"
+_REGISTRY_NAME = "ACCESS_METHODS"
+_SCAN_PREFIXES = ("repro/access/", "repro/joins/")
+
+
+def _load_registry(module: ModuleInfo) -> Optional[Dict[str, dict]]:
+    for node in module.tree.body:
+        target = None
+        if isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        else:
+            continue
+        if (
+            isinstance(target, ast.Name)
+            and target.id == _REGISTRY_NAME
+            and value is not None
+        ):
+            try:
+                parsed = ast.literal_eval(value)
+            except ValueError:
+                return None
+            if isinstance(parsed, dict):
+                return parsed
+    return None
+
+
+def _entry_line(module: ModuleInfo, name: str) -> int:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Constant) and node.value == name:
+            return node.lineno
+    return 1
+
+
+def _has_name_literal(cls: ast.ClassDef) -> bool:
+    """A class-level ``name = "..."`` assignment (the explain() tag
+    every physical access method carries)."""
+    for node in cls.body:
+        targets = ()
+        if isinstance(node, ast.Assign):
+            targets = tuple(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = (node.target,)
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "name"
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                return True
+    return False
+
+
+def _has_own_run(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(node, ast.FunctionDef) and node.name == "run"
+        for node in cls.body
+    )
+
+
+def _module_dotted(relpath: str) -> str:
+    return relpath[:-3].replace("/", ".")
+
+
+@register
+class PlannerRegistryDriftRule(Rule):
+    name = "planner-registry-drift"
+    description = (
+        "physical access-method classes under repro/access and "
+        "repro/joins (public, with a `name` literal and a `run` "
+        "method) must match the ACCESS_METHODS registry in "
+        "repro/access/registry.py, both ways"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registry_module = project.module_by_relpath(_REGISTRY_RELPATH)
+        if registry_module is None:
+            yield self.file_finding(
+                _REGISTRY_RELPATH, 1,
+                "access-method registry module not found in the tree",
+            )
+            return
+        registry = _load_registry(registry_module)
+        if registry is None:
+            yield self.finding(
+                registry_module, None,
+                f"{_REGISTRY_NAME} is missing or not a literal dict; "
+                "the planner has no declared access-method registry",
+            )
+            return
+
+        # First pass: every class in the scanned subtrees, so inherited
+        # `run` methods resolve across modules (EnhancedTermJoin gets
+        # run() from TermJoin).  Bases are matched by simple name —
+        # aliased imports of project classes would be missed, which the
+        # tree does not do.
+        classes: Dict[str, Tuple[ModuleInfo, ast.ClassDef]] = {}
+        for module in project.modules:
+            if not module.relpath.startswith(_SCAN_PREFIXES):
+                continue
+            if module.relpath == _REGISTRY_RELPATH:
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = (module, node)
+
+        def has_run(name: str, seen: Set[str]) -> bool:
+            if name in seen or name not in classes:
+                return False
+            seen.add(name)
+            _, cls = classes[name]
+            if _has_own_run(cls):
+                return True
+            return any(
+                has_run(base.id, seen)
+                for base in cls.bases
+                if isinstance(base, ast.Name)
+            )
+
+        qualifying: Dict[str, Tuple[ModuleInfo, ast.ClassDef]] = {
+            name: (module, cls)
+            for name, (module, cls) in classes.items()
+            if not name.startswith("_")
+            and _has_name_literal(cls)
+            and has_run(name, set())
+        }
+
+        for name in sorted(set(qualifying) - set(registry)):
+            module, cls = qualifying[name]
+            yield self.finding(
+                module, cls,
+                f"access method {name!r} is not declared in "
+                f"{_REGISTRY_NAME} — the planner will never consider "
+                f"it; add an entry with its preconditions",
+            )
+
+        for name in sorted(set(registry) - set(qualifying)):
+            yield self.finding(
+                registry_module,
+                _line_anchor(registry_module, name),
+                f"registered access method {name!r} has no qualifying "
+                f"class under repro/access or repro/joins — remove the "
+                f"stale entry or restore the class",
+            )
+
+        for name in sorted(set(registry) & set(qualifying)):
+            declared = registry[name]
+            module, cls = qualifying[name]
+            actual = _module_dotted(module.relpath)
+            if (
+                isinstance(declared, dict)
+                and declared.get("module") not in (None, actual)
+            ):
+                yield self.finding(
+                    registry_module,
+                    _line_anchor(registry_module, name),
+                    f"registry entry {name!r} declares module "
+                    f"{declared.get('module')!r} but the class is "
+                    f"defined in {actual!r}",
+                )
+
+
+class _line_anchor:
+    """Line/col anchor for registry-entry findings."""
+
+    def __init__(self, module: ModuleInfo, name: str) -> None:
+        self.lineno = _entry_line(module, name)
+        self.col_offset = 0

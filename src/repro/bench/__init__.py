@@ -7,11 +7,14 @@
   figure of §6, each returning the rows it printed so EXPERIMENTS.md and
   the tests can assert on the shapes;
 - :mod:`repro.bench.cachebench` — the :mod:`repro.perf` experiments:
-  warm-cache speedups per tier and batch-executor throughput.
+  warm-cache speedups per tier and batch-executor throughput;
+- :mod:`repro.bench.plannerbench` — heuristic vs cost-based plan
+  selection on a many-region store (``tix bench planner``).
 """
 
 from repro.bench.harness import timed_trimmed_mean, render_table, BenchResult
 from repro.bench.cachebench import run_batch_experiment, run_cache_experiment
+from repro.bench.plannerbench import run_planner_bench
 from repro.bench.tables import (
     run_table1,
     run_table2,
@@ -33,4 +36,5 @@ __all__ = [
     "run_pick_experiment",
     "run_cache_experiment",
     "run_batch_experiment",
+    "run_planner_bench",
 ]

@@ -168,16 +168,65 @@ def _read_query(args: argparse.Namespace) -> str:
     raise SystemExit("provide a query with -q or -f")
 
 
+def _add_planner_args(parser: argparse.ArgumentParser) -> None:
+    """Planner options shared by ``query``, ``explain``, ``profile``."""
+    parser.add_argument("--planner", choices=("cost", "heuristic"),
+                        help="physical plan selection policy "
+                             "(default: cost; heuristic reproduces the "
+                             "pre-planner hard-coded choices)")
+    parser.add_argument("--force-op", action="append", metavar="NAME=OP",
+                        dest="force_op",
+                        help="pin a planner decision point, e.g. "
+                             "score=Comp2, filter=bisect, "
+                             "rank=sort-limit (repeatable)")
+    parser.add_argument("--feedback", metavar="FILE",
+                        help="audit log (JSONL) whose misestimation "
+                             "report re-costs the plan (see tix "
+                             "feedback)")
+
+
+def _planner_opts(args: argparse.Namespace) -> dict:
+    """Build ``compile_query`` planner kwargs from parsed CLI args.
+
+    Raises :class:`~repro.errors.PlannerHintError` on malformed
+    ``--force-op`` values (callers surface it, never swallow it)."""
+    from repro.plan.optimizer import parse_force_ops
+
+    opts: dict = {}
+    if getattr(args, "planner", None):
+        opts["planner"] = args.planner
+    if getattr(args, "force_op", None):
+        opts["force_ops"] = parse_force_ops(args.force_op)
+    if getattr(args, "feedback", None):
+        from repro.obs.events import iter_events
+        from repro.plan.feedback import feedback_report
+        from repro.plan.optimizer import corrections_from_feedback
+
+        with open(args.feedback, "r", encoding="utf-8") as f:
+            records = list(iter_events(f))
+        opts["corrections"] = corrections_from_feedback(
+            feedback_report(records))
+    return opts
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.errors import PlannerHintError
     from repro.query import run_query
 
     store = _load_store(args.doc or [], args.store,
                         partial=args.store_partial)
-    if args.timeout is not None or args.max_rows is not None \
-            or args.degrade:
-        return _query_guarded(store, _read_query(args), args)
-    if args.analyze:
-        return _query_analyze(store, _read_query(args), args)
+    try:
+        opts = _planner_opts(args)
+        if args.timeout is not None or args.max_rows is not None \
+                or args.degrade:
+            return _query_guarded(store, _read_query(args), args, opts)
+        if args.analyze:
+            return _query_analyze(store, _read_query(args), args, opts)
+        if opts:
+            return _query_planned(store, _read_query(args), args, opts)
+    except PlannerHintError as exc:
+        print(f"planner: {exc}", file=sys.stderr)
+        return 2
     results = run_query(store, _read_query(args))
     for i, tree in enumerate(results, 1):
         score = f" score={tree.score:g}" if tree.score is not None else ""
@@ -187,7 +236,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _query_guarded(store, source: str, args: argparse.Namespace) -> int:
+def _query_planned(store, source: str, args: argparse.Namespace,
+                   opts: dict) -> int:
+    """``tix query`` with explicit planner options: run the compiled
+    plan.  Non-compilable queries fall back to the evaluator with a
+    notice (the planner options cannot apply there); bad hints
+    propagate as :class:`~repro.errors.PlannerHintError`."""
+    from repro.errors import PlannerHintError, QueryCompileError
+    from repro.query import parse_query, run_query
+    from repro.query.compiler import run_compiled
+
+    try:
+        results = run_compiled(store, parse_query(source), **opts)
+    except PlannerHintError:
+        raise
+    except QueryCompileError as exc:
+        print(f"planner: query not compilable ({exc}); "
+              "evaluator fallback", file=sys.stderr)
+        results = run_query(store, source)
+    for i, tree in enumerate(results, 1):
+        score = f" score={tree.score:g}" if tree.score is not None else ""
+        print(f"-- result {i}{score}")
+        print(tree.to_xml(with_scores=args.scores))
+    print(f"({len(results)} results)")
+    return 0
+
+
+def _query_guarded(store, source: str, args: argparse.Namespace,
+                   planner_opts: Optional[dict] = None) -> int:
     """``tix query --timeout/--max-rows/--degrade``: run under a
     :class:`~repro.resilience.QueryGuard`.  Strict mode exits with status
     3 on a guard trip; degrade mode prints the partial results with a
@@ -201,6 +277,7 @@ def _query_guarded(store, source: str, args: argparse.Namespace) -> int:
         max_rows=args.max_rows,
         degrade=args.degrade,
     )
+    opts = planner_opts or {}
     collector = None
     try:
         if args.analyze:
@@ -208,9 +285,9 @@ def _query_guarded(store, source: str, args: argparse.Namespace) -> int:
             # the guard.* counters (checks, rows, trips) land in the
             # metrics report alongside the operator counters.
             with obs.collecting() as collector:
-                res = run_query_guarded(store, source, guard)
+                res = run_query_guarded(store, source, guard, **opts)
         else:
-            res = run_query_guarded(store, source, guard)
+            res = run_query_guarded(store, source, guard, **opts)
     except QueryAbortedError as exc:
         print(f"query aborted: {exc}", file=sys.stderr)
         if collector is not None:
@@ -230,13 +307,14 @@ def _query_guarded(store, source: str, args: argparse.Namespace) -> int:
     return 0
 
 
-def _query_analyze(store, source: str, args: argparse.Namespace) -> int:
+def _query_analyze(store, source: str, args: argparse.Namespace,
+                   planner_opts: Optional[dict] = None) -> int:
     """``tix query --analyze``: results first, then the EXPLAIN ANALYZE
     tree (or phase timings when the query is not compilable)."""
     from repro.engine.base import explain
     from repro.obs.profile import profile_query
 
-    report = profile_query(store, source)
+    report = profile_query(store, source, **(planner_opts or {}))
     for i, tree in enumerate(report.results, 1):
         score = f" score={tree.score:g}" if tree.score is not None else ""
         print(f"-- result {i}{score}")
@@ -255,10 +333,16 @@ def _query_analyze(store, source: str, args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.errors import PlannerHintError
     from repro.obs.profile import profile_query
 
     store = _load_store(args.doc or [], args.store)
-    report = profile_query(store, _read_query(args))
+    try:
+        report = profile_query(store, _read_query(args),
+                               **_planner_opts(args))
+    except PlannerHintError as exc:
+        print(f"planner: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -272,11 +356,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.engine.base import explain, plan_stats
+    from repro.errors import PlannerHintError, QueryCompileError
     from repro.query import parse_query
     from repro.query.compiler import compile_query
 
     store = _load_store(args.doc or [], args.store)
-    plan = compile_query(store, parse_query(_read_query(args)))
+    try:
+        plan = compile_query(store, parse_query(_read_query(args)),
+                             **_planner_opts(args))
+    except PlannerHintError as exc:
+        print(f"planner: {exc}", file=sys.stderr)
+        return 2
+    except QueryCompileError as exc:
+        print(f"not compilable: {exc}", file=sys.stderr)
+        return 2
     if args.analyze:
         from repro import obs
         from repro.engine.base import execute
@@ -442,6 +535,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     profile = args.profile
     if which == "pick":
         return finish(run_pick_experiment(runs=runs, profile=profile))
+    if which == "planner":
+        from repro.bench import run_planner_bench
+
+        return finish(run_planner_bench(scale=args.scale, runs=runs))
     if which == "quality":
         from repro.workload import (
             build_relevance_workload, score_quality_experiment,
@@ -670,6 +767,12 @@ def _cmd_feedback(args: argparse.Namespace) -> int:
     with open(args.file, "r", encoding="utf-8") as f:
         records = list(iter_events(f))
     report = feedback_report(records, min_count=args.min_count)
+    if args.corrections:
+        from repro.plan.optimizer import corrections_from_feedback
+
+        print(json.dumps(corrections_from_feedback(report),
+                         indent=2, sort_keys=True))
+        return 0
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -731,6 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--store-partial", action="store_true",
                    help="with --store: skip corrupt/missing documents "
                         "(reported on stderr) instead of failing")
+    _add_planner_args(q)
     q.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser(
@@ -747,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the full report as JSON")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome trace (chrome://tracing) to FILE")
+    _add_planner_args(p)
     p.set_defaults(fn=_cmd_profile)
 
     e = sub.add_parser("explain", help="show the compiled plan with "
@@ -762,6 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--json", action="store_true",
                    help="emit the plan tree (est_rows, rows, q_error, "
                         "timings) as JSON")
+    _add_planner_args(e)
     e.set_defaults(fn=_cmd_explain)
 
     s = sub.add_parser("save", help="persist documents as a store dir")
@@ -817,7 +923,7 @@ def build_parser() -> argparse.ArgumentParser:
     b = sub.add_parser("bench", help="regenerate a paper table")
     b.add_argument("table", choices=[
         "table1", "table2", "table3", "table4", "table5", "pick",
-        "quality",
+        "quality", "planner",
     ])
     b.add_argument("--scale", type=float, default=1.0,
                    help="scale planted term frequencies (default 1.0)")
@@ -988,6 +1094,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default 10)")
     fb.add_argument("--json", action="store_true",
                     help="emit the full report as JSON")
+    fb.add_argument("--corrections", action="store_true",
+                    help="emit per-operator cardinality correction "
+                         "factors as JSON (feed back with tix query "
+                         "--feedback FILE)")
     fb.set_defaults(fn=_cmd_feedback)
 
     ln = sub.add_parser(

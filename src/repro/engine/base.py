@@ -91,6 +91,13 @@ class Operator:
         #: EXPLAIN ANALYZE can show estimated-vs-actual afterwards.
         self.est_rows: Optional[float] = None
         self.est_cost: Optional[float] = None
+        #: Chosen-vs-rejected physical alternatives, attached to the
+        #: plan *root* by the cost-based planner
+        #: (:class:`repro.plan.optimizer.PlanChoices`; ``None`` on
+        #: hand-built plans and non-root operators).  Rendered as the
+        #: ``planner:`` footer of :func:`explain` and the ``planner``
+        #: key of :func:`plan_stats`.
+        self.planner_choices = None
 
     @property
     def _opened(self) -> bool:
@@ -253,6 +260,11 @@ def explain(plan: Operator, _depth: int = 0, analyze: bool = False) -> str:
 
         termjoin-scan(...) [time=1.742ms rows=42 est_rows=38
                             q_error=1.11 loops=43 postings_scanned=1204]
+
+    Plans built by the cost-based planner end with a ``planner:``
+    footer listing, per decision point, the chosen physical operator
+    (with its estimated cost and the stage that chose it) and the
+    rejected alternatives with their costs.
     """
     pad = "  " * _depth
     est = plan.est_rows
@@ -276,6 +288,8 @@ def explain(plan: Operator, _depth: int = 0, analyze: bool = False) -> str:
     parts = [line]
     for child in plan.children:
         parts.append(explain(child, _depth + 1, analyze))
+    if _depth == 0 and plan.planner_choices is not None:
+        parts.append(plan.planner_choices.render())
     return "\n".join(parts)
 
 
@@ -289,12 +303,15 @@ def plan_stats(plan: Operator) -> Dict[str, object]:
 
     ``est_rows``/``q_error`` are ``None`` on plans the estimator never
     annotated (hand-built trees); otherwise ``q_error`` compares the
-    estimate against this run's actual row count."""
+    estimate against this run's actual row count.
+
+    Planner-built roots additionally carry a ``planner`` key with the
+    chosen-vs-rejected decision record (absent elsewhere)."""
     st = plan.stats
     children = [plan_stats(c) for c in plan.children]
     child_ns = sum(c.stats.total_ns for c in plan.children)
     est = plan.est_rows
-    return {
+    out: Dict[str, object] = {
         "operator": plan.name,
         "describe": plan.describe(),
         "rows": plan.rows_out,
@@ -307,3 +324,6 @@ def plan_stats(plan: Operator) -> Dict[str, object]:
         "counters": dict(st.counters),
         "children": children,
     }
+    if plan.planner_choices is not None:
+        out["planner"] = plan.planner_choices.to_dict()
+    return out

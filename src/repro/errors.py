@@ -56,6 +56,15 @@ class QueryCompileError(TIXError):
     (unknown function, unbound variable, unsupported construct)."""
 
 
+class PlannerHintError(QueryCompileError):
+    """Raised when a planner hint (``--force-op NAME=OP``) is malformed,
+    names an unknown decision point, or forces an operator whose
+    declared preconditions the query violates.  A subclass of
+    :class:`QueryCompileError` so generic compile handling still
+    applies, but evaluator-fallback paths re-raise it — a bad hint must
+    surface, not silently change execution strategy."""
+
+
 class PlanError(TIXError):
     """Raised when a physical plan is malformed or an operator is driven
     outside its open/next/close protocol."""

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro import obs
-from repro.errors import QueryCompileError
+from repro.errors import PlannerHintError, QueryCompileError
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:
@@ -114,11 +114,13 @@ def _render_span(span: obs.Span, depth: int,
 
 def profile_query(store: "XMLStore", source: str,
                   registry: Optional[MetricsRegistry] = None,
-                  ) -> ProfileReport:
+                  **planner_opts: object) -> ProfileReport:
     """Execute ``source`` against ``store`` under a fresh collector.
 
     Prefers the compiled pipelined plan (per-operator EXPLAIN ANALYZE);
     non-compilable queries run on the reference evaluator instead.
+    Keyword options (``planner=``, ``force_ops=``, ``corrections=``)
+    are forwarded to :func:`~repro.query.compiler.compile_query`.
     """
     from repro.engine.base import execute
     from repro.query import parse_query
@@ -133,7 +135,10 @@ def profile_query(store: "XMLStore", source: str,
             with col.span("parse"):
                 query = parse_query(source)
             try:
-                plan = compile_query(store, query, registry)
+                plan = compile_query(store, query, registry,
+                                     **planner_opts)  # type: ignore[arg-type]
+            except PlannerHintError:
+                raise  # a bad hint must surface, not change strategy
             except QueryCompileError as exc:
                 compile_error = str(exc)
                 results = evaluate_query(store, query, registry)

@@ -14,8 +14,16 @@ observe-then-adapt loop:
   ``q-error`` metric surfaced by ``explain(analyze=True)``;
 - :mod:`repro.plan.feedback` — aggregation of estimated-vs-actual plan
   stats out of the audit log (:mod:`repro.obs.events`) into a
-  misestimation report, the re-costing input a cost-based planner
-  consumes (``tix feedback``).
+  misestimation report, the re-costing input the cost-based planner
+  consumes (``tix feedback``);
+- :mod:`repro.plan.rules` — per-operator cost formulas and legal
+  physical-alternative enumeration, driven by the access-method
+  registry's declared preconditions
+  (:mod:`repro.access.registry`);
+- :mod:`repro.plan.optimizer` — the cost-based planner: a chainable
+  PostBOUND-style ``PhysicalOperatorSelection`` (cost → heuristic →
+  forced hints), chosen-vs-rejected surfaced through ``explain()``
+  (see ``docs/planner.md``).
 """
 
 from repro.plan.estimate import (
@@ -32,6 +40,26 @@ from repro.plan.feedback import (
     OpFeedback,
     feedback_report,
 )
+from repro.plan.optimizer import (
+    Choice,
+    CostBasedSelection,
+    ForcedSelection,
+    HeuristicSelection,
+    PhysicalOperatorSelection,
+    PlanChoices,
+    choose_plan,
+    corrections_from_feedback,
+    make_selection,
+    parse_force_ops,
+)
+from repro.plan.rules import (
+    Alternative,
+    CostConstants,
+    DecisionPoint,
+    QuerySpec,
+    cost_alternatives,
+    decision_points,
+)
 
 __all__ = [
     "containment_selectivity",
@@ -44,4 +72,20 @@ __all__ = [
     "FeedbackReport",
     "OpFeedback",
     "feedback_report",
+    "Choice",
+    "CostBasedSelection",
+    "ForcedSelection",
+    "HeuristicSelection",
+    "PhysicalOperatorSelection",
+    "PlanChoices",
+    "choose_plan",
+    "corrections_from_feedback",
+    "make_selection",
+    "parse_force_ops",
+    "Alternative",
+    "CostConstants",
+    "DecisionPoint",
+    "QuerySpec",
+    "cost_alternatives",
+    "decision_points",
 ]

@@ -1,0 +1,387 @@
+"""Cost-based physical plan selection (the optimizer proper).
+
+The compiler (:mod:`repro.query.compiler`) lowers the paper's canonical
+query shape onto a fixed logical pipeline; *which physical operator*
+fills each slot is decided here.  The design follows PostBOUND's
+chainable ``PhysicalOperatorSelection`` abstraction: every stage
+receives the assignment made so far and may override it, and stages
+compose with :meth:`PhysicalOperatorSelection.chain_with`, so later
+concerns (user hints today, sharding or adaptive re-planning tomorrow)
+layer on without touching the base policy.
+
+The stock stages:
+
+- :class:`CostBasedSelection` — enumerate the legal alternatives per
+  decision point (from the access-method registry's preconditions) and
+  pick the cheapest under the :mod:`repro.plan.rules` cost formulas;
+  optional per-operator correction factors from ``tix feedback`` bend
+  the cardinalities toward observed reality
+  (:func:`corrections_from_feedback`);
+- :class:`HeuristicSelection` — reproduce the pre-planner hard-coded
+  choices exactly (``--planner heuristic``), while still costing the
+  alternatives so EXPLAIN can show what the cost model *would* do;
+- :class:`ForcedSelection` — pin named decision points
+  (``--force-op score=Comp1``), validated against the registry's
+  preconditions; the differential test layer runs every legal pin and
+  asserts result equivalence.
+
+The chosen-vs-rejected record (:class:`PlanChoices`) travels on the
+built plan root, where ``explain()`` and ``plan_stats()`` render it.
+
+Emitted metrics (cataloged in :mod:`repro.obs.catalog`):
+``planner.plans``, ``planner.decisions``, ``planner.flips`` (cost
+choice differs from the heuristic default), ``planner.forced``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro import obs as _obs
+from repro.errors import PlannerHintError, QueryCompileError
+from repro.plan.rules import (
+    Alternative,
+    CostConstants,
+    QuerySpec,
+    cost_alternatives,
+    decision_points,
+)
+
+__all__ = [
+    "Choice", "PlanChoices", "PhysicalOperatorSelection",
+    "CostBasedSelection", "HeuristicSelection", "ForcedSelection",
+    "PLANNERS", "make_selection", "choose_plan",
+    "parse_force_ops", "corrections_from_feedback",
+]
+
+#: Valid ``planner=`` option values of :func:`make_selection` /
+#: ``compile_query``.
+PLANNERS = ("cost", "heuristic")
+
+
+@dataclass
+class Choice:
+    """One resolved decision point: the chosen operator, which stage
+    decided (``cost`` / ``heuristic`` / ``forced``), the pre-planner
+    default, and every costed alternative (chosen one included)."""
+
+    point: str
+    chosen: str
+    source: str
+    default: str
+    alternatives: List[Alternative] = field(default_factory=list)
+
+    @property
+    def flipped(self) -> bool:
+        """Did the planner pick something the old hard-coded plan
+        would not have?"""
+        return self.chosen != self.default
+
+    def cost_of(self, op: str) -> Optional[float]:
+        for alt in self.alternatives:
+            if alt.op == op:
+                return alt.cost
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point,
+            "chosen": self.chosen,
+            "source": self.source,
+            "default": self.default,
+            "flipped": self.flipped,
+            "alternatives": [
+                {"op": a.op, "cost": a.cost, "rows": a.rows}
+                for a in self.alternatives
+            ],
+        }
+
+
+@dataclass
+class PlanChoices:
+    """The full physical assignment of one compiled query, as made by a
+    selection chain.  Attached to the built plan root
+    (``plan.planner_choices``) for EXPLAIN rendering."""
+
+    planner: str
+    choices: Dict[str, Choice] = field(default_factory=dict)
+
+    def chosen(self, point: str, default: Optional[str] = None,
+               ) -> Optional[str]:
+        choice = self.choices.get(point)
+        return choice.chosen if choice is not None else default
+
+    def set(self, choice: Choice) -> None:
+        self.choices[choice.point] = choice
+
+    def __iter__(self) -> Iterable[Choice]:
+        return iter(self.choices.values())
+
+    @property
+    def n_flipped(self) -> int:
+        return sum(1 for c in self.choices.values() if c.flipped)
+
+    @property
+    def n_forced(self) -> int:
+        return sum(
+            1 for c in self.choices.values() if c.source == "forced"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "planner": self.planner,
+            "choices": [
+                c.to_dict() for c in self.choices.values()
+            ],
+        }
+
+    def render(self) -> str:
+        """The EXPLAIN footer: one line per decision point, chosen
+        first, rejected alternatives with their costs after it."""
+        lines = [f"planner: {self.planner}"]
+        for c in self.choices.values():
+            cost = c.cost_of(c.chosen)
+            cost_txt = f"cost={cost:.1f} " if cost is not None else ""
+            flip = " *flip*" if c.flipped else ""
+            line = (f"  {c.point} = {c.chosen}"
+                    f" [{cost_txt}source={c.source}]{flip}")
+            rejected = [a for a in c.alternatives if a.op != c.chosen]
+            if rejected:
+                alts = ", ".join(
+                    f"{a.op} cost={a.cost:.1f}" for a in rejected
+                )
+                line += f"  (rejected: {alts})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class PhysicalOperatorSelection(abc.ABC):
+    """One stage of the physical-selection chain.
+
+    Stages form a singly-linked chain: each applies its policy to the
+    assignment produced so far, then delegates to ``next_selection``.
+    Later stages win — chaining a :class:`ForcedSelection` after a
+    :class:`CostBasedSelection` overrides the costed choice for the
+    pinned points and leaves the rest alone.
+    """
+
+    def __init__(self) -> None:
+        self.next_selection: Optional[PhysicalOperatorSelection] = None
+
+    def chain_with(self, next_selection: "PhysicalOperatorSelection",
+                   ) -> "PhysicalOperatorSelection":
+        """Append ``next_selection`` at the end of this chain; returns
+        ``self`` so chains build fluently."""
+        stage = self
+        while stage.next_selection is not None:
+            stage = stage.next_selection
+        stage.next_selection = next_selection
+        return self
+
+    def select_physical_operators(self, spec: QuerySpec, stats: Any,
+                                  assignment: PlanChoices) -> PlanChoices:
+        assignment = self._apply_selection(spec, stats, assignment)
+        if self.next_selection is not None:
+            assignment = self.next_selection.select_physical_operators(
+                spec, stats, assignment,
+            )
+        return assignment
+
+    @abc.abstractmethod
+    def _apply_selection(self, spec: QuerySpec, stats: Any,
+                         assignment: PlanChoices) -> PlanChoices:
+        """Apply this stage's policy; must return the (possibly
+        mutated) assignment."""
+
+
+class CostBasedSelection(PhysicalOperatorSelection):
+    """Pick the cheapest legal alternative at every decision point.
+
+    Ties keep the first option in registry order, which deliberately
+    coincides with the heuristic default — equal evidence must not flip
+    a plan.  ``corrections`` (operator key → cardinality factor) bend
+    the row estimates the formulas consume; ``constants`` override the
+    cost-unit calibration."""
+
+    def __init__(self,
+                 constants: Optional[CostConstants] = None,
+                 corrections: Optional[Mapping[str, float]] = None,
+                 ) -> None:
+        super().__init__()
+        self.constants = constants
+        self.corrections = dict(corrections) if corrections else None
+
+    def _apply_selection(self, spec: QuerySpec, stats: Any,
+                         assignment: PlanChoices) -> PlanChoices:
+        for point in decision_points(spec):
+            alts = cost_alternatives(
+                point, spec, stats,
+                constants=self.constants,
+                corrections=self.corrections,
+            )
+            best = min(alts, key=lambda a: a.cost)
+            assignment.set(Choice(
+                point=point.point,
+                chosen=best.op,
+                source="cost",
+                default=point.default,
+                alternatives=alts,
+            ))
+        return assignment
+
+
+class HeuristicSelection(PhysicalOperatorSelection):
+    """Reproduce the pre-planner hard-coded plan exactly (``--planner
+    heuristic``).  Alternatives are still costed so EXPLAIN shows what
+    the cost model would have preferred."""
+
+    def __init__(self,
+                 constants: Optional[CostConstants] = None) -> None:
+        super().__init__()
+        self.constants = constants
+
+    def _apply_selection(self, spec: QuerySpec, stats: Any,
+                         assignment: PlanChoices) -> PlanChoices:
+        for point in decision_points(spec):
+            alts = cost_alternatives(
+                point, spec, stats, constants=self.constants,
+            )
+            assignment.set(Choice(
+                point=point.point,
+                chosen=point.default,
+                source="heuristic",
+                default=point.default,
+                alternatives=alts,
+            ))
+        return assignment
+
+
+class ForcedSelection(PhysicalOperatorSelection):
+    """Pin named decision points to named operators (``--force-op``).
+
+    Overrides are validated against the query's actual decision points
+    and their legal options: forcing an unknown point, an unknown
+    operator, or one whose declared preconditions the query violates
+    (``score=TermJoin`` on a phrase query) raises
+    :class:`~repro.errors.QueryCompileError` — a forced plan must never
+    silently compute the wrong answer."""
+
+    def __init__(self, overrides: Mapping[str, str]) -> None:
+        super().__init__()
+        self.overrides = dict(overrides)
+
+    def _apply_selection(self, spec: QuerySpec, stats: Any,
+                         assignment: PlanChoices) -> PlanChoices:
+        points = {p.point: p for p in decision_points(spec)}
+        for name, op in self.overrides.items():
+            point = points.get(name)
+            if point is None:
+                raise PlannerHintError(
+                    f"--force-op: unknown decision point {name!r} "
+                    f"(query has: {', '.join(sorted(points))})"
+                )
+            if op not in point.options:
+                raise PlannerHintError(
+                    f"--force-op: {op!r} is not a legal option for "
+                    f"{name!r} on this query "
+                    f"(legal: {', '.join(point.options)})"
+                )
+            prior = assignment.choices.get(name)
+            assignment.set(Choice(
+                point=name,
+                chosen=op,
+                source="forced",
+                default=point.default,
+                alternatives=(
+                    prior.alternatives if prior is not None else []
+                ),
+            ))
+        return assignment
+
+
+def make_selection(
+    planner: str = "cost",
+    force_ops: Optional[Mapping[str, str]] = None,
+    constants: Optional[CostConstants] = None,
+    corrections: Optional[Mapping[str, float]] = None,
+) -> PhysicalOperatorSelection:
+    """The standard selection chain: a base policy (``cost`` or
+    ``heuristic``) with a :class:`ForcedSelection` chained after it
+    when hints are present."""
+    base: PhysicalOperatorSelection
+    if planner == "cost":
+        base = CostBasedSelection(
+            constants=constants, corrections=corrections,
+        )
+    elif planner == "heuristic":
+        base = HeuristicSelection(constants=constants)
+    else:
+        raise QueryCompileError(
+            f"unknown planner {planner!r} "
+            f"(valid: {', '.join(PLANNERS)})"
+        )
+    if force_ops:
+        base.chain_with(ForcedSelection(force_ops))
+    return base
+
+
+def choose_plan(spec: QuerySpec, stats: Any,
+                selection: PhysicalOperatorSelection,
+                planner: str = "cost") -> PlanChoices:
+    """Run the selection chain over the query's decision points and
+    publish the planner metrics."""
+    assignment = selection.select_physical_operators(
+        spec, stats, PlanChoices(planner=planner),
+    )
+    rec = _obs.RECORDER
+    if rec.enabled:
+        rec.count("planner.plans")
+        rec.count("planner.decisions", len(assignment.choices))
+        if assignment.n_flipped:
+            rec.count("planner.flips", assignment.n_flipped)
+        if assignment.n_forced:
+            rec.count("planner.forced", assignment.n_forced)
+    return assignment
+
+
+def parse_force_ops(pairs: Optional[Iterable[str]]) -> Dict[str, str]:
+    """Parse repeated ``--force-op NAME=OP`` hints into an override
+    mapping; malformed hints raise
+    :class:`~repro.errors.QueryCompileError` (the CLI surfaces it)."""
+    out: Dict[str, str] = {}
+    for pair in pairs or ():
+        name, sep, op = pair.partition("=")
+        name, op = name.strip(), op.strip()
+        if not sep or not name or not op:
+            raise PlannerHintError(
+                f"--force-op expects NAME=OP, got {pair!r}"
+            )
+        out[name] = op
+    return out
+
+
+def corrections_from_feedback(report: Any,
+                              max_factor: float = 10.0,
+                              ) -> Dict[str, float]:
+    """Per-operator cardinality correction factors from a ``tix
+    feedback`` misestimation report
+    (:class:`~repro.plan.feedback.FeedbackReport`).
+
+    For every aggregated operator with observed traffic, the factor is
+    ``mean_actual_rows / mean_est_rows`` clamped to
+    ``[1/max_factor, max_factor]`` — re-costing multiplies the
+    estimator's cardinality by it, so systematically underestimated
+    operators get costed at their observed volume.  Operators without
+    usable data are simply absent (factor 1 implied)."""
+    out: Dict[str, float] = {}
+    lo = 1.0 / max_factor
+    for entry in getattr(report, "operators", ()):
+        est = getattr(entry, "mean_est_rows", 0.0) or 0.0
+        actual = getattr(entry, "mean_actual_rows", 0.0) or 0.0
+        if est <= 0.0 or actual <= 0.0:
+            continue
+        factor = actual / est
+        out[entry.key] = max(lo, min(factor, max_factor))
+    return out

@@ -1,0 +1,362 @@
+"""Cost formulas and physical-alternative enumeration for the planner.
+
+:mod:`repro.plan.estimate` answers *how many rows* each operator of an
+already-built plan will see; this module answers *which operator to
+build*: for every decision point of the compiled query shape it
+enumerates the legal physical alternatives (from the access-method
+registry's declared preconditions) and prices each with a per-operator
+cost formula over the same catalog statistics.
+
+Decision points of the compiled shape (``TermJoinScan → structural
+filter → rank → materialize``):
+
+- ``score`` — the score-generating access method behind the scan leaf:
+  TermJoin, EnhancedTermJoin, the Comp1/Comp2 baselines, or PhraseJoin
+  (the only phrase-capable scorer, and a legal — if costlier —
+  alternative for plain term queries too);
+- ``filter`` — the structural filter's matching strategy: ``linear``
+  probes the region list per row (unbeatable for the handful of regions
+  a single-document For-path usually yields), ``bisect`` binary-searches
+  the sorted region table (wins once regions number in the dozens);
+- ``rank`` — only when Sortby and ``stop after K`` are both present:
+  the bounded-heap ``top-k`` versus materializing ``sort-limit``.
+
+Costs are abstract work units sharing the estimator's currency (a
+posting scanned ≈ 1): only *ratios* matter, and the constants can be
+recalibrated from a measured plan's :class:`~repro.engine.base.OpStats`
+(:meth:`CostConstants.calibrated_from`).  Cardinalities reuse the
+estimator's formulas, optionally scaled by per-operator correction
+factors learned from ``tix feedback`` (see
+:func:`repro.plan.optimizer.corrections_from_feedback`).
+
+Like the estimator, this module must not import :mod:`repro.engine`;
+it works from statistics, the registry, and plain query properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+from repro.access.registry import method_properties, score_methods
+from repro.plan.estimate import SCORE_SELECTIVITY, term_estimate
+
+__all__ = [
+    "POINT_SCORE", "POINT_FILTER", "POINT_RANK",
+    "FILTER_LINEAR", "FILTER_BISECT",
+    "RANK_TOPK", "RANK_SORT_LIMIT",
+    "CostConstants", "DEFAULT_CONSTANTS", "QuerySpec", "DecisionPoint",
+    "Alternative", "region_fraction", "decision_points",
+    "cost_alternatives",
+]
+
+#: Decision-point names (the left-hand side of ``--force-op NAME=OP``).
+POINT_SCORE = "score"
+POINT_FILTER = "filter"
+POINT_RANK = "rank"
+
+#: Physical options of the ``filter`` and ``rank`` points.
+FILTER_LINEAR = "linear"
+FILTER_BISECT = "bisect"
+RANK_TOPK = "top-k"
+RANK_SORT_LIMIT = "sort-limit"
+
+#: Extra per-probe weight of a bisection step over a linear region
+#: probe (tuple comparisons plus bookkeeping); sets the linear/bisect
+#: crossover at a few dozen regions.
+_BISECT_OVERHEAD = 2.0
+
+
+def _log2(n: float) -> float:
+    from math import log2
+
+    return log2(n) if n > 1.0 else 0.0
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Per-unit work of the cost formulas, in the estimator's abstract
+    currency (``posting`` is the unit).  ``navigate`` prices one
+    parent-chain step of the composite baselines' ancestor walks."""
+
+    posting: float = 1.0
+    emit: float = 2.0
+    compare: float = 0.25
+    navigate: float = 0.5
+
+    @classmethod
+    def calibrated_from(cls, plan: Any) -> "CostConstants":
+        """Constants recalibrated from one measured plan: the scan
+        leaf's ``postings_scanned`` counter and per-operator ``OpStats``
+        timings yield measured ns-per-posting / ns-per-emit ratios.
+        Falls back to the defaults for any ratio the run cannot
+        support (no timings, zero counters)."""
+        default = cls()
+        leaf = _find(plan, "termjoin-scan")
+        sink = _find(plan, "materialize")
+        if leaf is None:
+            return default
+        postings = leaf.stats.counters.get("postings_scanned", 0)
+        leaf_ns = leaf.stats.open_ns + leaf.stats.next_ns
+        if postings <= 0 or leaf_ns <= 0:
+            return default
+        ns_per_posting = leaf_ns / float(postings)
+        emit = default.emit
+        if sink is not None and sink.rows_out > 0:
+            sink_ns = sink.stats.open_ns + sink.stats.next_ns
+            if sink_ns > 0:
+                emit = (sink_ns / float(sink.rows_out)) / ns_per_posting
+        return cls(
+            posting=1.0,
+            emit=max(0.1, min(emit, 100.0)),
+            compare=default.compare,
+            navigate=default.navigate,
+        )
+
+
+def _find(plan: Any, name: str) -> Optional[Any]:
+    if getattr(plan, "name", None) == name:
+        return plan
+    for child in getattr(plan, "children", ()):
+        found = _find(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+@dataclass
+class QuerySpec:
+    """The planner's view of one compiled query: the properties the
+    decision points and cost formulas depend on, nothing else."""
+
+    terms: Sequence[str]
+    phrase_mode: bool
+    min_score: Optional[float] = None
+    stop_after: Optional[int] = None
+    sortby: bool = False
+    n_regions: int = 0
+    #: fraction of the corpus region span the For-path regions cover
+    #: (the structural filter's selectivity) — see :func:`region_fraction`.
+    region_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """One physical choice the planner must make: the legal options (in
+    registry/tie-break order) and the pre-planner hard-coded default."""
+
+    point: str
+    options: Tuple[str, ...]
+    default: str
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One costed option at a decision point.  ``rows`` is the stage's
+    estimated *output* cardinality (identical across options — physical
+    choice changes work, not results); ``cost`` is the option's own
+    estimated work in abstract units."""
+
+    op: str
+    rows: float
+    cost: float
+
+
+def region_fraction(store: Any, regions: Sequence[Tuple[int, int, int]],
+                    ) -> float:
+    """Fraction of the corpus region span covered by the For-path's
+    allowed (doc, start, end) regions — the same quantity the estimator
+    derives for a built structural filter."""
+    if not regions:
+        return 1.0
+    total = 0
+    for doc in store.documents():
+        if len(doc):
+            total += doc.ends[0] - doc.starts[0] + 1
+    if total <= 0:
+        return 1.0
+    covered = sum(rend - rstart + 1 for _doc, rstart, rend in regions)
+    return max(0.0, min(covered / float(total), 1.0))
+
+
+def decision_points(spec: QuerySpec) -> List[DecisionPoint]:
+    """The decision points of one compiled query, with their legal
+    options.  The ``rank`` point only exists when Sortby and ``stop
+    after`` fuse (otherwise there is nothing to choose)."""
+    points = [
+        DecisionPoint(
+            POINT_SCORE,
+            tuple(score_methods(spec.phrase_mode)),
+            "PhraseJoin" if spec.phrase_mode else "TermJoin",
+        ),
+        DecisionPoint(
+            POINT_FILTER, (FILTER_LINEAR, FILTER_BISECT), FILTER_LINEAR,
+        ),
+    ]
+    if spec.sortby and spec.stop_after is not None:
+        points.append(DecisionPoint(
+            POINT_RANK, (RANK_TOPK, RANK_SORT_LIMIT), RANK_TOPK,
+        ))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Cardinalities along the pipeline (the estimator's formulas, applied
+# before the plan exists)
+# ----------------------------------------------------------------------
+
+def _corrected(rows: float, key: str,
+               corrections: Optional[Mapping[str, float]]) -> float:
+    if corrections:
+        factor = corrections.get(key)
+        if factor is not None and factor > 0.0:
+            rows *= factor
+    return max(0.0, rows)
+
+
+def _scored_rows(stats: Any, spec: QuerySpec) -> float:
+    """Elements the score method emits (before the threshold cut)."""
+    return sum(term_estimate(stats, t) for t in spec.terms)
+
+
+def _leaf_rows(stats: Any, spec: QuerySpec,
+               corrections: Optional[Mapping[str, float]]) -> float:
+    rows = _scored_rows(stats, spec)
+    if spec.min_score is not None and spec.min_score > 0:
+        rows *= SCORE_SELECTIVITY
+    return _corrected(rows, "termjoin-scan", corrections)
+
+
+def _filter_rows(stats: Any, spec: QuerySpec,
+                 corrections: Optional[Mapping[str, float]]) -> float:
+    rows = _leaf_rows(stats, spec, corrections) * spec.region_fraction
+    return _corrected(rows, "structural-filter", corrections)
+
+
+def _postings(stats: Any, terms: Sequence[str]) -> float:
+    """Postings the scan must consume: every word of every item."""
+    total = 0.0
+    for item in terms:
+        for word in item.split():
+            total += float(stats.frequency(word.lower()))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Per-operator cost formulas
+# ----------------------------------------------------------------------
+
+def _score_cost(method: str, stats: Any, spec: QuerySpec,
+                c: CostConstants) -> float:
+    """Work of one score-generating method: ``P`` postings consumed,
+    ``S`` elements scored, ``T`` query items, ``d`` the average element
+    depth (the composites' ancestor-walk witness factor)."""
+    p = _postings(stats, spec.terms)
+    s = _scored_rows(stats, spec)
+    t = float(max(len(spec.terms), 1))
+    d = max(1.0, float(getattr(stats, "avg_depth", 1.0)))
+    key = method_properties(method)["cost"]
+    merge = p * c.posting + p * _log2(max(t, 2.0)) * c.compare
+    if key in ("termjoin", "enhanced-termjoin"):
+        # One stack-based pass; Enhanced differs only under complex
+        # scoring (child counts from the structure index), which the
+        # compiled shape never uses — identical cost, and the registry
+        # order tie-break keeps TermJoin.
+        return merge + s * c.emit
+    if key == "comp1":
+        # Per-posting ancestor walks (witness volume P·d), sort-based
+        # grouping of the witnesses, scored union.
+        w = p * d
+        return (p * c.posting + w * c.navigate
+                + w * _log2(max(w, 2.0)) * c.compare + s * c.emit)
+    if key == "comp2":
+        # Comp1 with the selection replaced by structural joins against
+        # the full element table: one table pass per query item.
+        w = p * d
+        e = float(max(1, stats.n_elements))
+        return (p * c.posting + w * c.navigate
+                + w * _log2(max(w, 2.0)) * c.compare
+                + t * e * c.compare + s * c.emit)
+    if key == "phrasejoin":
+        # PhraseFinder intersection (offset checks per posting) feeding
+        # the occurrence stack join — strictly more machinery than the
+        # plain merge, so TermJoin wins pure term queries.
+        return (p * c.posting + p * c.compare
+                + s * (c.emit + c.navigate))
+    raise ValueError(f"no cost formula for score method {method!r}")
+
+
+def _filter_cost(kind: str, rows_in: float, n_regions: int,
+                 c: CostConstants) -> float:
+    r = float(max(n_regions, 1))
+    if kind == FILTER_LINEAR:
+        # Expected half-list probe on a hit, full list on a miss.
+        return rows_in * (0.5 * r + 1.0) * c.compare
+    if kind == FILTER_BISECT:
+        return (rows_in * (_log2(max(r, 2.0)) + 2.0)
+                * c.compare * _BISECT_OVERHEAD)
+    raise ValueError(f"no cost formula for filter kind {kind!r}")
+
+
+def _rank_cost(kind: str, rows_in: float, k: int,
+               c: CostConstants) -> float:
+    heap = max(min(float(k), rows_in), 2.0)
+    if kind == RANK_TOPK:
+        return rows_in * _log2(heap) * c.compare
+    if kind == RANK_SORT_LIMIT:
+        return (rows_in * _log2(max(rows_in, 2.0)) * c.compare
+                + min(rows_in, float(k)) * c.compare)
+    raise ValueError(f"no cost formula for rank kind {kind!r}")
+
+
+def cost_alternatives(
+    point: DecisionPoint,
+    spec: QuerySpec,
+    stats: Any,
+    constants: Optional[CostConstants] = None,
+    corrections: Optional[Mapping[str, float]] = None,
+) -> List[Alternative]:
+    """Every option of ``point`` costed for ``spec`` under the catalog
+    ``stats``, in option order (the caller's stable tie-break).  Costs
+    are clamped finite and non-negative — one bad statistic must not
+    poison the whole plan choice."""
+    c = constants or CostConstants()
+    out: List[Alternative] = []
+    if point.point == POINT_SCORE:
+        rows = _leaf_rows(stats, spec, corrections)
+        for op in point.options:
+            out.append(Alternative(
+                op, rows, _clamp_cost(_score_cost(op, stats, spec, c)),
+            ))
+        return out
+    if point.point == POINT_FILTER:
+        rows_in = _leaf_rows(stats, spec, corrections)
+        rows = _filter_rows(stats, spec, corrections)
+        for op in point.options:
+            out.append(Alternative(
+                op, rows,
+                _clamp_cost(_filter_cost(op, rows_in, spec.n_regions, c)),
+            ))
+        return out
+    if point.point == POINT_RANK:
+        rows_in = _filter_rows(stats, spec, corrections)
+        k = int(spec.stop_after or 0)
+        rows = min(rows_in, float(k)) if k else rows_in
+        for op in point.options:
+            out.append(Alternative(
+                op, rows, _clamp_cost(_rank_cost(op, rows_in, k, c)),
+            ))
+        return out
+    raise ValueError(f"unknown decision point {point.point!r}")
+
+
+def _clamp_cost(cost: float) -> float:
+    if cost != cost or cost < 0.0:  # NaN-safe
+        return 0.0
+    if cost == float("inf"):
+        return 1e18
+    return cost
+
+
+# The constants instance the planner uses when none is supplied.
+DEFAULT_CONSTANTS = CostConstants()

@@ -11,15 +11,26 @@ semantics; this compiler recognizes the paper's canonical IR-query shape
     Sortby(score)
     Threshold $v/@score > V stop after K
 
-and produces a pipelined engine plan built on the TermJoin access method:
+and produces a pipelined engine plan:
 
-    TermJoinScan → structural filter → threshold(V) → sort → limit(K)
-    → materialize
+    scan(score method) → structural filter → rank → materialize
+
+*Which* physical operator fills each slot is decided by the cost-based
+planner (:mod:`repro.plan.optimizer`): the compiler builds a
+:class:`~repro.plan.rules.QuerySpec` describing the query's decision
+points (score method, filter strategy, rank strategy), runs the
+selection chain, and assembles the plan the chain chose.  ``planner=``
+selects the base policy (``"cost"`` — the default — or ``"heuristic"``,
+the pre-planner hard-coded plan), ``force_ops=`` pins individual
+decision points (the CLI's ``--force-op NAME=OP``), and ``selection=``
+substitutes a caller-built chain outright.  The chosen-vs-rejected
+record rides on the plan root (``plan.planner_choices``) and is
+rendered by ``explain()``.
 
 Compilation requires the scoring function to have a registered *simple
 scorer factory* (term-level scoring the index can drive — see
 :meth:`FunctionRegistry.register_score_factory`); queries outside the
-shape (joins, Pick clauses, multi-word phrases) raise
+shape (joins, Pick clauses) raise
 :class:`~repro.errors.QueryCompileError`, and callers fall back to the
 evaluator.  The compiled plan returns the ranked scored elements
 (materialized stored subtrees), not the Return-constructor wrapping —
@@ -29,9 +40,9 @@ the tests assert.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from bisect import bisect_right
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.access.termjoin import TermJoin
 from repro.core.trees import SNode, STree
 from repro.engine.base import Operator, execute, explain
 from repro.engine.operators import (
@@ -93,9 +104,66 @@ class StructuralFilter(Operator):
                 return item
 
 
-def compile_query(store: XMLStore, query: Query,
-                  registry: Optional[FunctionRegistry] = None) -> Operator:
+class BisectStructuralFilter(StructuralFilter):
+    """Structural filter matching by binary search over the sorted
+    region table instead of a linear probe — the planner's alternative
+    once regions number in the dozens.
+
+    Per document the regions are kept sorted by start position together
+    with a running prefix-maximum of their end positions: a candidate
+    at ``start`` bisects to the rightmost region starting at or before
+    it, then scans left only while the prefix maximum says some region
+    can still reach ``start`` — correct for nested and overlapping
+    regions, and a single step for the common disjoint case."""
+
+    def __init__(self, child: Operator, store: XMLStore,
+                 regions: Sequence[Tuple[int, int, int]]):
+        super().__init__(child, store, regions)
+        by_doc: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+        for rdoc, rstart, rend in self.regions:  # already sorted
+            starts, ends, cover = by_doc.setdefault(rdoc, ([], [], []))
+            starts.append(rstart)
+            ends.append(rend)
+            cover.append(max(rend, cover[-1]) if cover else rend)
+        self._by_doc = by_doc
+
+    def describe(self) -> str:
+        return f"structural-filter(bisect, {len(self.regions)} regions)"
+
+    def _match(self, doc_id: int, node_id: int) -> bool:
+        table = self._by_doc.get(doc_id)
+        if table is None:
+            return False
+        doc = self.store.document(doc_id)
+        start, end = doc.starts[node_id], doc.ends[node_id]
+        starts, ends, cover = table
+        i = bisect_right(starts, start) - 1
+        while i >= 0 and cover[i] >= start:
+            if ends[i] >= end:
+                return True
+            i -= 1
+        return False
+
+
+def compile_query(
+    store: XMLStore, query: Query,
+    registry: Optional[FunctionRegistry] = None,
+    *,
+    planner: str = "cost",
+    force_ops: Optional[Mapping[str, str]] = None,
+    selection: Optional[Any] = None,
+    constants: Optional[Any] = None,
+    corrections: Optional[Mapping[str, float]] = None,
+) -> Operator:
     """Compile ``query`` to an engine plan (see module docstring).
+
+    ``planner`` picks the base selection policy (``"cost"`` /
+    ``"heuristic"``), ``force_ops`` pins decision points by name,
+    ``selection`` substitutes a pre-built
+    :class:`~repro.plan.optimizer.PhysicalOperatorSelection` chain, and
+    ``constants``/``corrections`` recalibrate the cost model (the
+    latter typically from :func:`~repro.plan.optimizer.
+    corrections_from_feedback`).
 
     The returned plan is estimator-annotated: every operator carries
     ``est_rows``/``est_cost`` from the store's statistics catalog, so
@@ -105,13 +173,25 @@ def compile_query(store: XMLStore, query: Query,
     from repro.plan.estimate import estimate_plan
 
     with obs.RECORDER.span("compile"):
-        plan = _compile_query(store, query, registry)
+        plan = _compile_query(
+            store, query, registry,
+            planner=planner, force_ops=force_ops, selection=selection,
+            constants=constants, corrections=corrections,
+        )
         estimate_plan(plan, store)
         return plan
 
 
-def _compile_query(store: XMLStore, query: Query,
-                   registry: Optional[FunctionRegistry] = None) -> Operator:
+def _compile_query(
+    store: XMLStore, query: Query,
+    registry: Optional[FunctionRegistry] = None,
+    *,
+    planner: str = "cost",
+    force_ops: Optional[Mapping[str, str]] = None,
+    selection: Optional[Any] = None,
+    constants: Optional[Any] = None,
+    corrections: Optional[Mapping[str, float]] = None,
+) -> Operator:
     registry = registry or default_registry()
     flwor = query.body
     if not isinstance(flwor, FLWOR):
@@ -146,27 +226,57 @@ def _compile_query(store: XMLStore, query: Query,
     items, scorer, phrase_mode = _build_scorer(score_clause, registry)
 
     min_score, stop_after = _threshold_params(flwor, for_clause.var)
+    regions = _prefix_regions(store, doc_name, prefix_steps, registry)
 
-    if phrase_mode:
-        from repro.access.phrasejoin import PhraseJoin
+    from repro.access.registry import build_score_method
+    from repro.plan import optimizer as _optimizer
+    from repro.plan import rules as _rules
 
-        method = PhraseJoin.from_scorer(store, scorer)
-    else:
-        method = TermJoin(store, scorer)
+    spec = _rules.QuerySpec(
+        terms=items,
+        phrase_mode=phrase_mode,
+        min_score=min_score,
+        stop_after=stop_after,
+        sortby=flwor.sortby is not None,
+        n_regions=len(regions),
+        region_fraction=_rules.region_fraction(store, regions),
+    )
+    if selection is None:
+        selection = _optimizer.make_selection(
+            planner, force_ops=force_ops,
+            constants=constants, corrections=corrections,
+        )
+    choices = _optimizer.choose_plan(
+        spec, store.stats, selection, planner=planner,
+    )
+
+    method_name = choices.chosen(
+        _rules.POINT_SCORE,
+        "PhraseJoin" if phrase_mode else "TermJoin",
+    )
+    method = build_score_method(method_name, store, scorer)
     plan: Operator = TermJoinScan(
         store, items, method, min_score=min_score
     )
-    regions = _prefix_regions(store, doc_name, prefix_steps, registry)
-    plan = StructuralFilter(plan, store, regions)
+    if choices.chosen(_rules.POINT_FILTER) == _rules.FILTER_BISECT:
+        plan = BisectStructuralFilter(plan, store, regions)
+    else:
+        plan = StructuralFilter(plan, store, regions)
     if flwor.sortby is not None and stop_after is not None:
-        # Ranked + cut: a bounded heap replaces sort-then-limit (§5.3).
-        plan = TopK(plan, stop_after)
+        # Ranked + cut: §5.3's bounded heap, unless the planner (or a
+        # hint) prefers materializing sort-then-limit.
+        if choices.chosen(_rules.POINT_RANK) == _rules.RANK_SORT_LIMIT:
+            plan = Limit(Sort(plan), stop_after)
+        else:
+            plan = TopK(plan, stop_after)
     else:
         if flwor.sortby is not None:
             plan = Sort(plan)
         if stop_after is not None:
             plan = Limit(plan, stop_after)
-    return Materialize(plan, store)
+    root = Materialize(plan, store)
+    root.planner_choices = choices
+    return root
 
 
 def _parse_for_path(for_clause: ForClause) -> Tuple[str, tuple]:
@@ -265,17 +375,21 @@ def _prefix_regions(store: XMLStore, doc_name: str, prefix_steps: tuple,
 
 
 def explain_query(store: XMLStore, query: Query,
-                  registry: Optional[FunctionRegistry] = None) -> str:
-    """Compile and render the physical plan (without executing)."""
-    plan = compile_query(store, query, registry)
+                  registry: Optional[FunctionRegistry] = None,
+                  **planner_opts: Any) -> str:
+    """Compile and render the physical plan (without executing).
+    Keyword options are forwarded to :func:`compile_query`."""
+    plan = compile_query(store, query, registry, **planner_opts)
     return explain(plan)
 
 
 def run_compiled(store: XMLStore, query: Query,
-                 registry: Optional[FunctionRegistry] = None) -> List[STree]:
-    """Compile and execute, returning ranked scored subtrees."""
+                 registry: Optional[FunctionRegistry] = None,
+                 **planner_opts: Any) -> List[STree]:
+    """Compile and execute, returning ranked scored subtrees.
+    Keyword options are forwarded to :func:`compile_query`."""
     from repro import obs
 
-    plan = compile_query(store, query, registry)
+    plan = compile_query(store, query, registry, **planner_opts)
     with obs.RECORDER.span("execute"):
         return execute(plan)

@@ -122,7 +122,7 @@ def execute_guarded(plan: Any, guard: NullGuard) -> GuardedResult:
 
 def run_query_guarded(store: "XMLStore", source: str, guard: NullGuard,
                       registry: "Optional[MetricsRegistry]" = None,
-                      ) -> GuardedResult:
+                      **planner_opts: Any) -> GuardedResult:
     """Parse, compile, and execute a query string under ``guard``.
 
     Compilable queries run on the pipelined engine via
@@ -132,15 +132,20 @@ def run_query_guarded(store: "XMLStore", source: str, guard: NullGuard,
     budget can only be applied to the finished result list (the evaluator
     is not streaming): over-budget results raise in strict mode and are
     trimmed + flagged truncated in degrade mode.
+
+    Keyword options (``planner=``, ``force_ops=``, ``corrections=``)
+    are forwarded to :func:`~repro.query.compiler.compile_query`.
     """
-    from repro.errors import QueryCompileError
+    from repro.errors import PlannerHintError, QueryCompileError
     from repro.query import parse_query
     from repro.query.compiler import compile_query
 
     with _events.observe_query(source) as ev:
         query = parse_query(source)
         try:
-            plan = compile_query(store, query, registry)
+            plan = compile_query(store, query, registry, **planner_opts)
+        except PlannerHintError:
+            raise  # a bad hint must surface, not change strategy
         except QueryCompileError:
             plan = None
         if plan is not None:

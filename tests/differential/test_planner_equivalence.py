@@ -1,0 +1,151 @@
+"""Differential tests: the cost-based planner never changes answers.
+
+For every query in the corpus the planner-chosen plan is executed, then
+every *legal forced alternative* at every decision point (``--force-op``
+semantics, via ``force_ops=``) and the heuristic planner are executed
+over the same store — all must return the same rows with the same rank
+order.  Tie order *within* equal scores is operator-specific (TermJoin
+streams in pop order, the composites sort by (doc, node)), so rows are
+compared as a canonical multiset of ``(source, score)`` and rank order
+as the full score sequence.
+
+Two store shapes are covered: seeded random multi-document corpora
+(tie-heavy, deep nesting) and the single-document many-``<article>``
+store from ``tix bench planner`` (many regions — the shape where the
+bisect structural filter wins and the planner actually flips a
+decision).
+"""
+
+import random
+
+import pytest
+
+from repro.bench.plannerbench import build_planner_store
+from repro.engine.base import execute
+from repro.query import parse_query
+from repro.query.compiler import compile_query
+from repro.xmldb.store import XMLStore
+
+from tests.conftest import build_random_document
+
+pytestmark = pytest.mark.differential
+
+SEEDS = [7, 1234]
+
+RANDOM_QUERIES = [
+    ("terms+sort", '''
+For $x in document("diff.xml")//a/descendant-or-self::*
+Score $x using ScoreFooExact($x, {"red"}, {"green"})
+Return $x
+Sortby(score)
+'''),
+    ("terms+threshold", '''
+For $x in document("diff.xml")//a/descendant-or-self::*
+Score $x using ScoreFooExact($x, {"red"}, {"blue"})
+Return $x
+Sortby(score)
+Threshold $x/@score > 0
+'''),
+    ("phrase+sort", '''
+For $x in document("diff.xml")//a/descendant-or-self::*
+Score $x using ScoreFooExact($x, {"red green"})
+Return $x
+Sortby(score)
+'''),
+]
+
+PLANNER_STORE_QUERIES = [
+    ("many-regions+sort", '''
+For $a in document("lib.xml")//article/descendant-or-self::*
+Score $a using ScoreFooExact($a, {"planted"}, {"paper"})
+Return $a
+Sortby(score)
+'''),
+    ("many-regions+top10", '''
+For $a in document("lib.xml")//article/descendant-or-self::*
+Score $a using ScoreFooExact($a, {"planted"}, {"paper"})
+Return $a
+Sortby(score)
+Threshold $a/@score > 0 stop after 10
+'''),
+]
+
+
+def seeded_store(seed: int) -> XMLStore:
+    rng = random.Random(seed)
+    store = XMLStore()
+    store.add_document(
+        build_random_document(rng, 120, doc_id=0, name="diff.xml")
+    )
+    return store
+
+
+def canonical(results):
+    """Order-free row identity: multiset of (origin node, score)."""
+    return sorted((t.root.source, t.score) for t in results)
+
+
+def ranks(results):
+    """Rank order: the emitted score sequence."""
+    return [t.score for t in results]
+
+
+def assert_equivalent(store, query, label):
+    baseline_plan = compile_query(store, query, planner="cost")
+    baseline = execute(baseline_plan)
+    assert baseline, f"{label}: corpus must produce rows"
+    base_rows, base_ranks = canonical(baseline), ranks(baseline)
+
+    choices = baseline_plan.planner_choices
+    assert choices is not None and choices.choices, \
+        f"{label}: planner recorded no decisions"
+
+    tried = 0
+    for point, choice in sorted(choices.choices.items()):
+        for alt in choice.alternatives:
+            if alt.op == choice.chosen:
+                continue
+            forced = compile_query(store, query,
+                                   force_ops={point: alt.op})
+            assert forced.planner_choices.chosen(point) == alt.op
+            rows = execute(forced)
+            assert canonical(rows) == base_rows, \
+                f"{label}: {point}={alt.op} changed the row set"
+            assert ranks(rows) == base_ranks, \
+                f"{label}: {point}={alt.op} changed the rank order"
+            tried += 1
+    assert tried >= 1, f"{label}: no alternatives exercised"
+
+    heuristic = execute(compile_query(store, query, planner="heuristic"))
+    assert canonical(heuristic) == base_rows
+    assert ranks(heuristic) == base_ranks
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(("label", "text"), RANDOM_QUERIES,
+                         ids=[q[0] for q in RANDOM_QUERIES])
+def test_forced_alternatives_agree_on_random_corpus(seed, label, text):
+    store = seeded_store(seed)
+    assert_equivalent(store, parse_query(text), f"{label}[seed={seed}]")
+
+
+@pytest.mark.parametrize(("label", "text"), PLANNER_STORE_QUERIES,
+                         ids=[q[0] for q in PLANNER_STORE_QUERIES])
+def test_forced_alternatives_agree_on_many_region_store(label, text):
+    store = build_planner_store(n_articles=60)
+    assert_equivalent(store, parse_query(text), label)
+
+
+def test_planner_flips_filter_on_many_region_store():
+    """The acceptance-criteria flip: with many sibling regions the
+    cost-based planner picks the bisect structural filter where the
+    heuristic default is linear — and the answer stays identical (the
+    equivalence tests above)."""
+    store = build_planner_store(n_articles=60)
+    query = parse_query(PLANNER_STORE_QUERIES[0][1])
+    cost_plan = compile_query(store, query, planner="cost")
+    choice = cost_plan.planner_choices.choices["filter"]
+    assert choice.chosen == "bisect"
+    assert choice.flipped
+    heur_plan = compile_query(store, query, planner="heuristic")
+    assert heur_plan.planner_choices.choices["filter"].chosen == "linear"

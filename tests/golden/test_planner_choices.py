@@ -1,0 +1,110 @@
+"""Golden planner decisions: the cost-based planner's choice at every
+decision point, pinned per query for the Table 1–5 workloads plus the
+many-region ``tix bench planner`` store.
+
+Costs move whenever the statistics catalog or a cost constant is tuned
+— that is expected and not pinned here.  What must *not* drift silently
+is the decision itself: which physical operator the planner picks and
+which alternatives it weighed.  A tuning change that flips a choice
+fails this suite with a reviewable diff; refresh intentionally with::
+
+    PYTHONPATH=src pytest tests/golden --update-golden
+"""
+
+import pytest
+
+from repro.bench.plannerbench import build_planner_store
+from repro.query import parse_query
+from repro.query.compiler import compile_query
+from repro.workload import (
+    generate_corpus,
+    table123_spec,
+    table4_spec,
+    table5_spec,
+)
+
+pytestmark = pytest.mark.golden
+
+#: Same small-scale parameters as test_golden_outputs.py.
+SCALE = 0.02
+N_ARTICLES = 60
+
+
+def score_query(doc: str, terms, stop_after=None) -> str:
+    items = ", ".join('{"%s"}' % t for t in terms)
+    tail = ""
+    if stop_after is not None:
+        tail = f"\nThreshold $a/@score > 0 stop after {stop_after}"
+    return (
+        f'For $a in document("{doc}")//article/descendant-or-self::*\n'
+        f"Score $a using ScoreFooExact($a, {items})\n"
+        f"Return $a\nSortby(score)" + tail
+    )
+
+
+def decision_record(store, source: str):
+    plan = compile_query(store, parse_query(source), planner="cost")
+    choices = plan.planner_choices
+    return {
+        "planner": choices.planner,
+        "choices": {
+            point: {
+                "chosen": c.chosen,
+                "source": c.source,
+                "default": c.default,
+                "flipped": c.flipped,
+                "rejected": [a.op for a in c.alternatives
+                             if a.op != c.chosen],
+            }
+            for point, c in sorted(choices.choices.items())
+        },
+    }
+
+
+def test_table123_planner_choices(golden):
+    spec, rows = table123_spec(scale=SCALE, n_articles=N_ARTICLES)
+    store = generate_corpus(spec)
+    out = {}
+    for key in ("table1", "table3"):
+        for row in rows[key]:
+            label = f"{key}/freq{row.label}"
+            out[label] = decision_record(
+                store, score_query("article00000.xml", row.terms))
+    golden("planner_choices_table123", out)
+
+
+def test_table4_planner_choices(golden):
+    spec, rows4 = table4_spec(scale=SCALE, n_articles=N_ARTICLES)
+    store = generate_corpus(spec)
+    out = {}
+    for row in rows4:
+        out[f"table4/size{row.label}"] = decision_record(
+            store, score_query("article00000.xml", row.terms))
+    golden("planner_choices_table4", out)
+
+
+def test_table5_planner_choices(golden):
+    spec, rows5 = table5_spec(scale=SCALE, n_articles=N_ARTICLES)
+    store = generate_corpus(spec)
+    out = {}
+    for row in rows5:
+        phrase = " ".join(row.terms)
+        out[f"table5/query{row.query}"] = decision_record(
+            store, score_query("article00000.xml", [phrase]))
+    golden("planner_choices_table5", out)
+
+
+def test_many_region_planner_choices(golden):
+    store = build_planner_store(n_articles=60)
+    out = {
+        "sort": decision_record(
+            store, score_query("lib.xml", ["planted", "paper"])),
+        "top10": decision_record(
+            store, score_query("lib.xml", ["planted", "paper"],
+                               stop_after=10)),
+    }
+    # The headline flip this PR exists for: many sibling regions make
+    # the bisect structural filter the cheaper choice.
+    assert out["sort"]["choices"]["filter"]["chosen"] == "bisect"
+    assert out["sort"]["choices"]["filter"]["flipped"]
+    golden("planner_choices_many_region", out)

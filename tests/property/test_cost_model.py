@@ -1,0 +1,197 @@
+"""Property tests for the planner's cost model (:mod:`repro.plan.rules`)
+and selection chain (:mod:`repro.plan.optimizer`).
+
+Invariants locked down here:
+
+- per-operator cost formulas are monotone in their input volume (more
+  rows never gets cheaper);
+- the top-k rank cost never exceeds sort-limit (the engineered guarantee
+  that keeps TopK the default, matching pre-planner behaviour);
+- ``cost_alternatives`` clamps every cost finite and non-negative no
+  matter how degenerate the spec or the feedback corrections;
+- planning is deterministic for a fixed store generation;
+- a forced override always beats the cost-based choice, and the *last*
+  stage of a chained ``PhysicalOperatorSelection`` wins.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan.optimizer import (
+    CostBasedSelection,
+    ForcedSelection,
+    HeuristicSelection,
+    choose_plan,
+    make_selection,
+)
+from repro.plan.rules import (
+    FILTER_BISECT,
+    FILTER_LINEAR,
+    POINT_FILTER,
+    POINT_RANK,
+    POINT_SCORE,
+    RANK_SORT_LIMIT,
+    RANK_TOPK,
+    CostConstants,
+    QuerySpec,
+    _filter_cost,
+    _rank_cost,
+    cost_alternatives,
+    decision_points,
+)
+from repro.xmldb.builder import DocumentBuilder
+from repro.xmldb.store import XMLStore
+
+_C = CostConstants()
+
+
+def _store() -> XMLStore:
+    b = DocumentBuilder()
+    b.start_element("root")
+    for _ in range(6):
+        b.start_element("a")
+        b.text("red green blue red")
+        b.end_element()
+    b.end_element()
+    store = XMLStore()
+    store.add_document(b.finish("p.xml"))
+    return store
+
+
+STORE = _store()
+
+rows_st = st.floats(min_value=0.0, max_value=1e9,
+                    allow_nan=False, allow_infinity=False)
+regions_st = st.integers(min_value=0, max_value=10**6)
+k_st = st.integers(min_value=1, max_value=10**6)
+
+specs_st = st.builds(
+    QuerySpec,
+    terms=st.lists(st.sampled_from(["red", "green", "zzz"]),
+                   min_size=1, max_size=3),
+    phrase_mode=st.booleans(),
+    min_score=st.one_of(st.none(), st.floats(0, 10, allow_nan=False)),
+    stop_after=st.one_of(st.none(), st.integers(1, 1000)),
+    sortby=st.booleans(),
+    n_regions=st.integers(0, 10**4),
+    region_fraction=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+corrections_st = st.dictionaries(
+    st.sampled_from(["termjoin-scan", "structural-filter", "sort"]),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    max_size=3,
+)
+
+
+# -- monotonicity ------------------------------------------------------
+
+
+@given(rows=rows_st, delta=rows_st, regions=regions_st)
+def test_filter_cost_monotone_in_rows(rows, delta, regions):
+    for kind in (FILTER_LINEAR, FILTER_BISECT):
+        assert _filter_cost(kind, rows + delta, regions, _C) >= \
+            _filter_cost(kind, rows, regions, _C)
+
+
+@given(rows=rows_st, regions=regions_st,
+       more=st.integers(min_value=0, max_value=10**6))
+def test_filter_cost_monotone_in_regions(rows, regions, more):
+    for kind in (FILTER_LINEAR, FILTER_BISECT):
+        assert _filter_cost(kind, rows, regions + more, _C) >= \
+            _filter_cost(kind, rows, regions, _C)
+
+
+@given(rows=rows_st, delta=rows_st, k=k_st)
+def test_rank_cost_monotone_in_rows(rows, delta, k):
+    for kind in (RANK_TOPK, RANK_SORT_LIMIT):
+        assert _rank_cost(kind, rows + delta, k, _C) >= \
+            _rank_cost(kind, rows, k, _C)
+
+
+@given(rows=rows_st, k=k_st)
+def test_topk_never_costs_more_than_sort_limit(rows, k):
+    # The engineered guarantee that keeps TopK the cost-based default
+    # wherever the old hard-coded pipeline used it.
+    assert _rank_cost(RANK_TOPK, rows, k, _C) <= \
+        _rank_cost(RANK_SORT_LIMIT, rows, k, _C)
+
+
+# -- clamping ----------------------------------------------------------
+
+
+@settings(max_examples=150)
+@given(spec=specs_st, corrections=corrections_st)
+def test_costs_always_finite_and_non_negative(spec, corrections):
+    for point in decision_points(spec):
+        for alt in cost_alternatives(point, spec, STORE.stats,
+                                     corrections=corrections):
+            assert math.isfinite(alt.cost)
+            assert alt.cost >= 0.0
+            assert math.isfinite(alt.rows)
+            assert alt.rows >= 0.0
+
+
+# -- determinism -------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(spec=specs_st)
+def test_planning_deterministic_for_fixed_generation(spec):
+    gen = STORE.generation
+    first = choose_plan(spec, STORE.stats, make_selection("cost"))
+    second = choose_plan(spec, STORE.stats, make_selection("cost"))
+    assert STORE.generation == gen
+    assert first.to_dict() == second.to_dict()
+
+
+# -- forcing and chaining ---------------------------------------------
+
+
+@settings(max_examples=100)
+@given(spec=specs_st, data=st.data())
+def test_forced_override_beats_cost(spec, data):
+    points = decision_points(spec)
+    point = data.draw(st.sampled_from(points))
+    op = data.draw(st.sampled_from(list(point.options)))
+    choices = choose_plan(
+        spec, STORE.stats,
+        make_selection("cost", force_ops={point.point: op}),
+    )
+    choice = choices.choices[point.point]
+    assert choice.chosen == op
+    assert choice.source == "forced"
+    # Unforced points still carry a cost-based decision.
+    for other in points:
+        if other.point != point.point:
+            assert choices.choices[other.point].source == "cost"
+
+
+def test_last_chained_stage_wins():
+    spec = QuerySpec(terms=["red"], phrase_mode=False, n_regions=4)
+    forced_last = CostBasedSelection().chain_with(
+        ForcedSelection({POINT_FILTER: FILTER_BISECT}))
+    choices = choose_plan(spec, STORE.stats, forced_last)
+    assert choices.choices[POINT_FILTER].chosen == FILTER_BISECT
+
+    # Reversed chain: the cost stage re-decides after the forced one.
+    cost_last = ForcedSelection({POINT_FILTER: FILTER_BISECT})
+    cost_last.chain_with(CostBasedSelection())
+    rechosen = choose_plan(spec, STORE.stats, cost_last)
+    assert rechosen.choices[POINT_FILTER].source == "cost"
+
+
+def test_heuristic_chooses_defaults():
+    spec = QuerySpec(terms=["red"], phrase_mode=False, min_score=0.1,
+                     stop_after=5, sortby=True, n_regions=1000)
+    choices = choose_plan(spec, STORE.stats, HeuristicSelection(),
+                          planner="heuristic")
+    for point in decision_points(spec):
+        choice = choices.choices[point.point]
+        assert choice.chosen == point.default
+        assert not choice.flipped
+        # The rejected alternatives are still costed for EXPLAIN.
+        assert len(choice.alternatives) == len(point.options)

@@ -704,3 +704,127 @@ def test_unknown_rule_name_raises(tmp_path):
     (tmp_path / "src" / "repro" / "x.py").write_text("A = 1\n")
     with pytest.raises(ValueError, match="unknown rule"):
         lint(root=tmp_path / "src", rules=["no-such-rule"])
+
+
+# ----------------------------------------------------------------------
+# planner-registry-drift
+# ----------------------------------------------------------------------
+
+_ACCESS_REGISTRY = {
+    "repro/access/registry.py": """
+        ACCESS_METHODS = {
+            "TermJoin": {
+                "module": "repro.access.termjoin",
+                "work": "score",
+            },
+            "EnhancedTermJoin": {
+                "module": "repro.access.termjoin",
+                "work": "score",
+            },
+        }
+    """,
+    "repro/access/termjoin.py": """
+        class TermJoin:
+            name = "TermJoin"
+
+            def run(self, terms):
+                return []
+
+
+        class EnhancedTermJoin(TermJoin):
+            name = "EnhancedTermJoin"
+    """,
+}
+
+
+class TestPlannerRegistryDrift:
+    RULE = ["planner-registry-drift"]
+
+    def test_registry_and_classes_in_sync(self, tmp_path):
+        # EnhancedTermJoin qualifies via the *inherited* run method.
+        result = run_lint(tmp_path, _ACCESS_REGISTRY, self.RULE)
+        assert result.findings == []
+
+    def test_undeclared_class_flagged(self, tmp_path):
+        files = dict(_ACCESS_REGISTRY)
+        files["repro/access/newjoin.py"] = """
+            class FancyJoin:
+                name = "FancyJoin"
+
+                def run(self, terms):
+                    return []
+        """
+        result = run_lint(tmp_path, files, self.RULE)
+        assert len(result.findings) == 1
+        assert "FancyJoin" in result.findings[0].message
+        assert result.findings[0].path == "repro/access/newjoin.py"
+
+    def test_stale_entry_flagged(self, tmp_path):
+        files = dict(_ACCESS_REGISTRY)
+        files["repro/access/termjoin.py"] = """
+            class TermJoin:
+                name = "TermJoin"
+
+                def run(self, terms):
+                    return []
+        """
+        result = run_lint(tmp_path, files, self.RULE)
+        assert len(result.findings) == 1
+        assert "EnhancedTermJoin" in result.findings[0].message
+        assert result.findings[0].path == "repro/access/registry.py"
+
+    def test_wrong_module_flagged(self, tmp_path):
+        files = dict(_ACCESS_REGISTRY)
+        files["repro/access/registry.py"] = """
+            ACCESS_METHODS = {
+                "TermJoin": {
+                    "module": "repro.access.other",
+                    "work": "score",
+                },
+                "EnhancedTermJoin": {
+                    "module": "repro.access.termjoin",
+                    "work": "score",
+                },
+            }
+        """
+        result = run_lint(tmp_path, files, self.RULE)
+        assert len(result.findings) == 1
+        assert "repro.access.other" in result.findings[0].message
+
+    def test_helper_classes_do_not_qualify(self, tmp_path):
+        # No `name` literal, private name, or no run(): all skipped.
+        files = dict(_ACCESS_REGISTRY)
+        files["repro/access/results.py"] = """
+            class ScoredElement:
+                def run(self):
+                    return []
+
+
+            class _Internal:
+                name = "Internal"
+
+                def run(self):
+                    return []
+
+
+            class Protocolish:
+                name = "Protocolish"
+        """
+        result = run_lint(tmp_path, files, self.RULE)
+        assert result.findings == []
+
+    def test_missing_registry_module_flagged(self, tmp_path):
+        files = {"repro/access/termjoin.py":
+                 _ACCESS_REGISTRY["repro/access/termjoin.py"]}
+        result = run_lint(tmp_path, files, self.RULE)
+        assert len(result.findings) == 1
+        assert "registry module not found" in result.findings[0].message
+
+    def test_non_literal_registry_flagged(self, tmp_path):
+        files = dict(_ACCESS_REGISTRY)
+        files["repro/access/registry.py"] = """
+            ACCESS_METHODS = dict(TermJoin={})
+        """
+        result = run_lint(tmp_path, files, self.RULE)
+        assert len(result.findings) == 1
+        assert "not a literal dict" in result.findings[0].message

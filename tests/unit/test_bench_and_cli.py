@@ -157,6 +157,112 @@ class TestCLI:
         report = _json.loads(capsys.readouterr().out)
         assert report["operators"][0]["median_qerror"] == 4.0
 
+    def test_query_planner_heuristic(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        rc = main([
+            "query", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--planner", "heuristic",
+        ])
+        assert rc == 0
+        assert "results" in capsys.readouterr().out
+
+    def test_query_force_op_matches_default(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        assert main([
+            "query", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+        ]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "query", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--force-op", "score=Comp2",
+        ]) == 0
+        forced = capsys.readouterr().out
+        assert forced == plain  # same answer, different physical plan
+
+    def test_query_bad_force_op_is_rc2(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        rc = main([
+            "query", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--force-op", "score=Nope",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "planner:" in err and "not a legal option" in err
+
+    def test_query_unknown_decision_point_is_rc2(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        rc = main([
+            "query", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--force-op", "rank=topk",
+        ])
+        assert rc == 2
+        assert "unknown decision point" in capsys.readouterr().err
+
+    def test_explain_planner_footer_and_force(self, tmp_path, capsys):
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        assert main([
+            "explain", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "planner:" in out and "rejected" in out
+        assert main([
+            "explain", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--force-op", "score=Comp2",
+        ]) == 0
+        forced = capsys.readouterr().out
+        assert "source=forced" in forced
+
+    AUDIT_RECORD = {
+        "v": 2, "query_sha256": "ab", "ops": [
+            {"operator": "termjoin-scan", "rows": 2, "est_rows": 8.0,
+             "q_error": 4.0, "time_ms": 0.1},
+        ],
+    }
+
+    def test_query_feedback_flag(self, tmp_path, capsys):
+        import json as _json
+
+        doc = tmp_path / "a.xml"
+        doc.write_text("<a><b>hello queries</b></a>")
+        log = tmp_path / "audit.jsonl"
+        log.write_text(_json.dumps(self.AUDIT_RECORD) + "\n")
+        rc = main([
+            "query", "--doc", f"a.xml={doc}", "-q", self.EXPLAINABLE,
+            "--feedback", str(log),
+        ])
+        assert rc == 0
+        assert "results" in capsys.readouterr().out
+
+    def test_feedback_corrections_json(self, tmp_path, capsys):
+        import json as _json
+
+        log = tmp_path / "audit.jsonl"
+        log.write_text(_json.dumps(self.AUDIT_RECORD) + "\n")
+        assert main(["feedback", str(log), "--corrections"]) == 0
+        factors = _json.loads(capsys.readouterr().out)
+        assert factors  # est 8 vs actual 2 -> a real correction
+        assert all(0.1 <= v <= 10.0 for v in factors.values())
+
+    def test_bench_planner_cli(self, tmp_path, capsys):
+        import json as _json
+
+        out_path = tmp_path / "planner_bench.json"
+        rc = main([
+            "bench", "planner", "--scale", "0.1", "--runs", "1",
+            "--json-out", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planner" in out.lower()
+        payload = _json.loads(out_path.read_text())
+        assert payload["table"] == "planner"
+        assert payload["result"]["rows"]
+
     def test_bench_pick_small(self, capsys, monkeypatch):
         import repro.cli as cli_mod
         import repro.workload.benchspec as bs

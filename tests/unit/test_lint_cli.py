@@ -28,6 +28,7 @@ EXPECTED_RULES = {
     "lock-discipline",
     "metric-drift",
     "operator-contract",
+    "planner-registry-drift",
     "resource-safety",
 }
 
@@ -45,6 +46,7 @@ def write_tree(tmp_path, files):
 _REGISTRIES = {
     "repro/obs/catalog.py": "CATALOG = {}\n",
     "repro/resilience/faultinject.py": "FAULT_POINTS = {}\n",
+    "repro/access/registry.py": "ACCESS_METHODS = {}\n",
 }
 
 _BAD_TREE = {

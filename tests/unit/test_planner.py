@@ -1,0 +1,317 @@
+"""Unit tests for the cost-based planner stack: the access-method
+registry, the selection chain, hint parsing, feedback re-costing, the
+bisect structural filter, and the planner surface in EXPLAIN /
+plan_stats / metrics."""
+
+import pytest
+
+from repro import obs
+from repro.access.registry import (
+    ACCESS_METHODS,
+    build_score_method,
+    method_properties,
+    score_methods,
+)
+from repro.core.scoring import WeightedCountScorer
+from repro.engine.base import execute, explain, plan_stats
+from repro.errors import PlannerHintError, QueryCompileError
+from repro.plan.feedback import FeedbackReport, OpFeedback
+from repro.plan.optimizer import (
+    CostBasedSelection,
+    ForcedSelection,
+    HeuristicSelection,
+    choose_plan,
+    corrections_from_feedback,
+    make_selection,
+    parse_force_ops,
+)
+from repro.plan.rules import (
+    FILTER_BISECT,
+    POINT_FILTER,
+    POINT_RANK,
+    POINT_SCORE,
+    CostConstants,
+    QuerySpec,
+    decision_points,
+)
+from repro.query import parse_query
+from repro.query.compiler import (
+    BisectStructuralFilter,
+    StructuralFilter,
+    compile_query,
+)
+from repro.xmldb.builder import DocumentBuilder
+from repro.xmldb.store import XMLStore
+
+
+@pytest.fixture(scope="module")
+def store():
+    return XMLStore.from_sources({
+        "d.xml": (
+            "<lib>"
+            "<shelf kind='db'><b><t>relational databases</t>"
+            "<body>tables and queries</body></b></shelf>"
+            "<shelf kind='ir'><b><t>retrieval</t>"
+            "<body>ranking queries and scores</body></b></shelf>"
+            "</lib>"
+        ),
+    })
+
+
+QUERY = '''
+For $a in document("d.xml")//shelf/descendant-or-self::*
+Score $a using ScoreFooExact($a, {"queries"}, {"ranking"})
+Return $a
+Sortby(score)
+'''
+
+QUERY_TOPK = QUERY + 'Threshold $a/@score > 0 stop after 3'
+
+
+# -- registry ----------------------------------------------------------
+
+
+class TestRegistry:
+    def test_every_entry_has_required_properties(self):
+        for name, props in ACCESS_METHODS.items():
+            for key in ("module", "work", "terms", "phrases",
+                        "complex_scoring", "cost"):
+                assert key in props, f"{name} missing {key!r}"
+
+    def test_method_properties_unknown_raises(self):
+        with pytest.raises(KeyError):
+            method_properties("NoSuchJoin")
+
+    def test_score_methods_term_mode(self):
+        methods = score_methods(phrase_mode=False)
+        assert methods[0] == "TermJoin"  # registry order = tie-break
+        assert "Comp1" in methods and "Comp2" in methods
+        assert "PhraseFinder" not in methods
+        assert "PickAccess" not in methods
+
+    def test_score_methods_phrase_mode(self):
+        assert score_methods(phrase_mode=True) == ["PhraseJoin"]
+
+    def test_build_score_method(self, store):
+        scorer = WeightedCountScorer(["queries"], ["ranking"])
+        for name in score_methods(phrase_mode=False):
+            method = build_score_method(name, store, scorer)
+            assert type(method).__name__ == name
+            assert method.run(["queries", "ranking"]) is not None
+
+    def test_build_unknown_method_raises(self, store):
+        scorer = WeightedCountScorer(["queries"], [])
+        with pytest.raises(KeyError):
+            build_score_method("NoSuchJoin", store, scorer)
+
+
+# -- selections --------------------------------------------------------
+
+
+SPEC = QuerySpec(terms=["queries", "ranking"], phrase_mode=False,
+                 stop_after=3, sortby=True, n_regions=2)
+
+
+class TestSelections:
+    def test_make_selection_unknown_planner(self):
+        with pytest.raises(QueryCompileError):
+            make_selection("genetic")
+
+    def test_forced_unknown_point(self, store):
+        with pytest.raises(PlannerHintError, match="unknown decision"):
+            choose_plan(SPEC, store.stats,
+                        make_selection("cost",
+                                       force_ops={"shuffle": "x"}))
+
+    def test_forced_illegal_option(self, store):
+        with pytest.raises(PlannerHintError, match="not a legal"):
+            choose_plan(SPEC, store.stats,
+                        make_selection("cost",
+                                       force_ops={"score": "Pick"}))
+
+    def test_cost_and_heuristic_agree_on_small_store(self, store):
+        cost = choose_plan(SPEC, store.stats, CostBasedSelection())
+        heur = choose_plan(SPEC, store.stats, HeuristicSelection(),
+                           planner="heuristic")
+        for point in (POINT_SCORE, POINT_FILTER, POINT_RANK):
+            assert cost.chosen(point) == heur.chosen(point)
+        assert cost.n_flipped == 0
+
+    def test_chain_order_last_wins(self, store):
+        sel = CostBasedSelection().chain_with(
+            ForcedSelection({POINT_FILTER: FILTER_BISECT}))
+        choices = choose_plan(SPEC, store.stats, sel)
+        assert choices.chosen(POINT_FILTER) == FILTER_BISECT
+        assert choices.n_forced == 1
+        # The forced stage preserves the costed alternatives.
+        assert len(choices.choices[POINT_FILTER].alternatives) == 2
+
+    def test_every_alternative_costed(self, store):
+        choices = choose_plan(SPEC, store.stats, CostBasedSelection())
+        for point in decision_points(SPEC):
+            choice = choices.choices[point.point]
+            assert [a.op for a in choice.alternatives] == \
+                list(point.options)
+
+
+# -- hint parsing and feedback ----------------------------------------
+
+
+class TestHintsAndFeedback:
+    def test_parse_force_ops(self):
+        assert parse_force_ops(["score=Comp2", "filter=bisect"]) == \
+            {"score": "Comp2", "filter": "bisect"}
+
+    def test_parse_force_ops_empty(self):
+        assert parse_force_ops(None) == {}
+        assert parse_force_ops([]) == {}
+
+    @pytest.mark.parametrize("bad", ["score", "=x", "score=", " =y"])
+    def test_parse_force_ops_malformed(self, bad):
+        with pytest.raises(PlannerHintError):
+            parse_force_ops([bad])
+
+    def test_corrections_from_feedback(self):
+        report = FeedbackReport(operators=[
+            OpFeedback("termjoin-scan", 5, 4.0, 9.0,
+                       mean_est_rows=10.0, mean_actual_rows=40.0),
+            OpFeedback("structural-filter", 5, 2.0, 3.0,
+                       mean_est_rows=100.0, mean_actual_rows=1.0),
+            OpFeedback("sort", 2, 1.0, 1.0,
+                       mean_est_rows=0.0, mean_actual_rows=5.0),
+        ])
+        out = corrections_from_feedback(report)
+        assert out["termjoin-scan"] == pytest.approx(4.0)
+        assert out["structural-filter"] == pytest.approx(0.1)  # clamped
+        assert "sort" not in out  # no usable estimate
+
+    def test_corrections_change_costed_rows(self, store):
+        plain = choose_plan(SPEC, store.stats, CostBasedSelection())
+        boosted = choose_plan(
+            SPEC, store.stats,
+            make_selection("cost",
+                           corrections={"termjoin-scan": 10.0}))
+        alt = plain.choices[POINT_SCORE].alternatives[0]
+        alt_boost = boosted.choices[POINT_SCORE].alternatives[0]
+        assert alt_boost.rows == pytest.approx(alt.rows * 10.0)
+
+
+# -- rendering and stats ----------------------------------------------
+
+
+class TestPlannerSurface:
+    def test_explain_footer_lists_choices(self, store):
+        plan = compile_query(store, parse_query(QUERY))
+        text = explain(plan)
+        assert "planner: cost" in text
+        assert "score = TermJoin" in text
+        assert "rejected:" in text
+
+    def test_forced_choice_marked(self, store):
+        plan = compile_query(store, parse_query(QUERY),
+                             force_ops={"score": "Comp2"})
+        text = explain(plan)
+        assert "score = Comp2" in text
+        assert "source=forced" in text and "*flip*" in text
+
+    def test_plan_stats_carries_planner_key(self, store):
+        plan = compile_query(store, parse_query(QUERY_TOPK))
+        execute(plan)
+        stats = plan_stats(plan)
+        planner = stats["planner"]
+        assert planner["planner"] == "cost"
+        assert {c["point"] for c in planner["choices"]} == \
+            {"score", "filter", "rank"}
+        # Children never carry the key; only the root does.
+        assert all("planner" not in c for c in stats["children"])
+
+    def test_heuristic_footer_named(self, store):
+        plan = compile_query(store, parse_query(QUERY),
+                             planner="heuristic")
+        assert "planner: heuristic" in explain(plan)
+
+    def test_planner_metrics_emitted(self, store):
+        with obs.collecting() as col:
+            compile_query(store, parse_query(QUERY),
+                          force_ops={"filter": "bisect"})
+        snap = col.metrics.snapshot()
+        assert snap["planner.plans"] == 1
+        assert snap["planner.decisions"] == 2  # score + filter
+        assert snap["planner.forced"] == 1
+        assert snap["planner.flips"] == 1
+
+    def test_calibrated_constants_from_measured_plan(self, store):
+        plan = compile_query(store, parse_query(QUERY))
+        with obs.collecting():
+            execute(plan)
+        constants = CostConstants.calibrated_from(plan)
+        assert constants.posting == 1.0
+        assert 0.1 <= constants.emit <= 100.0
+
+    def test_calibrated_constants_fall_back_without_timings(self, store):
+        plan = compile_query(store, parse_query(QUERY))
+        assert CostConstants.calibrated_from(plan) == CostConstants()
+
+
+# -- bisect structural filter -----------------------------------------
+
+
+def _region_store():
+    """One document with nested and overlapping-looking regions: the
+    <outer> region fully contains an <inner> region."""
+    b = DocumentBuilder()
+    b.start_element("root")
+    for _ in range(5):
+        b.start_element("outer")
+        b.start_element("inner")
+        b.text("red green")
+        b.end_element()
+        b.text("blue")
+        b.end_element()
+    b.end_element()
+    store = XMLStore()
+    store.add_document(b.finish("r.xml"))
+    return store
+
+
+class TestBisectFilter:
+    @pytest.mark.parametrize("tag", ["outer", "inner", "root"])
+    def test_matches_linear_filter(self, tag):
+        store = _region_store()
+        query = parse_query(
+            f'For $x in document("r.xml")//{tag}'
+            f'/descendant-or-self::*\n'
+            f'Score $x using ScoreFooExact($x, {{"red"}})\n'
+            f'Return $x\nSortby(score)'
+        )
+        linear = compile_query(store, query, planner="heuristic")
+        bisected = compile_query(store, query,
+                                 force_ops={"filter": "bisect"})
+        assert any(isinstance(op, BisectStructuralFilter)
+                   for op in _walk(bisected))
+        assert not any(isinstance(op, BisectStructuralFilter)
+                       for op in _walk(linear))
+        res_l = execute(linear)
+        res_b = execute(bisected)
+        assert sorted((t.root.source, t.score) for t in res_l) == \
+            sorted((t.root.source, t.score) for t in res_b)
+        assert res_l, "planted terms must match"
+
+    def test_unknown_doc_never_matches(self):
+        store = _region_store()
+        doc = store.document(0)
+        regions = [(0, doc.starts[1], doc.ends[1])]
+        filt = BisectStructuralFilter(_NullOp(), store, regions)
+        assert not filt._match(99, 0)
+
+
+class _NullOp(StructuralFilter.__mro__[1]):  # engine Operator base
+    def _next(self):
+        return None
+
+
+def _walk(op):
+    yield op
+    for child in op.children:
+        for sub in _walk(child):
+            yield sub
