@@ -1,12 +1,18 @@
-"""Engine invariant linter: AST rules for the contracts PRs 1-3
-introduced.
+"""Engine invariant linter: AST rules for the contracts the repo's
+own PRs introduced.
 
 ``tix lint`` (and CI) run :func:`repro.analysis.lint` over ``src/``:
-six engine-specific rules check the operator lifecycle protocol, guard
+engine-specific rules check the operator lifecycle protocol, guard
 ticks in access-method loops, metric-name agreement with
 :mod:`repro.obs.catalog` and ``docs/observability.md``, fault-point
-names against :data:`repro.resilience.faultinject.FAULT_POINTS`, lock
-discipline in :mod:`repro.perf`, and context-managed file handles.
+names against :data:`repro.resilience.faultinject.FAULT_POINTS`,
+planner registry agreement, and context-managed file handles — plus
+the whole-program concurrency pass
+(:mod:`repro.analysis.concurrency`): lock discipline across the
+concurrent modules, lock-order cycle detection with witness paths,
+the thread-escape race detector, and blocking-call-under-lock.  The
+static pass has a runtime twin, the opt-in lock sanitizer
+(:mod:`repro.analysis.sanitizer`, ``TIX_LOCK_SANITIZER=1``).
 See ``docs/static-analysis.md`` for the rule catalog and the
 ``# tix-lint: disable=RULE`` suppression syntax.
 """
@@ -25,6 +31,7 @@ from repro.analysis.core import (
 )
 from repro.analysis.report import (
     JSON_VERSION,
+    findings_from_payload,
     render_human,
     render_json,
     to_dict,
@@ -48,6 +55,7 @@ __all__ = [
     "Severity",
     "build_project",
     "default_root",
+    "findings_from_payload",
     "get_rules",
     "lint",
     "register",

@@ -1,0 +1,26 @@
+"""Whole-program concurrency analysis shared by the lock-order,
+shared-state-race, blocking-under-lock, and (generalized)
+lock-discipline rules.
+
+The heavy lifting lives in :mod:`repro.analysis.concurrency.lockgraph`:
+one interprocedural walk over the project produces lock identities,
+acquisition-order edges with witness trails, thread-entry roots, the
+multi-root-reachable class set, blocking-call records, and per-method
+entry-held lock sets.  The result is cached per
+:class:`~repro.analysis.core.Project`, so running all four rules costs
+one walk.
+"""
+
+from repro.analysis.concurrency.config import CONCURRENT_MODULE_PREFIXES
+from repro.analysis.concurrency.lockgraph import (
+    BlockingCall,
+    LockGraph,
+    lock_graph,
+)
+
+__all__ = [
+    "CONCURRENT_MODULE_PREFIXES",
+    "BlockingCall",
+    "LockGraph",
+    "lock_graph",
+]

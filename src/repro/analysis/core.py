@@ -33,7 +33,9 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterator, List, Optional, Type
+from typing import (
+    Dict, FrozenSet, Iterator, List, Optional, Tuple, Type,
+)
 
 __all__ = [
     "Severity", "Finding", "ModuleInfo", "ClassInfo", "Project",
@@ -77,7 +79,13 @@ ERROR = Severity("error")
 
 @dataclass(frozen=True)
 class Finding:
-    """One diagnostic emitted by a rule."""
+    """One diagnostic emitted by a rule.
+
+    ``witness`` is the step-by-step evidence trail for findings whose
+    conclusion spans several program points (a lock-order cycle, a
+    blocking call reached through a call chain).  Single-site rules
+    leave it empty.
+    """
 
     rule: str
     severity: str          # "warning" | "error"
@@ -85,6 +93,7 @@ class Finding:
     line: int
     col: int
     message: str
+    witness: Tuple[str, ...] = ()
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule)
@@ -97,13 +106,19 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "witness": list(self.witness),
         }
 
     def render(self) -> str:
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.col}: "
             f"[{self.severity}] {self.rule}: {self.message}"
         )
+        if not self.witness:
+            return head
+        steps = "\n".join(f"    {i + 1}. {step}"
+                          for i, step in enumerate(self.witness))
+        return f"{head}\n{steps}"
 
 
 _SUPPRESS_RE = re.compile(
@@ -289,7 +304,8 @@ class Rule:
 
     def finding(self, module: ModuleInfo, node: Optional[ast.AST],
                 message: str,
-                severity: Optional[Severity] = None) -> Finding:
+                severity: Optional[Severity] = None,
+                witness: Tuple[str, ...] = ()) -> Finding:
         line = getattr(node, "lineno", 1) if node is not None else 1
         col = getattr(node, "col_offset", 0) if node is not None else 0
         return Finding(
@@ -299,6 +315,7 @@ class Rule:
             line=line,
             col=col + 1,
             message=message,
+            witness=witness,
         )
 
     def file_finding(self, path: str, line: int, message: str,

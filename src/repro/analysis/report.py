@@ -4,27 +4,45 @@ The JSON shape is versioned and asserted by
 ``tests/unit/test_lint_cli.py`` — CI consumers may rely on it::
 
     {
-      "version": 1,
+      "version": 2,
       "root": "/abs/path/to/src",
       "files_checked": 93,
       "rules_run": ["fault-point-drift", ...],
       "findings": [{"rule", "severity", "path", "line", "col",
-                    "message"}, ...],
+                    "message", "witness"}, ...],
       "suppressed": [...same shape...],
       "summary": {"error": 0, "warning": 0, "suppressed": 0}
     }
+
+Version history:
+
+- **1** — initial shape; findings carry
+  ``rule``/``severity``/``path``/``line``/``col``/``message``.
+- **2** — findings gain ``witness``, the concurrency rules'
+  step-by-step evidence trail (empty list for single-site rules).
+
+:func:`findings_from_payload` reads both versions (the audit-log
+v1/v2 precedent): a missing ``witness`` field defaults to empty, so a
+consumer upgraded to v2 still digests archived v1 reports.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import Any, Dict, List, Mapping
 
+from repro.analysis.core import Finding
 from repro.analysis.runner import LintResult
 
-__all__ = ["render_human", "render_json", "JSON_VERSION"]
+__all__ = [
+    "render_human", "render_json", "findings_from_payload",
+    "JSON_VERSION",
+]
 
-JSON_VERSION = 1
+JSON_VERSION = 2
+
+#: Versions :func:`findings_from_payload` understands.
+READABLE_VERSIONS = (1, 2)
 
 
 def render_human(result: LintResult, verbose: bool = False) -> str:
@@ -56,3 +74,33 @@ def to_dict(result: LintResult) -> Dict[str, object]:
 
 def render_json(result: LintResult) -> str:
     return json.dumps(to_dict(result), indent=2, sort_keys=True)
+
+
+def findings_from_payload(
+    payload: Mapping[str, Any],
+) -> List[Finding]:
+    """Reconstruct the active findings from a parsed JSON report.
+
+    Accepts every version in :data:`READABLE_VERSIONS`; v1 findings
+    (no ``witness`` field) come back with an empty witness tuple.
+    Unknown future versions raise ``ValueError`` rather than silently
+    dropping fields the caller might depend on.
+    """
+    version = payload.get("version")
+    if version not in READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported lint report version {version!r}; "
+            f"readable: {READABLE_VERSIONS}"
+        )
+    out: List[Finding] = []
+    for raw in payload.get("findings", []):
+        out.append(Finding(
+            rule=raw["rule"],
+            severity=raw["severity"],
+            path=raw["path"],
+            line=raw["line"],
+            col=raw["col"],
+            message=raw["message"],
+            witness=tuple(raw.get("witness", ())),
+        ))
+    return out

@@ -2,21 +2,27 @@
 with :mod:`repro.analysis.core`'s registry."""
 
 from repro.analysis.rules import (  # noqa: F401  (import-time registration)
+    blocking_under_lock,
     fault_point_drift,
     guard_hook,
     lock_discipline,
+    lock_order,
     metric_drift,
     operator_contract,
     planner_registry_drift,
     resource_safety,
+    shared_state_race,
 )
 
 __all__ = [
+    "blocking_under_lock",
     "fault_point_drift",
     "guard_hook",
     "lock_discipline",
+    "lock_order",
     "metric_drift",
     "operator_contract",
     "planner_registry_drift",
     "resource_safety",
+    "shared_state_race",
 ]

@@ -1,46 +1,60 @@
-"""Rule ``lock-discipline``: shared state of lock-holding perf classes
-is only mutated under the lock.
+"""Rule ``lock-discipline``: shared state of lock-owning classes is
+only mutated under the lock.
 
-The cache hierarchy (:mod:`repro.perf`) is the one part of the engine
-shared across the batch executor's worker threads.  Its classes follow
-one convention: a class that owns ``self._lock = threading.Lock()``
-mutates its shared attributes **only** inside ``with self._lock:``.
-A write that drifts outside the block is a data race that no test will
-catch deterministically — exactly the class of bug a static pass earns
-its keep on.
+Classes in the concurrent modules
+(:data:`~repro.analysis.concurrency.config.CONCURRENT_MODULE_PREFIXES`
+— the cache hierarchy, the query server, the observability stack)
+follow one convention: a class that owns a lock attribute
+(``self._lock = threading.Lock()``, an ``RLock``, or a ``Condition``
+under any attribute name) mutates its shared attributes **only**
+inside ``with self.<lock>:``.  A write that drifts outside the block
+is a data race that no test will catch deterministically — exactly
+the class of bug a static pass earns its keep on.
 
-Mechanics: within ``repro/perf/*.py``, for every class whose ``__init__``
-assigns ``self._lock`` from ``threading.Lock()`` / ``RLock()``, every
-*other* method's
+Mechanics: for every lock-owning class (lock attributes resolved
+through the class hierarchy), every method's
 
 - assignment / augmented-assignment to ``self.<attr>`` or
   ``self.<attr>[...]``, and
 - mutator call on a ``self.<attr>`` container (``pop``, ``clear``,
   ``move_to_end``, ...)
 
-must have a ``with self._lock:`` ancestor.  ``__init__`` itself is
-exempt (the object is not yet published).  Reads are not checked — the
-codebase deliberately reads lifetime tallies without the lock — and
-methods may opt out with ``# tix-lint: disable=lock-discipline`` where
+must have a ``with self.<lock>:`` ancestor naming *any* of the
+class's locks.  Exemptions: ``__init__`` (the object is not yet
+published); mutator calls on internally synchronized attributes
+(``Event.set``, ``Queue.put`` — their own locks suffice); and
+private helpers the lock graph proves are called *only* while the
+lock is already held.  Reads are not checked — the codebase
+deliberately reads lifetime tallies without the lock — and methods
+may opt out with ``# tix-lint: disable=lock-discipline`` where
 single-threaded use is guaranteed.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
-from repro.analysis.core import Finding, ModuleInfo, Project, Rule, register
-
-_TARGET_PREFIX = "repro/perf/"
+from repro.analysis.concurrency.config import is_concurrent_module
+from repro.analysis.concurrency.lockgraph import (
+    SYNC_TYPES,
+    LockGraph,
+    lock_graph,
+)
+from repro.analysis.core import (
+    ClassInfo,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    register,
+)
 
 #: Container methods that mutate in place.
 _MUTATORS = frozenset({
     "append", "extend", "insert", "remove", "pop", "popitem", "clear",
     "update", "setdefault", "move_to_end", "add", "discard",
 })
-
-_LOCK_FACTORIES = ("Lock", "RLock")
 
 
 def _is_self_attr(expr: ast.expr, attr: Optional[str] = None) -> bool:
@@ -52,45 +66,35 @@ def _is_self_attr(expr: ast.expr, attr: Optional[str] = None) -> bool:
     )
 
 
-def _assigns_lock(cls: ast.ClassDef) -> bool:
-    """Does any method do ``self._lock = threading.Lock()`` (or RLock)?"""
-    for node in ast.walk(cls):
-        if not isinstance(node, ast.Assign):
-            continue
-        if not any(_is_self_attr(t, "_lock") for t in node.targets):
-            continue
-        value = node.value
-        if (
-            isinstance(value, ast.Call)
-            and isinstance(value.func, ast.Attribute)
-            and value.func.attr in _LOCK_FACTORIES
-        ):
-            return True
-    return False
-
-
 def _under_lock(module: ModuleInfo, node: ast.AST,
-                stop: ast.FunctionDef) -> bool:
-    """Is ``node`` inside a ``with self._lock:`` block within ``stop``?"""
+                stop: ast.FunctionDef,
+                lock_attrs: Dict[str, str]) -> bool:
+    """Is ``node`` inside ``with self.<any class lock>:`` within
+    ``stop``?"""
     cur: Optional[ast.AST] = node
     while cur is not None and cur is not stop:
         if isinstance(cur, ast.With):
             for item in cur.items:
-                if _is_self_attr(item.context_expr, "_lock"):
+                expr = item.context_expr
+                if (isinstance(expr, ast.Attribute)
+                        and _is_self_attr(expr)
+                        and expr.attr in lock_attrs):
                     return True
         cur = module.parent_of(cur)
     return False
 
 
-def _shared_write(node: ast.AST) -> Optional[str]:
+def _shared_write(node: ast.AST,
+                  lock_attrs: Dict[str, str]) -> Optional[str]:
     """If ``node`` mutates ``self.<attr>`` state, the attribute name."""
     if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
         targets = (
-            node.targets if isinstance(node, ast.Assign) else [node.target]
+            node.targets if isinstance(node, ast.Assign)
+            else [node.target]
         )
         for target in targets:
             if _is_self_attr(target):
-                if target.attr == "_lock":
+                if target.attr in lock_attrs:
                     continue  # installing the lock itself
                 return target.attr
             if isinstance(target, ast.Subscript) and _is_self_attr(
@@ -111,38 +115,62 @@ def _shared_write(node: ast.AST) -> Optional[str]:
 class LockDisciplineRule(Rule):
     name = "lock-discipline"
     description = (
-        "in repro/perf, classes owning self._lock must mutate shared "
-        "attributes only inside `with self._lock:` blocks"
+        "in the concurrent modules, classes owning a lock must "
+        "mutate shared attributes only inside `with self.<lock>:` "
+        "blocks"
     )
 
     def check(self, project: Project) -> Iterator[Finding]:
+        graph = lock_graph(project)
         for module in project.modules:
-            if not module.relpath.startswith(_TARGET_PREFIX):
+            if not is_concurrent_module(module.relpath):
                 continue
             for node in ast.walk(module.tree):
-                if isinstance(node, ast.ClassDef) and _assigns_lock(node):
-                    yield from self._check_class(module, node)
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                infos = [
+                    info for info in project.classes.get(node.name, ())
+                    if info.node is node
+                ]
+                if not infos:
+                    continue
+                info = infos[0]
+                lock_attrs = graph.class_lock_attrs(project, info)
+                if not lock_attrs:
+                    continue
+                yield from self._check_class(module, info, lock_attrs,
+                                             graph)
 
-    def _check_class(self, module: ModuleInfo,
-                     cls: ast.ClassDef) -> Iterator[Finding]:
-        for item in cls.body:
+    def _check_class(self, module: ModuleInfo, info: ClassInfo,
+                     lock_attrs: Dict[str, str],
+                     graph: LockGraph) -> Iterator[Finding]:
+        for item in info.node.body:
             if not isinstance(item, ast.FunctionDef):
                 continue
             if item.name == "__init__":
                 continue  # not yet shared with other threads
-            yield from self._check_method(module, cls, item)
+            if graph.entry_held.get((info.name, item.name)):
+                continue  # provably called only under the lock
+            yield from self._check_method(module, info, item,
+                                          lock_attrs, graph)
 
-    def _check_method(self, module: ModuleInfo, cls: ast.ClassDef,
-                      fn: ast.FunctionDef) -> Iterator[Finding]:
+    def _check_method(self, module: ModuleInfo, info: ClassInfo,
+                      fn: ast.FunctionDef, lock_attrs: Dict[str, str],
+                      graph: LockGraph) -> Iterator[Finding]:
+        attr_types = graph.attr_types.get(info.name, {})
+        locks = ", ".join(f"self.{a}" for a in sorted(lock_attrs))
         for node in ast.walk(fn):
-            attr = _shared_write(node)
+            attr = _shared_write(node, lock_attrs)
             if attr is None:
                 continue
-            if _under_lock(module, node, fn):
+            if (isinstance(node, ast.Call)
+                    and attr_types.get(attr) in SYNC_TYPES):
+                continue  # Event.set() etc. synchronize internally
+            if _under_lock(module, node, fn, lock_attrs):
                 continue
             yield self.finding(
                 module, node,
-                f"{cls.name}.{fn.name} mutates self.{attr} outside "
-                f"`with self._lock:` — a data race under the batch "
-                f"executor's thread pool",
+                f"{info.name}.{fn.name} mutates self.{attr} outside "
+                f"`with {locks}:` — a data race across the threads "
+                f"sharing this object",
             )

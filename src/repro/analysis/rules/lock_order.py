@@ -1,0 +1,82 @@
+"""Rule ``lock-order``: the whole-program lock acquisition graph must
+be acyclic.
+
+Two threads acquiring the same pair of locks in opposite orders is
+the classic ABBA deadlock — and like every race, no test catches it
+deterministically.  The rule builds the project lock graph
+(:mod:`repro.analysis.concurrency.lockgraph`): every
+``threading.Lock/RLock/Condition`` attribute becomes a stable
+identity ``ClassName.attr``, the interprocedural walk extracts nested
+acquisition chains, and each edge ``A → B`` means "somewhere, B is
+acquired while A is held".  A cycle in that graph is reported with
+the full witness path — one acquisition trail per edge — so the fix
+is readable straight off the finding.
+
+Re-acquiring a held *non-reentrant* ``Lock`` on the same receiver
+(``with self._lock: ... self._helper()`` where the helper takes
+``self._lock`` again) is an unconditional self-deadlock and reported
+by the same rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.analysis.concurrency.lockgraph import (
+    Edge,
+    find_cycles,
+    lock_graph,
+)
+from repro.analysis.core import Finding, Project, Rule, register
+
+
+class _Anchor:
+    """Minimal lineno/col carrier for :meth:`Rule.finding`."""
+
+    def __init__(self, line: int) -> None:
+        self.lineno = line
+        self.col_offset = 0
+
+
+@register
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = (
+        "the whole-program lock acquisition graph must be acyclic, "
+        "and non-reentrant locks must never be re-acquired"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = lock_graph(project)
+        for dead in graph.self_deadlocks:
+            module = project.module_by_relpath(dead.path)
+            if module is None:  # pragma: no cover - defensive
+                continue
+            yield self.finding(
+                module, _Anchor(dead.line),
+                f"re-acquisition of non-reentrant {dead.identity} on "
+                f"the same instance — the thread deadlocks against "
+                f"itself (use RLock or hoist the lock to the caller)",
+                witness=dead.witness,
+            )
+        for cycle in find_cycles(graph.edges):
+            yield from self._cycle_finding(project, cycle)
+
+    def _cycle_finding(self, project: Project,
+                       cycle: List[Edge]) -> Iterator[Finding]:
+        first = cycle[0]
+        module = project.module_by_relpath(first.path)
+        if module is None:  # pragma: no cover - defensive
+            return
+        ring = " -> ".join([e.src for e in cycle] + [cycle[0].src])
+        witness: List[str] = []
+        for edge in cycle:
+            witness.append(f"edge {edge.src} -> {edge.dst}:")
+            witness.extend(f"  {step}" for step in edge.witness)
+        yield self.finding(
+            module, _Anchor(first.line),
+            f"lock-order cycle {ring} — threads interleaving these "
+            f"acquisition chains can deadlock; impose one global "
+            f"order or collapse the locks",
+            witness=tuple(witness),
+        )

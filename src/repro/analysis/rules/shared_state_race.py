@@ -1,0 +1,152 @@
+"""Rule ``shared-state-race``: classes reachable from multiple
+threads must not write bare instance attributes without a lock.
+
+``lock-discipline`` covers classes that *own* a lock; this rule
+covers the classes that escaped to another thread without ever
+growing one.  The lock graph identifies thread-entry roots
+(``threading.Thread(target=...)``, ``executor.submit(f)``, ``do_*``
+HTTP handler methods) and walks calls from each; a class whose
+methods run under ≥ 2 distinct roots (two thread roots, or a thread
+root plus the public API the main thread calls) is *shared*.  A
+shared, lock-less class writing ``self.<attr>`` outside ``__init__``
+is a data race: both the write itself and the read-modify-write
+idioms around it (``self.hits += 1``) are unsynchronized.
+
+Exemptions: classes owning any lock attribute (lock-discipline's
+domain), ``threading.local`` subclasses (per-thread by construction),
+attributes whose type is an internally synchronized primitive
+(``Event``, ``Queue``, ``Semaphore``), and writes under a ``with``
+on a *resolvable* lock (e.g. a lock borrowed from another object).
+A ``# tix-lint: disable=shared-state-race`` on the ``class`` line
+exempts the whole class — the documented escape hatch for objects
+that are handed off between threads but never written concurrently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.concurrency.config import is_concurrent_module
+from repro.analysis.concurrency.lockgraph import (
+    SYNC_TYPES,
+    LockGraph,
+    lock_graph,
+)
+from repro.analysis.core import (
+    ClassInfo,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    register,
+)
+from repro.analysis.rules.lock_discipline import (
+    _MUTATORS,
+    _is_self_attr,
+)
+
+
+@register
+class SharedStateRaceRule(Rule):
+    name = "shared-state-race"
+    description = (
+        "lock-less classes reachable from multiple threads must not "
+        "write instance attributes outside __init__"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = lock_graph(project)
+        for cls_name, roots in sorted(graph.shared.items()):
+            for info in project.classes.get(cls_name, ()):
+                if not is_concurrent_module(info.module.relpath):
+                    continue
+                if graph.owns_lock(project, info):
+                    continue  # lock-discipline's domain
+                if self._is_thread_local(project, info):
+                    continue
+                if info.module.suppressed(self.name,
+                                          info.node.lineno):
+                    continue  # class-level opt-out
+                yield from self._check_class(project, graph, info,
+                                             roots)
+
+    def _is_thread_local(self, project: Project,
+                         info: ClassInfo) -> bool:
+        if "local" in info.base_names:
+            return True
+        return any("local" in anc.base_names
+                   for anc in project.ancestors_of(info))
+
+    def _check_class(self, project: Project, graph: LockGraph,
+                     info: ClassInfo,
+                     roots: "tuple[str, ...]") -> Iterator[Finding]:
+        attr_types = graph.attr_types.get(info.name, {})
+        for item in info.node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name == "__init__":
+                continue  # not yet published to other threads
+            for node in ast.walk(item):
+                attr = _written_attr(node)
+                if attr is None:
+                    continue
+                if attr_types.get(attr) in SYNC_TYPES:
+                    continue  # Event/Queue/... synchronize internally
+                if _under_any_lock(graph, info.module, node, item):
+                    continue
+                yield self.finding(
+                    info.module, node,
+                    f"{info.name}.{item.name} writes self.{attr} "
+                    f"without a lock, but {info.name} runs under "
+                    f"{len(roots)} thread roots "
+                    f"({', '.join(roots)}) — add a lock or confine "
+                    f"the object to one thread",
+                    witness=tuple(f"reachable from root {r}"
+                                  for r in roots),
+                )
+
+
+def _written_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name if ``node`` writes ``self.<attr>`` state."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        for target in targets:
+            if _is_self_attr(target):
+                return target.attr
+            if (isinstance(target, ast.Subscript)
+                    and _is_self_attr(target.value)):
+                return target.value.attr
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and _is_self_attr(node.func.value)):
+        return node.func.value.attr
+    return None
+
+
+def _under_any_lock(graph: LockGraph, module: ModuleInfo,
+                    node: ast.AST, stop: ast.FunctionDef) -> bool:
+    """Is ``node`` under ``with <something lock-shaped>:``?  The class
+    owns no lock, so this only matches borrowed locks — a ``with`` on
+    an attribute of a lock-owning class or on a name containing
+    ``lock``/``cond``/``mutex``."""
+    cur: Optional[ast.AST] = node
+    while cur is not None and cur is not stop:
+        if isinstance(cur, ast.With):
+            for item in cur.items:
+                expr = item.context_expr
+                if not isinstance(expr, ast.Attribute):
+                    continue
+                if any(expr.attr in attrs
+                       for attrs in graph.lock_attrs.values()):
+                    return True
+                lowered = expr.attr.lower()
+                if any(tag in lowered
+                       for tag in ("lock", "cond", "mutex")):
+                    return True
+        cur = module.parent_of(cur)
+    return False

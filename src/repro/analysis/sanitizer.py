@@ -1,0 +1,494 @@
+"""Runtime lock sanitizer: the dynamic twin of the static
+concurrency pass.
+
+Opt in with ``TIX_LOCK_SANITIZER=1`` (or :func:`install`):
+``threading.Lock`` and ``threading.RLock`` are replaced by
+instrumented wrappers (``threading.Condition()`` picks the patched
+``RLock`` up automatically), and every acquisition is recorded
+against a per-thread held stack.  The sanitizer then
+
+- maintains the *observed* acquisition-order graph and flags
+  inversions — acquiring B after A in one thread and A after B in
+  another is the ABBA deadlock the static ``lock-order`` rule proves
+  impossible only for the chains it can see;
+- accepts the statically computed order via
+  :meth:`LockSanitizer.feed_static_order`, so a runtime acquisition
+  contradicting the lock graph is a violation even the first time it
+  happens;
+- detects *actual* cyclic waits: a blocking acquire polls with a
+  short timeout, and when the waits-for graph (thread → wanted lock
+  → owner thread → ...) closes a cycle the sanitizer raises
+  :class:`DeadlockError` in one participant instead of hanging the
+  suite forever;
+- publishes ``sanitizer.*`` metrics through the observability
+  catalog: acquisitions, order violations, deadlocks, and the number
+  of live instrumented locks.
+
+Lock identities are allocation sites (``qualname:line`` of the code
+that called ``Lock()``), which is the runtime spelling of the static
+``ClassName.attr`` identity.  Wrappers outlive :func:`uninstall` —
+they keep delegating to their real inner lock, just without
+recording.  The wrappers deliberately implement the private
+``_is_owned`` / ``_release_save`` / ``_acquire_restore`` protocol so
+``threading.Condition`` keeps working on a sanitized RLock.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import weakref
+from dataclasses import dataclass
+from time import monotonic
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro import obs as _obs
+
+__all__ = [
+    "ENV_VAR", "DeadlockError", "Violation", "LockSanitizer",
+    "install", "uninstall", "active", "install_from_env",
+]
+
+ENV_VAR = "TIX_LOCK_SANITIZER"
+
+#: Real primitives captured at import, before any patching.
+_RealLock = threading.Lock
+_RealRLock = threading.RLock
+
+#: Poll interval for blocking acquires (also the deadlock-detection
+#: latency bound).
+_POLL_S = 0.05
+
+
+class DeadlockError(RuntimeError):
+    """Raised in one participant of a detected cyclic wait."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded ordering violation."""
+
+    kind: str        # "order" | "static-order"
+    lock: str        # identity being acquired
+    held: Tuple[str, ...]
+    thread: str
+
+
+def _allocation_site(skip: int) -> str:
+    """``qualname:line`` of the frame ``skip`` levels up."""
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:  # pragma: no cover - shallow stack
+        return "<unknown>"
+    code = frame.f_code
+    qual = getattr(code, "co_qualname", code.co_name)
+    return f"{qual}:{frame.f_lineno}"
+
+
+class _SanitizedLock:
+    """Instrumented wrapper over a real non-reentrant lock."""
+
+    _reentrant = False
+
+    def __init__(self, san: "LockSanitizer", name: str) -> None:
+        self._san = san
+        self._inner: Any = _RealLock()
+        self._name = name
+        self._owner_tid: Optional[int] = None
+        self._count = 0
+
+    # -- lock protocol ---------------------------------------------------
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        return self._san._tracked_acquire(self, blocking, timeout)
+
+    def release(self) -> None:
+        self._san._tracked_release(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def _at_fork_reinit(self) -> None:
+        # The stdlib registers this as an os.fork handler
+        # (concurrent.futures.thread does at import time).
+        self._inner._at_fork_reinit()
+        self._owner_tid = None
+        self._count = 0
+
+    def __repr__(self) -> str:
+        return f"<SanitizedLock {self._name}>"
+
+    # -- raw operations the sanitizer drives -----------------------------
+
+    def _raw_acquire(self, blocking: bool, timeout: float) -> bool:
+        if not blocking:
+            return self._inner.acquire(False)
+        if timeout < 0:
+            return self._inner.acquire(True)
+        return self._inner.acquire(True, timeout)
+
+
+class _SanitizedRLock(_SanitizedLock):
+    """Instrumented wrapper over a real reentrant lock.
+
+    Implements the private protocol ``threading.Condition`` relies
+    on, so ``Condition()`` built on a patched ``RLock()`` works.
+    """
+
+    _reentrant = True
+
+    def __init__(self, san: "LockSanitizer", name: str) -> None:
+        super().__init__(san, name)
+        self._inner = _RealRLock()
+
+    def locked(self) -> bool:
+        return self._inner._is_owned()  # type: ignore[attr-defined]
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()  # type: ignore[attr-defined]
+
+    def _release_save(self) -> object:
+        self._san._note_full_release(self)
+        return self._inner._release_save()  # type: ignore[attr-defined]
+
+    def _acquire_restore(self, state: object) -> None:
+        self._inner._acquire_restore(state)  # type: ignore[attr-defined]
+        self._san._note_reacquire(self)
+
+    def __repr__(self) -> str:
+        return f"<SanitizedRLock {self._name}>"
+
+
+class LockSanitizer:
+    """Records per-thread acquisition stacks and checks lock order.
+
+    One instance is installed globally via :func:`install`; tests may
+    also drive an instance directly through the ``_Sanitized*``
+    wrappers it hands out from :meth:`make_lock` / :meth:`make_rlock`.
+    """
+
+    def __init__(self, poll_s: float = _POLL_S) -> None:
+        self.poll_s = poll_s
+        self._state = _RealLock()
+        self._tls = threading.local()
+        #: observed + fed order edges: name -> names acquired after it
+        self._order: Dict[str, Set[str]] = {}
+        #: edges that came from the static lock graph
+        self._static: Set[Tuple[str, str]] = set()
+        #: thread id -> lock it is currently blocked on
+        self._waiting: Dict[int, _SanitizedLock] = {}
+        self._violations: List[Violation] = []
+        self.acquisitions = 0
+        self.deadlocks = 0
+        self._locks: "weakref.WeakSet[_SanitizedLock]" = (
+            weakref.WeakSet())
+        self._enabled = True
+        #: metric deltas awaiting a safe flush point (see
+        #: :meth:`_maybe_flush`): [acquisitions, violations,
+        #: deadlocks, locks-tracked gauge (-1 = unchanged)]
+        self._pending = [0, 0, 0, -1.0]
+
+    # -- factories -------------------------------------------------------
+
+    def make_lock(self, name: Optional[str] = None) -> _SanitizedLock:
+        lock = _SanitizedLock(self, name or _allocation_site(2))
+        self._register(lock)
+        return lock
+
+    def make_rlock(self,
+                   name: Optional[str] = None) -> _SanitizedRLock:
+        lock = _SanitizedRLock(self, name or _allocation_site(2))
+        self._register(lock)
+        return lock
+
+    def _register(self, lock: _SanitizedLock) -> None:
+        with self._state:
+            self._locks.add(lock)
+            self._pending[3] = float(len(self._locks))
+        self._maybe_flush()
+
+    # -- introspection ---------------------------------------------------
+
+    def violations(self) -> List[Violation]:
+        with self._state:
+            return list(self._violations)
+
+    def held_names(self) -> List[str]:
+        return [lock._name for lock in self._held_stack()]
+
+    def order_edges(self) -> Set[Tuple[str, str]]:
+        with self._state:
+            return {
+                (src, dst)
+                for src, dsts in self._order.items() for dst in dsts
+            }
+
+    def feed_static_order(
+        self, edges: Iterable[Tuple[str, str]],
+    ) -> None:
+        """Seed the order graph with statically proven edges (from
+        :func:`repro.analysis.concurrency.lockgraph.lock_graph`), so
+        the first runtime inversion is already a violation."""
+        with self._state:
+            for src, dst in edges:
+                self._order.setdefault(src, set()).add(dst)
+                self._static.add((src, dst))
+
+    # -- per-thread state ------------------------------------------------
+
+    def _held_stack(self) -> List[_SanitizedLock]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _busy(self) -> bool:
+        return bool(getattr(self._tls, "busy", False))
+
+    # -- the tracked operations ------------------------------------------
+
+    def _tracked_acquire(self, lock: _SanitizedLock, blocking: bool,
+                         timeout: float) -> bool:
+        if self._busy() or not self._enabled:
+            return lock._raw_acquire(blocking, timeout)
+        tid = threading.get_ident()
+        if lock._reentrant and lock._owner_tid == tid:
+            got = lock._raw_acquire(blocking, timeout)
+            if got:
+                lock._count += 1
+            return got
+        self._check_order(lock)
+        if not blocking or timeout >= 0:
+            got = lock._raw_acquire(blocking, timeout)
+        else:
+            got = self._acquire_with_deadlock_watch(lock, tid)
+        if got:
+            self._note_acquired(lock, tid)
+        return got
+
+    def _acquire_with_deadlock_watch(self, lock: _SanitizedLock,
+                                     tid: int) -> bool:
+        if lock._raw_acquire(True, self.poll_s):
+            return True
+        with self._state:
+            self._waiting[tid] = lock
+        try:
+            while True:
+                if self._wait_cycle(tid):
+                    self._record_deadlock(lock)
+                    raise DeadlockError(
+                        f"cyclic wait detected while acquiring "
+                        f"{lock._name} (held: "
+                        f"{', '.join(self.held_names()) or 'none'})"
+                    )
+                if lock._raw_acquire(True, self.poll_s):
+                    return True
+        finally:
+            with self._state:
+                self._waiting.pop(tid, None)
+
+    def _wait_cycle(self, start_tid: int) -> bool:
+        """Does the waits-for graph close a cycle through
+        ``start_tid``?  (thread → wanted lock → owner thread → ...)"""
+        with self._state:
+            tid = start_tid
+            for _ in range(64):  # bound: cycles are short
+                wanted = self._waiting.get(tid)
+                if wanted is None:
+                    return False
+                owner = wanted._owner_tid
+                if owner is None:
+                    return False
+                if owner == start_tid:
+                    return True
+                tid = owner
+        return False  # pragma: no cover - defensive bound
+
+    def _check_order(self, lock: _SanitizedLock) -> None:
+        held = self._held_stack()
+        if not held:
+            return
+        name = lock._name
+        with self._state:
+            bad = [
+                h._name for h in held
+                if h._name != name
+                and self._reachable(name, h._name)
+            ]
+            if bad:
+                kind = (
+                    "static-order"
+                    if any((name, b) in self._static for b in bad)
+                    else "order"
+                )
+                self._violations.append(Violation(
+                    kind=kind,
+                    lock=name,
+                    held=tuple(h._name for h in held),
+                    thread=threading.current_thread().name,
+                ))
+                self._pending[1] += 1
+            for h in held:
+                if h._name != name:
+                    self._order.setdefault(h._name, set()).add(name)
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            if node == dst:
+                return True
+            for nxt in self._order.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def _note_acquired(self, lock: _SanitizedLock, tid: int) -> None:
+        lock._owner_tid = tid
+        lock._count = 1
+        self._held_stack().append(lock)
+        with self._state:
+            self.acquisitions += 1
+            self._pending[0] += 1
+
+    def _tracked_release(self, lock: _SanitizedLock) -> None:
+        if self._busy() or not self._enabled:
+            lock._inner.release()
+            return
+        tid = threading.get_ident()
+        if lock._reentrant and lock._owner_tid == tid:
+            lock._count -= 1
+            if lock._count > 0:
+                lock._inner.release()
+                return
+        lock._owner_tid = None
+        lock._count = 0
+        stack = self._held_stack()
+        if lock in stack:
+            stack.remove(lock)
+        lock._inner.release()
+        if not stack:
+            self._maybe_flush()
+
+    def _note_full_release(self, lock: _SanitizedLock) -> None:
+        """Condition.wait is about to drop the lock entirely."""
+        lock._owner_tid = None
+        lock._count = 0
+        stack = self._held_stack()
+        if lock in stack:
+            stack.remove(lock)
+
+    def _note_reacquire(self, lock: _SanitizedLock) -> None:
+        """Condition.wait got the lock back."""
+        lock._owner_tid = threading.get_ident()
+        lock._count = 1
+        self._held_stack().append(lock)
+
+    def _record_deadlock(self, lock: _SanitizedLock) -> None:
+        with self._state:
+            self.deadlocks += 1
+            self._pending[2] += 1
+
+    # -- metric emission -------------------------------------------------
+    #
+    # The recorder is NEVER called from inside an acquisition: the
+    # metrics registry guards itself with an (instrumented) lock, so
+    # emitting "sanitizer.acquisitions" while holding the registry's
+    # own just-acquired lock would re-enter it — a self-deadlock the
+    # sanitizer exists to catch.  Counts accumulate in ``_pending``
+    # and flush only at safe points: when the calling thread holds no
+    # sanitized locks.  The busy flag keeps the flush's own registry
+    # acquisitions untracked.
+
+    def _maybe_flush(self) -> None:
+        if self._busy() or self._held_stack():
+            return
+        rec = _obs.RECORDER
+        with self._state:
+            acq, vio, dead, gauge = self._pending
+            self._pending = [0, 0, 0, -1.0]
+        if not rec.enabled:
+            return  # deltas are dropped, not queued forever
+        self._tls.busy = True
+        try:
+            if acq:
+                rec.count("sanitizer.acquisitions", acq)
+            if vio:
+                rec.count("sanitizer.order_violations", vio)
+            if dead:
+                rec.count("sanitizer.deadlocks", dead)
+            if gauge >= 0:
+                rec.set_gauge("sanitizer.locks_tracked", gauge)
+        finally:
+            self._tls.busy = False
+
+
+#: The installed sanitizer, if any.
+_ACTIVE: Optional[LockSanitizer] = None
+
+
+def _registering_lock() -> _SanitizedLock:
+    san = _ACTIVE
+    if san is None:  # pragma: no cover - uninstall race
+        return _RealLock()  # type: ignore[return-value]
+    lock = _SanitizedLock(san, _allocation_site(2))
+    san._register(lock)
+    return lock
+
+
+def _registering_rlock() -> _SanitizedRLock:
+    san = _ACTIVE
+    if san is None:  # pragma: no cover - uninstall race
+        return _RealRLock()  # type: ignore[return-value]
+    lock = _SanitizedRLock(san, _allocation_site(2))
+    san._register(lock)
+    return lock
+
+
+def install(san: Optional[LockSanitizer] = None) -> LockSanitizer:
+    """Patch ``threading.Lock`` / ``threading.RLock`` (idempotent).
+
+    Locks created *before* installation stay uninstrumented — install
+    early (the CLI does it before building any engine object when
+    ``TIX_LOCK_SANITIZER=1``)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        return _ACTIVE
+    _ACTIVE = san or LockSanitizer()
+    setattr(threading, "Lock", _registering_lock)
+    setattr(threading, "RLock", _registering_rlock)
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Restore the real primitives.  Existing wrappers keep working
+    (they delegate to their inner real locks) but stop recording."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        return
+    _ACTIVE._enabled = False
+    _ACTIVE = None
+    setattr(threading, "Lock", _RealLock)
+    setattr(threading, "RLock", _RealRLock)
+
+
+def active() -> Optional[LockSanitizer]:
+    return _ACTIVE
+
+
+def install_from_env() -> Optional[LockSanitizer]:
+    """Install iff ``TIX_LOCK_SANITIZER=1`` in the environment."""
+    if os.environ.get(ENV_VAR, "") == "1":
+        return install()
+    return None

@@ -1125,6 +1125,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # Patch locks before any engine object exists so every lock the
+    # run creates is instrumented (no-op unless TIX_LOCK_SANITIZER=1).
+    from repro.analysis.sanitizer import install_from_env
+
+    install_from_env()
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

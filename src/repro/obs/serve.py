@@ -174,12 +174,14 @@ class ObsServer(ThreadingHTTPServer):
 
     def start(self) -> None:
         """Serve on a background daemon thread (idempotent)."""
-        if self._thread is not None and self._thread.is_alive():
-            return
-        self._thread = threading.Thread(
-            target=self.serve_forever, name="tix-serve", daemon=True
-        )
-        self._thread.start()
+        with self._handler_lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="tix-serve",
+                daemon=True
+            )
+            self._thread.start()
 
     def stop(self, timeout: float = 5.0) -> None:
         """Shut the server down and release the socket (idempotent).
@@ -190,10 +192,11 @@ class ObsServer(ThreadingHTTPServer):
         stalled client delays shutdown by at most ``timeout``."""
         deadline = time.monotonic() + timeout
         self.shutdown()
-        thread = self._thread
+        with self._handler_lock:
+            thread = self._thread
+            self._thread = None
         if thread is not None:
             thread.join(timeout)
-            self._thread = None
         with self._handler_lock:
             handlers = list(self._handlers)
         for t in handlers:

@@ -127,21 +127,23 @@ class Snapshotter:
 
     def start(self) -> None:
         """Start the background sampling thread (idempotent)."""
-        if self._thread is not None and self._thread.is_alive():
-            return
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="tix-snapshotter", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="tix-snapshotter", daemon=True
+            )
+            self._thread.start()
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop the background thread (idempotent, waits for exit)."""
         self._stop.set()
-        thread = self._thread
+        with self._lock:
+            thread = self._thread
+            self._thread = None
         if thread is not None:
             thread.join(timeout)
-            self._thread = None
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval_s):

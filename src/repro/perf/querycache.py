@@ -107,7 +107,10 @@ class PlanCache:
         self.max_pool = max_pool
         self._entries = LRUCache(capacity, metric_prefix="cache.plan",
                                  record=False)
-        # Lifetime tallies (hit = compile avoided).
+        # Lifetime tallies (hit = compile avoided).  Guarded: the
+        # batch executor's workers count concurrently, and ``+= 1``
+        # is a read-modify-write that silently loses increments.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -155,10 +158,11 @@ class PlanCache:
                 entry.idle.append(plan)
 
     def _count(self, hit: bool) -> None:
-        if hit:
-            self.hits += 1
-        else:
-            self.misses += 1
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
         rec = _obs.RECORDER
         if rec.enabled:
             rec.count("cache.plan.hits" if hit else "cache.plan.misses")

@@ -279,7 +279,11 @@ class PooledClient:
                 call_timeout_s=self.call_timeout_s,
                 max_frame_bytes=self.max_frame_bytes,
             )
-        except OSError:
+        except BaseException:
+            # *Every* failed attempt — OSError or not — must hand the
+            # half-open probe token back via record_failure, or
+            # ``_probing`` stays True forever and the breaker wedges
+            # open with no thread allowed to probe again.
             self.breaker.record_failure()
             raise
         self.breaker.record_success()

@@ -162,17 +162,20 @@ class QueryServer:
     def start(self) -> "QueryServer":
         """Build the store's lazy indexes, then accept connections on a
         background thread (idempotent)."""
-        if self._accept_thread is not None:
-            return self
-        # Build once here so reader threads share finished structures
-        # (StoreGate writers rebuild after every mutation).
-        self.store.index
-        self.store.structure
-        self.store.stats
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="tix-query-accept", daemon=True,
-        )
-        self._accept_thread.start()
+        with self._lock:
+            if self._accept_thread is not None:
+                return self
+            # Build once here so reader threads share finished
+            # structures (StoreGate writers rebuild after every
+            # mutation).
+            self.store.index
+            self.store.structure
+            self.store.stats
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="tix-query-accept",
+                daemon=True,
+            )
+            self._accept_thread.start()
         return self
 
     def close(self, drain_s: float = 5.0,

@@ -14,6 +14,7 @@ import pytest
 from repro.analysis import (
     JSON_VERSION,
     default_root,
+    findings_from_payload,
     lint,
     render_human,
     render_json,
@@ -23,13 +24,16 @@ from repro.analysis import (
 from repro.cli import main
 
 EXPECTED_RULES = {
+    "blocking-under-lock",
     "fault-point-drift",
     "guard-hook",
     "lock-discipline",
+    "lock-order",
     "metric-drift",
     "operator-contract",
     "planner-registry-drift",
     "resource-safety",
+    "shared-state-race",
 }
 
 
@@ -91,7 +95,7 @@ def test_json_report_schema(tmp_path):
     result = lint(root=root, rules=["resource-safety"])
     payload = json.loads(render_json(result))
     assert payload == to_dict(result)
-    assert payload["version"] == JSON_VERSION == 1
+    assert payload["version"] == JSON_VERSION == 2
     assert set(payload) == {
         "version", "root", "files_checked", "rules_run", "findings",
         "suppressed", "summary",
@@ -104,11 +108,31 @@ def test_json_report_schema(tmp_path):
     (finding,) = payload["findings"]
     assert set(finding) == {
         "rule", "severity", "path", "line", "col", "message",
+        "witness",
     }
     assert finding["rule"] == "resource-safety"
     assert finding["severity"] == "error"
     assert finding["path"] == "repro/xmldb/io.py"
     assert finding["line"] >= 1 and finding["col"] >= 1
+    assert finding["witness"] == []
+
+
+def test_report_reader_is_version_tolerant(tmp_path):
+    # The v2 reader digests archived v1 reports (no witness field)
+    # next to v2 ones — the audit-log v1/v2 precedent.
+    root = write_tree(tmp_path, _BAD_TREE)
+    result = lint(root=root, rules=["resource-safety"])
+    v2 = json.loads(render_json(result))
+    v1 = json.loads(render_json(result))
+    v1["version"] = 1
+    for f in v1["findings"]:
+        del f["witness"]
+    for payload in (v1, v2):
+        (finding,) = findings_from_payload(payload)
+        assert finding.rule == "resource-safety"
+        assert finding.witness == ()
+    with pytest.raises(ValueError, match="unsupported"):
+        findings_from_payload({"version": 99, "findings": []})
 
 
 def test_human_report_summary_line(tmp_path):
@@ -138,8 +162,7 @@ def test_cli_exit_one_on_findings(tmp_path, capsys):
 
 
 def test_cli_fail_on_warning_threshold(tmp_path):
-    # All current rules are error-severity; a clean tree stays 0 even
-    # at the stricter threshold.
+    # A clean tree stays 0 even at the stricter threshold.
     root = write_tree(tmp_path, _CLEAN_TREE)
     assert main(["lint", str(root), "--fail-on", "warning"]) == 0
 

@@ -1,0 +1,283 @@
+"""Runtime lock sanitizer: wrapper semantics, order-inversion
+detection, static-order seeding, live deadlock breaking, Condition
+compatibility, env-var gating, and metric emission.
+
+Every test that installs the global patch uninstalls it again —
+leaking a patched ``threading.Lock`` would poison the rest of the
+suite.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import (
+    DeadlockError,
+    LockSanitizer,
+    _RealLock,
+    _RealRLock,
+)
+
+
+@pytest.fixture
+def san():
+    return LockSanitizer(poll_s=0.01)
+
+
+@pytest.fixture
+def installed(monkeypatch):
+    monkeypatch.setattr(sanitizer, "_ACTIVE", None)
+    monkeypatch.setattr(threading, "Lock", _RealLock)
+    monkeypatch.setattr(threading, "RLock", _RealRLock)
+    yield
+    sanitizer.uninstall()
+
+
+# ----------------------------------------------------------------------
+# wrapper semantics
+# ----------------------------------------------------------------------
+
+class TestWrappers:
+    def test_lock_protocol(self, san):
+        lock = san.make_lock("a")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+            assert san.held_names() == ["a"]
+        assert not lock.locked()
+        assert san.held_names() == []
+        assert san.acquisitions == 1
+
+    def test_nonblocking_acquire_failure(self, san):
+        lock = san.make_lock("a")
+        lock.acquire()
+        try:
+            in_other = []
+            t = threading.Thread(
+                target=lambda: in_other.append(lock.acquire(False)))
+            t.start()
+            t.join()
+            assert in_other == [False]
+        finally:
+            lock.release()
+
+    def test_rlock_is_reentrant(self, san):
+        rlock = san.make_rlock("r")
+        with rlock:
+            with rlock:
+                assert san.held_names() == ["r"]
+            assert rlock.locked()
+        assert not rlock.locked()
+
+    def test_condition_on_sanitized_rlock(self, san):
+        cond = threading.Condition(san.make_rlock("c"))
+        done = []
+
+        def waiter():
+            with cond:
+                while not done:
+                    cond.wait(1.0)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        with cond:
+            done.append(True)
+            cond.notify()
+        t.join(5.0)
+        assert not t.is_alive()
+        # wait() fully released and reacquired: nothing leaks into
+        # this thread's held stack.
+        assert san.held_names() == []
+
+
+# ----------------------------------------------------------------------
+# order checking
+# ----------------------------------------------------------------------
+
+class TestOrdering:
+    def test_consistent_order_is_clean(self, san):
+        a, b = san.make_lock("a"), san.make_lock("b")
+        for _ in range(2):
+            with a:
+                with b:
+                    pass
+        assert san.violations() == []
+        assert ("a", "b") in san.order_edges()
+
+    def test_inversion_is_a_violation(self, san):
+        a, b = san.make_lock("a"), san.make_lock("b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        (v,) = san.violations()
+        assert v.kind == "order"
+        assert v.lock == "a"
+        assert v.held == ("b",)
+
+    def test_static_order_makes_first_inversion_a_violation(self, san):
+        san.feed_static_order([("a", "b")])
+        a, b = san.make_lock("a"), san.make_lock("b")
+        # No prior runtime observation needed: the static graph
+        # already proves a → b, so b → a is instantly wrong.
+        with b:
+            with a:
+                pass
+        (v,) = san.violations()
+        assert v.kind == "static-order"
+
+    def test_three_lock_transitive_inversion(self, san):
+        a, b, c = (san.make_lock(n) for n in "abc")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass  # a is reachable from c via b
+        (v,) = san.violations()
+        assert v.lock == "a" and v.held == ("c",)
+
+
+# ----------------------------------------------------------------------
+# deadlock detection
+# ----------------------------------------------------------------------
+
+class TestDeadlock:
+    def test_real_abba_deadlock_is_broken(self, san):
+        a, b = san.make_lock("a"), san.make_lock("b")
+        barrier = threading.Barrier(2, timeout=5.0)
+        errors = []
+
+        def one():
+            with a:
+                barrier.wait()
+                try:
+                    with b:
+                        pass
+                except DeadlockError as exc:
+                    errors.append(exc)
+
+        def two():
+            with b:
+                barrier.wait()
+                try:
+                    with a:
+                        pass
+                except DeadlockError as exc:
+                    errors.append(exc)
+
+        t1 = threading.Thread(target=one)
+        t2 = threading.Thread(target=two)
+        t1.start()
+        t2.start()
+        t1.join(10.0)
+        t2.join(10.0)
+        # Neither thread hangs: at least one got DeadlockError and
+        # released its lock, letting the other finish.
+        assert not t1.is_alive() and not t2.is_alive()
+        assert len(errors) >= 1
+        assert san.deadlocks >= 1
+        assert "cyclic wait" in str(errors[0])
+
+    def test_plain_contention_is_not_a_deadlock(self, san):
+        lock = san.make_lock("a")
+        hits = []
+
+        def worker():
+            with lock:
+                hits.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        assert len(hits) == 4
+        assert san.deadlocks == 0
+
+
+# ----------------------------------------------------------------------
+# global install / env gating
+# ----------------------------------------------------------------------
+
+class TestInstall:
+    def test_install_patches_and_uninstall_restores(self, installed):
+        san = sanitizer.install()
+        assert sanitizer.active() is san
+        lock = threading.Lock()
+        assert isinstance(lock, sanitizer._SanitizedLock)
+        with lock:
+            assert san.held_names()  # allocation-site identity
+        cond = threading.Condition()  # picks up the patched RLock
+        with cond:
+            pass
+        sanitizer.uninstall()
+        assert sanitizer.active() is None
+        assert threading.Lock is _RealLock
+        assert threading.RLock is _RealRLock
+        # Orphan wrappers keep working, silently.
+        with lock:
+            pass
+        assert san.held_names() == []
+
+    def test_install_is_idempotent(self, installed):
+        first = sanitizer.install()
+        assert sanitizer.install() is first
+
+    def test_allocation_site_names_are_distinct(self, installed):
+        sanitizer.install()
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        # Same call site qualname, different lines.
+        assert lock_a._name != lock_b._name
+        assert "test_allocation_site_names_are_distinct" in lock_a._name
+
+    def test_env_gate_off(self, installed, monkeypatch):
+        monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+        assert sanitizer.install_from_env() is None
+        assert threading.Lock is _RealLock
+
+    def test_env_gate_on(self, installed, monkeypatch):
+        monkeypatch.setenv(sanitizer.ENV_VAR, "1")
+        san = sanitizer.install_from_env()
+        assert san is not None
+        assert sanitizer.active() is san
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+
+class TestMetrics:
+    def test_sanitizer_metrics_flow_through_recorder(self, san):
+        from repro import obs
+
+        with obs.collecting() as col:
+            a, b = san.make_lock("a"), san.make_lock("b")
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        snap = col.metrics.snapshot()
+        assert snap["sanitizer.acquisitions"] == 4
+        assert snap["sanitizer.order_violations"] == 1
+        assert snap["sanitizer.locks_tracked"] == 2
+
+    def test_metric_names_are_cataloged(self):
+        from repro.obs.catalog import CATALOG
+
+        for name in (
+            "sanitizer.acquisitions",
+            "sanitizer.order_violations",
+            "sanitizer.deadlocks",
+            "sanitizer.locks_tracked",
+        ):
+            assert name in CATALOG

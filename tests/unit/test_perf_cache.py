@@ -184,6 +184,31 @@ class TestQueryCache:
         assert cache.plans.misses == 1  # one compile
         assert cache.plans.hits == 2
 
+    def test_plan_tally_survives_concurrent_counting(self):
+        # Regression: hits/misses are bumped by batch-executor worker
+        # threads; the unlocked ``+= 1`` lost increments under load.
+        import threading
+
+        store = make_store()
+        cache = QueryCache(store, results=False)
+        cache.run_query(COMPILABLE)  # prime: one compile
+        per_thread, n_threads = 25, 4
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                cache.run_query(COMPILABLE)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        total = cache.plans.hits + cache.plans.misses
+        assert total == per_thread * n_threads + 1
+
     def test_non_compilable_verdict_is_cached(self):
         store = make_store()
         cache = QueryCache(store, results=False)

@@ -308,6 +308,60 @@ class TestPoolAndBreaker:
         finally:
             cl.close()
 
+    def test_non_oserror_probe_failure_does_not_wedge_breaker(
+            self, monkeypatch):
+        # Regression: a non-OSError escaping Connection.connect during
+        # the half-open probe must hand the probe token back.  Before
+        # the BaseException handler in _connect, ``_probing`` stayed
+        # True forever and no thread was ever allowed to probe again.
+        cl = PooledClient("127.0.0.1", 1, retries=1,
+                          breaker_threshold=1, breaker_cooldown_s=0.05)
+        monkeypatch.setattr(
+            Connection, "connect",
+            staticmethod(lambda *a, **kw: (_ for _ in ()).throw(
+                RuntimeError("boom"))))
+        try:
+            with pytest.raises(RuntimeError):
+                cl._connect()
+            assert cl.breaker.state == "open"
+            time.sleep(0.1)
+            assert cl.breaker.state == "half-open"
+            with pytest.raises(RuntimeError):
+                cl._connect()  # the probe itself fails non-OSError
+            time.sleep(0.1)
+            # The breaker still grants a probe after each cooldown —
+            # it has not wedged.
+            assert cl.breaker.allow()
+        finally:
+            cl.breaker.record_failure()  # return the probe token
+            cl.close()
+
+    def test_half_open_grants_exactly_one_probe_under_contention(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=0.02)
+        for _ in range(20):
+            breaker.record_failure()
+            time.sleep(0.04)
+            assert breaker.state == "half-open"
+            grants = []
+            barrier = threading.Barrier(8)
+
+            def contender():
+                barrier.wait()
+                if breaker.allow():
+                    grants.append(threading.get_ident())
+
+            threads = [threading.Thread(target=contender)
+                       for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(5.0)
+            # The unlocked read-modify-write on ``_probing`` would let
+            # several contenders through here.
+            assert len(grants) == 1
+        breaker.record_success()
+        assert breaker.state == "closed"
+
     def test_connection_rejects_mismatched_response_id(self):
         ours, theirs = socket.socketpair()
 
