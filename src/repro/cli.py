@@ -43,13 +43,16 @@ Subcommands:
 - ``tix serve --store DIR|--doc name=path …`` — expose the telemetry
   pipeline over HTTP (stdlib only): ``/metrics`` in the OpenMetrics
   text format, ``/healthz`` liveness, ``/varz`` JSON (registry snapshot
-  + windowed rates from the time-series ring).  ``-q``/``-f`` run a
-  warmup batch at startup; ``--audit-log FILE`` appends one JSONL
-  record per query with ``--sample-rate``/``--slow-ms`` controls.
+  + windowed rates from the time-series ring), ``/traces`` for the
+  distributed trace store.  ``-q``/``-f`` run a warmup batch at
+  startup; ``--audit-log FILE`` appends one JSONL record per query
+  with ``--sample-rate``/``--slow-ms`` controls.
   ``--query-port N`` additionally serves the length-prefixed JSON
   wire protocol (:mod:`repro.server`) with admission control
   (``--max-inflight``, ``--queue-timeout-ms``) and a draining
-  shutdown (``--drain-timeout``).
+  shutdown (``--drain-timeout``); served requests are traced with
+  tail-based retention (``--trace-capacity``, ``--trace-slow-ms``,
+  ``--trace-sample`` — see ``docs/observability.md``).
 - ``tix client --port N -q QUERY`` — query a running server over the
   wire protocol: ``--timeout``/``--max-rows`` set server-side budgets,
   ``--no-degrade`` requests strict execution, ``--ping``/``--stats``
@@ -58,6 +61,16 @@ Subcommands:
   ``--clients`` concurrent workers sending ``--total`` requests and
   report the outcome mix (ok/truncated/rejected/error/transport plus
   latency quantiles); exit status 3 on any transport error.
+- ``tix top`` — live view of a running ``tix serve``: polls ``/varz``
+  and ``/traces`` every ``--interval`` seconds and renders request
+  latency, admission state, and the in-flight / slowest-retained trace
+  tables (``--iterations N --plain`` for a one-shot scriptable dump).
+- ``tix trace FILE | --server HOST:PORT`` — fetch, inspect, or export
+  distributed traces: without ``--id`` the in-flight/retained listing,
+  with ``--id`` one trace's full span tree, ``--chrome-out FILE`` the
+  Chrome ``traceEvents`` export (Perfetto-loadable), ``--json`` the
+  raw payload.  ``--server`` talks the wire protocol to the *query*
+  port; ``FILE`` re-reads a previously saved ``--json`` payload.
 - ``tix events FILE`` — inspect a query audit log: filter by
   ``--outcome``, ``--kind``, ``--min-wall MS`` or ``--slow-only``,
   ``--limit N`` for the tail, ``--json`` for raw records.
@@ -81,6 +94,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -614,6 +628,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     snap = Snapshotter(col.metrics, interval_s=args.snapshot_interval,
                        capacity=args.snapshot_capacity)
     snap.start()
+    from repro.obs.tracestore import RetentionPolicy, TraceStore
+
+    tstore = TraceStore(
+        capacity=args.trace_capacity,
+        policy=RetentionPolicy(slow_ms=args.trace_slow_ms,
+                               sample_rate=args.trace_sample),
+    )
     qserver = None
     if args.query_port is not None:
         from repro.perf import QueryCache as _QC
@@ -625,15 +646,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_timeout_ms=args.queue_timeout_ms,
             max_timeout_ms=args.max_timeout,
             cache=None if args.no_query_cache else _QC(store),
+            trace_store=tstore,
         )
         qserver.start()
         print(f"serving queries on {qserver.address}  "
               f"(wire protocol v1; max_inflight={args.max_inflight})",
               file=sys.stderr)
-    server = ObsServer(col.metrics, snapshotter=snap,
+    server = ObsServer(col.metrics, snapshotter=snap, trace_store=tstore,
                        host=args.host, port=args.port)
     print(f"serving metrics on {server.url}  "
-          f"(/metrics /healthz /varz; Ctrl-C to stop)", file=sys.stderr)
+          f"(/metrics /healthz /varz /traces; Ctrl-C to stop)",
+          file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -648,6 +671,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"query server {state}: {stats['admitted']} admitted, "
                   f"{stats['rejected_overload']} rejected overloaded, "
                   f"{stats['degraded']} degraded", file=sys.stderr)
+            ts = tstore.stats()
+            print(f"traces: {ts['retained']} retained "
+                  f"({ts['retained_total']} promoted, "
+                  f"{ts['dropped']} dropped)", file=sys.stderr)
         server.server_close()
         snap.stop()
         if sink is not None:
@@ -723,6 +750,222 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 3 if report.n_transport_errors else 0
+
+
+def _trace_row(t: dict) -> str:
+    """One trace-summary line shared by ``tix top`` and ``tix trace``."""
+    flags = []
+    if t.get("degraded"):
+        flags.append("degraded")
+    if t.get("truncated"):
+        flags.append("truncated")
+    tail = f"  [{','.join(flags)}]" if flags else ""
+    outcome = t.get("outcome") or "-"
+    why = t.get("retained_for") or "-"
+    return (f"  {t.get('trace_id', ''):<18} {t.get('op', ''):<6} "
+            f"{t.get('wall_ms', 0.0):>9.1f} {t.get('queued_ms', 0.0):>8.1f} "
+            f"{outcome:<9} {why:<8} {t.get('n_spans', 0):>5}  "
+            f"{str(t.get('query_sha256', ''))[:12]}{tail}")
+
+
+_TRACE_HEADER = (f"  {'trace':<18} {'op':<6} {'wall ms':>9} {'queued':>8} "
+                 f"{'outcome':<9} {'kept':<8} {'spans':>5}  query")
+
+
+def _render_top(base: str, varz: dict, traces: Optional[dict],
+                limit: int) -> str:
+    metrics = varz.get("metrics") or {}
+
+    def num(name: str) -> float:
+        v = metrics.get(name, 0)
+        return float(v) if isinstance(v, (int, float)) else 0.0
+
+    lines = [f"tix top — {base}  "
+             f"uptime {float(varz.get('uptime_s', 0.0)):.0f}s"]
+    req = metrics.get("server.request_ms")
+    if isinstance(req, dict):
+        lines.append(
+            f"  requests: {req.get('count', 0):g} served  "
+            f"p50/p95/p99 {req.get('p50', 0.0):.1f}/"
+            f"{req.get('p95', 0.0):.1f}/{req.get('p99', 0.0):.1f} ms")
+    lines.append(
+        f"  admission: inflight {num('server.inflight'):g}  "
+        f"admitted {num('server.admitted'):g}  "
+        f"rejected {num('server.rejected.overload'):g}  "
+        f"degraded {num('server.degraded'):g}")
+    if traces is None:
+        lines.append("  traces: (no trace store attached)")
+        return "\n".join(lines)
+    st = traces.get("stats") or {}
+    lines.append(
+        f"  traces: {st.get('inflight', 0)} in flight  "
+        f"{st.get('retained', 0)}/{st.get('capacity', 0)} retained  "
+        f"{st.get('retained_total', 0)} promoted  "
+        f"{st.get('dropped', 0)} dropped")
+    inflight = traces.get("inflight") or []
+    if inflight:
+        lines += ["", "  IN FLIGHT", _TRACE_HEADER]
+        by_age = sorted(inflight, key=lambda t: -t.get("wall_ms", 0.0))
+        lines += [_trace_row(t) for t in by_age[:limit]]
+    retained = traces.get("retained") or []
+    if retained:
+        slowest = sorted(retained, key=lambda t: -t.get("wall_ms", 0.0))
+        lines += ["", "  SLOWEST RETAINED", _TRACE_HEADER]
+        lines += [_trace_row(t) for t in slowest[:limit]]
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    base = f"http://{args.host}:{args.port}"
+
+    def fetch(path: str) -> Optional[dict]:
+        try:
+            with urllib.request.urlopen(
+                    base + path, timeout=args.call_timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError:
+            return None  # endpoint 404s when no trace store is attached
+
+    done = 0
+    try:
+        while True:
+            varz = fetch("/varz")
+            traces = fetch(f"/traces?limit={args.limit}")
+            body = _render_top(base, varz or {}, traces, args.limit)
+            if not args.plain:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(body)
+            sys.stdout.flush()
+            done += 1
+            if args.iterations and done >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"tix top: cannot reach {base}: {exc}", file=sys.stderr)
+        return 3
+
+
+def _render_span_tree(d: dict, depth: int = 0) -> List[str]:
+    dur = float(d.get("duration_ms", 0.0))
+    attrs = d.get("attrs") or {}
+    extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    mark = " (open)" if d.get("open") else ""
+    pad = "  " * depth
+    name = str(d.get("name", "?"))
+    width = max(1, 32 - len(pad))
+    lines = [f"  {pad}{name:<{width}} {dur:>9.3f} ms{mark}"
+             + (f"  {extra}" if extra else "")]
+    for child in d.get("children") or []:
+        if isinstance(child, dict):
+            lines += _render_span_tree(child, depth + 1)
+    return lines
+
+
+def _render_trace(trace: dict) -> str:
+    lines = [
+        f"trace {trace.get('trace_id', '?')}  op={trace.get('op', '?')}  "
+        f"attempt={trace.get('attempt', 0)}  "
+        f"status={trace.get('status', '?')}",
+        f"  outcome={trace.get('outcome') or '-'}  "
+        f"retained_for={trace.get('retained_for') or '-'}  "
+        f"wall={trace.get('wall_ms', 0.0):.3f} ms  "
+        f"queued={trace.get('queued_ms', 0.0):.3f} ms",
+        f"  query_sha256={trace.get('query_sha256') or '-'}",
+    ]
+    spans = trace.get("spans")
+    if isinstance(spans, dict):
+        lines.append("  spans:")
+        lines += _render_span_tree(spans, depth=1)
+    else:
+        lines.append("  spans: (none recorded — collector not installed)")
+    return "\n".join(lines)
+
+
+def _render_trace_listing(snapshot: dict, limit: int) -> str:
+    st = snapshot.get("stats") or {}
+    lines = [
+        f"trace store: {st.get('inflight', 0)} in flight, "
+        f"{st.get('retained', 0)}/{st.get('capacity', 0)} retained "
+        f"({st.get('retained_total', 0)} promoted, "
+        f"{st.get('dropped', 0)} dropped)",
+    ]
+    inflight = snapshot.get("inflight") or []
+    if inflight:
+        lines += ["", "IN FLIGHT", _TRACE_HEADER]
+        lines += [_trace_row(t) for t in inflight[:limit]]
+    retained = snapshot.get("retained") or []
+    if retained:
+        lines += ["", "RETAINED (newest first)", _TRACE_HEADER]
+        lines += [_trace_row(t) for t in retained[:limit]]
+    if not inflight and not retained:
+        lines.append("(no traces)")
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracestore import chrome_trace_from_dict
+
+    if bool(args.file) == bool(args.server):
+        print("tix trace: give exactly one of FILE or --server HOST:PORT",
+              file=sys.stderr)
+        return 2
+    chrome: Optional[dict] = None
+    if args.server:
+        host, _, port_s = args.server.rpartition(":")
+        if not host or not port_s.isdigit():
+            print(f"tix trace: --server wants HOST:PORT, "
+                  f"got {args.server!r}", file=sys.stderr)
+            return 2
+        from repro.server import PooledClient
+
+        try:
+            with PooledClient(host, int(port_s),
+                              call_timeout_s=args.call_timeout) as client:
+                if args.id:
+                    payload = client.traces(args.id)
+                    if args.chrome_out:
+                        chrome = client.traces(args.id, fmt="chrome")
+                else:
+                    payload = client.traces(limit=args.limit)
+        except OSError as exc:
+            print(f"tix trace: cannot reach {args.server}: {exc}",
+                  file=sys.stderr)
+            return 3
+    else:
+        with open(args.file, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        if not isinstance(payload, dict):
+            print(f"tix trace: {args.file} is not a trace JSON object",
+                  file=sys.stderr)
+            return 2
+    is_single = "spans" in payload or "trace_id" in payload
+    if args.chrome_out:
+        if not is_single:
+            print("tix trace: --chrome-out needs one trace "
+                  "(use --id, or a single-trace FILE)", file=sys.stderr)
+            return 2
+        if chrome is None:
+            chrome = chrome_trace_from_dict(payload)
+        with open(args.chrome_out, "w", encoding="utf-8") as f:
+            json.dump(chrome, f, indent=1)
+        n = len(chrome.get("traceEvents", []))
+        print(f"wrote {n} events to {args.chrome_out} "
+              f"(load at https://ui.perfetto.dev)", file=sys.stderr)
+        if not args.json:
+            return 0
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif is_single:
+        print(_render_trace(payload))
+    else:
+        print(_render_trace_listing(payload, args.limit))
+    return 0
 
 
 def _cmd_events(args: argparse.Namespace) -> int:
@@ -990,6 +1233,18 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="S",
                     help="on shutdown, wait up to S seconds for "
                          "in-flight queries to finish (default 5)")
+    sv.add_argument("--trace-capacity", type=int, default=256,
+                    metavar="N",
+                    help="retained distributed traces kept before "
+                         "oldest-first eviction (default 256)")
+    sv.add_argument("--trace-slow-ms", type=float, default=250.0,
+                    metavar="MS",
+                    help="tail retention: always keep traces slower "
+                         "than MS (default 250)")
+    sv.add_argument("--trace-sample", type=float, default=0.0,
+                    metavar="P",
+                    help="head-sample rate for fast successful traces "
+                         "(default 0.0 — keep only the tail)")
     sv.set_defaults(fn=_cmd_serve)
 
     cl = sub.add_parser(
@@ -1058,6 +1313,58 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--json", action="store_true",
                     help="emit the report as JSON")
     lt.set_defaults(fn=_cmd_loadtest)
+
+    tp = sub.add_parser(
+        "top",
+        help="live view of a running `tix serve`: polls /varz and "
+             "/traces for admission, latency, and trace tables",
+    )
+    tp.add_argument("--host", default="127.0.0.1",
+                    help="server address (default 127.0.0.1)")
+    tp.add_argument("--port", type=int, default=9184,
+                    help="the *metrics* port of tix serve, not the "
+                         "query port (default 9184)")
+    tp.add_argument("--interval", type=float, default=2.0, metavar="S",
+                    help="refresh period in seconds (default 2)")
+    tp.add_argument("--iterations", type=int, default=0, metavar="N",
+                    help="refresh N times then exit (default 0 = "
+                         "until Ctrl-C)")
+    tp.add_argument("--limit", type=int, default=10, metavar="N",
+                    help="rows per trace table (default 10)")
+    tp.add_argument("--call-timeout", type=float, default=5.0,
+                    metavar="S",
+                    help="HTTP timeout per poll (default 5)")
+    tp.add_argument("--plain", action="store_true",
+                    help="append refreshes instead of redrawing the "
+                         "screen (for logs and CI)")
+    tp.set_defaults(fn=_cmd_top)
+
+    tr = sub.add_parser(
+        "trace",
+        help="fetch, inspect, or export distributed traces (from a "
+             "saved JSON file or a live server)",
+    )
+    tr.add_argument("file", nargs="?",
+                    help="a saved trace JSON file (e.g. "
+                         "`tix trace --server … --id … --json > FILE`)")
+    tr.add_argument("--server", metavar="HOST:PORT",
+                    help="fetch from a running server's *query* port "
+                         "over the wire protocol")
+    tr.add_argument("--id", metavar="TRACE_ID",
+                    help="one trace's full span tree; without it, the "
+                         "in-flight/retained listing")
+    tr.add_argument("--limit", type=int, default=20, metavar="N",
+                    help="listing rows (default 20)")
+    tr.add_argument("--chrome-out", metavar="FILE",
+                    help="write the trace in Chrome traceEvents format "
+                         "(needs --id or a single-trace FILE)")
+    tr.add_argument("--call-timeout", type=float, default=30.0,
+                    metavar="S",
+                    help="client-side socket timeout per call "
+                         "(default 30)")
+    tr.add_argument("--json", action="store_true",
+                    help="emit the raw JSON payload")
+    tr.set_defaults(fn=_cmd_trace)
 
     ev = sub.add_parser(
         "events",
@@ -1138,6 +1445,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # failure modes: render the message, not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # ``tix … | head`` closes stdout early — a normal way to
+        # consume listing output, not a failure.  Repoint stdout at
+        # devnull so the interpreter's exit flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

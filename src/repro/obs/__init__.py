@@ -67,7 +67,8 @@ class NullRecorder:
     def count(self, name: str, n: Union[int, float] = 1) -> None:
         pass
 
-    def observe(self, name: str, value: Union[int, float]) -> None:
+    def observe(self, name: str, value: Union[int, float],
+                exemplar: Optional[str] = None) -> None:
         pass
 
     def set_gauge(self, name: str, value: Union[int, float]) -> None:
@@ -95,8 +96,9 @@ class Collector(NullRecorder):
     def count(self, name: str, n: Union[int, float] = 1) -> None:
         self.metrics.count(name, n)
 
-    def observe(self, name: str, value: Union[int, float]) -> None:
-        self.metrics.observe(name, value)
+    def observe(self, name: str, value: Union[int, float],
+                exemplar: Optional[str] = None) -> None:
+        self.metrics.observe(name, value, exemplar)
 
     def set_gauge(self, name: str, value: Union[int, float]) -> None:
         self.metrics.set_gauge(name, value)

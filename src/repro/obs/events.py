@@ -60,7 +60,7 @@ __all__ = [
     "SCHEMA_VERSION", "QueryEvent", "NullSink", "JsonlSink", "SINK",
     "install_sink", "uninstall_sink", "logging_queries", "observe_query",
     "current_event", "query_hash", "plan_top_ops", "iter_events",
-    "filter_events",
+    "filter_events", "set_trace_id", "current_trace_id",
 ]
 
 #: Version of the JSONL record layout (the ``"v"`` field).  Bump when a
@@ -68,9 +68,11 @@ __all__ = [
 #:
 #: - v1: initial layout;
 #: - v2: per-operator ``est_rows``/``q_error`` in ``ops`` (``None`` on
-#:   plans the estimator never annotated).  Readers (``tix events``,
-#:   ``tix feedback``) accept both versions.
-SCHEMA_VERSION = 2
+#:   plans the estimator never annotated);
+#: - v3: ``trace_id`` joins the record to the server's retained
+#:   distributed trace ("" for untraced executions).  Readers
+#:   (``tix events``, ``tix feedback``) accept all versions.
+SCHEMA_VERSION = 3
 
 
 def query_hash(source: str) -> str:
@@ -90,12 +92,13 @@ class QueryEvent:
     __slots__ = (
         "source", "kind", "ts", "wall_ms", "outcome", "rows",
         "truncated", "reason", "error_type", "cache", "plan_cache",
-        "guarded", "degraded", "guard_trip", "ops", "_t0",
+        "guarded", "degraded", "guard_trip", "ops", "trace_id", "_t0",
     )
 
     def __init__(self, source: str, kind: str = "query") -> None:
         self.source = source
         self.kind = kind
+        self.trace_id = current_trace_id()
         self.ts = time.time()
         self.wall_ms = 0.0
         self.outcome = "ok"            # ok | truncated | error
@@ -167,6 +170,7 @@ class QueryEvent:
                 "trip": self.guard_trip,
             },
             "ops": list(self.ops),
+            "trace_id": self.trace_id,
         }
 
 
@@ -346,13 +350,29 @@ def logging_queries(target: Union[str, IO[str]],
 
 class _EventState(threading.local):
     """Per-thread stack of in-flight events: the outermost
-    ``observe_query`` owns the record, nested ones annotate it."""
+    ``observe_query`` owns the record, nested ones annotate it.  Also
+    carries the thread's pending trace id (see :func:`set_trace_id`)."""
 
     def __init__(self) -> None:
         self.stack: List[QueryEvent] = []
+        self.trace_id = ""
 
 
 _STATE = _EventState()
+
+
+def set_trace_id(trace_id: str) -> None:
+    """Tag audit events created on the calling thread with
+    ``trace_id`` until cleared (``set_trace_id("")``).  The query
+    server brackets each request with this so the audit record joins
+    back to the retained distributed trace; thread-local, so
+    concurrent requests never cross-tag."""
+    _STATE.trace_id = trace_id
+
+
+def current_trace_id() -> str:
+    """The calling thread's pending trace id ("" when untraced)."""
+    return _STATE.trace_id
 
 
 def current_event() -> Optional[QueryEvent]:

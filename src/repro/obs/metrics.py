@@ -89,10 +89,22 @@ class Histogram:
     mean is exact and quantiles are exact at the distribution's edges
     (clamped to ``[min, max]``) and within half a bucket elsewhere.
     Non-positive observations land in a dedicated zero bucket.
+
+    An observation may carry an **exemplar** — an opaque label (in
+    practice a trace id) tying the recorded value back to the request
+    that produced it.  The histogram keeps a small ring of the most
+    recent exemplars plus the largest-valued one ever seen, so a
+    latency spike in ``server.request_ms`` is joinable to the retained
+    trace that explains it.  Exemplars surface in :meth:`snapshot`
+    (and hence ``/varz``) only; the OpenMetrics text format is left
+    untouched.
     """
 
+    #: Most-recent exemplars kept per histogram.
+    EXEMPLAR_SLOTS = 4
+
     __slots__ = ("name", "count", "total", "min", "max", "_zero",
-                 "_buckets", "_lock")
+                 "_buckets", "_exemplars", "_max_exemplar", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -102,10 +114,14 @@ class Histogram:
         self.max: Optional[float] = None
         self._zero = 0                      # observations <= 0
         self._buckets: Dict[int, int] = {}  # bucket index -> count
+        self._exemplars: List[Tuple[float, str]] = []  # recent ring
+        self._max_exemplar: Optional[Tuple[float, str]] = None
         self._lock = threading.Lock()
 
-    def observe(self, value: Union[int, float]) -> None:
-        """Record one observation."""
+    def observe(self, value: Union[int, float],
+                exemplar: Optional[str] = None) -> None:
+        """Record one observation, optionally labelled with an
+        ``exemplar`` (a trace id)."""
         v = float(value)
         with self._lock:
             self.count += 1
@@ -114,11 +130,32 @@ class Histogram:
                 self.min = v
             if self.max is None or v > self.max:
                 self.max = v
+            if exemplar:
+                self._exemplars.append((v, exemplar))
+                if len(self._exemplars) > self.EXEMPLAR_SLOTS:
+                    del self._exemplars[0]
+                if self._max_exemplar is None or v >= self._max_exemplar[0]:
+                    self._max_exemplar = (v, exemplar)
             if v <= 0.0:
                 self._zero += 1
                 return
             idx = math.floor(math.log(v) / _LOG_BASE)
             self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    def exemplars(self) -> List[Dict[str, object]]:
+        """Recent (and max-value) exemplars, oldest first:
+        ``[{"value": …, "trace_id": …, ("max": true)}, …]``."""
+        with self._lock:
+            recent = list(self._exemplars)
+            max_ex = self._max_exemplar
+        out: List[Dict[str, object]] = [
+            {"value": v, "trace_id": t} for v, t in recent
+        ]
+        if max_ex is not None and max_ex not in recent:
+            out.append(
+                {"value": max_ex[0], "trace_id": max_ex[1], "max": True}
+            )
+        return out
 
     def bucket_counts(self) -> Tuple[int, Dict[int, int]]:
         """A consistent ``(zero_count, {bucket index: count})`` copy.
@@ -170,8 +207,8 @@ class Histogram:
     def p99(self) -> float:
         return self.quantile(0.99)
 
-    def snapshot(self) -> Dict[str, float]:
-        return {
+    def snapshot(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.min is not None else 0.0,
@@ -181,6 +218,12 @@ class Histogram:
             "p95": self.p95,
             "p99": self.p99,
         }
+        # Key present only when an exemplar was ever recorded, so
+        # exemplar-free snapshots keep their historical exact shape.
+        ex = self.exemplars()
+        if ex:
+            d["exemplars"] = ex
+        return d
 
 
 def bucket_upper_bound(idx: int) -> float:
@@ -260,8 +303,9 @@ class MetricsRegistry:
     def count(self, name: str, n: Union[int, float] = 1) -> None:
         self.counter(name).inc(n)
 
-    def observe(self, name: str, value: Union[int, float]) -> None:
-        self.histogram(name).observe(value)
+    def observe(self, name: str, value: Union[int, float],
+                exemplar: Optional[str] = None) -> None:
+        self.histogram(name).observe(value, exemplar)
 
     def set_gauge(self, name: str, value: Union[int, float]) -> None:
         self.gauge(name).set(value)

@@ -9,7 +9,12 @@ around three read-only endpoints:
 - ``/healthz`` — a plain ``ok`` liveness probe;
 - ``/varz`` — a JSON dump: the registry snapshot, the snapshotter's
   ring stats and headline windowed rates (when one is attached), and
-  process uptime.
+  process uptime;
+- ``/traces`` — the attached trace store's in-flight + retained
+  summaries (``tix top`` polls this), ``/traces?id=<trace_id>`` one
+  trace's full span tree, with ``&format=chrome`` the Chrome
+  ``traceEvents`` export.  404 when no trace store is attached or the
+  id is unknown.
 
 The server observes itself: every request increments a
 ``serve.requests.<endpoint>`` counter and lands its handling latency in
@@ -30,11 +35,13 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
+from urllib.parse import parse_qs
 
 from repro import obs as _obs
 from repro.obs.export import CONTENT_TYPE, render_openmetrics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.snapshot import Snapshotter
+from repro.obs.tracestore import TraceStore
 
 __all__ = ["ObsServer"]
 
@@ -58,7 +65,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         t0 = time.perf_counter()
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         if path == "/metrics":
             endpoint = "metrics"
             body = render_openmetrics(self.server.registry)
@@ -71,6 +79,9 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.dumps(self.server.varz(), indent=2,
                               sort_keys=True) + "\n"
             self._reply(200, "application/json; charset=utf-8", body)
+        elif path == "/traces":
+            endpoint = "traces"
+            self._reply_traces(parse_qs(query))
         else:
             endpoint = "other"
             self._reply(404, "text/plain; charset=utf-8",
@@ -80,6 +91,35 @@ class _Handler(BaseHTTPRequestHandler):
             rec.count(f"serve.requests.{endpoint}")
             rec.observe("serve.request_ms",
                         (time.perf_counter() - t0) * 1000.0)
+
+    def _reply_traces(self, params: Dict[str, List[str]]) -> None:
+        """``/traces`` routing: store snapshot, one trace by ``?id=``,
+        or its Chrome export with ``&format=chrome``."""
+        store = self.server.trace_store
+        if store is None:
+            self._reply(404, "text/plain; charset=utf-8",
+                        "no trace store attached\n")
+            return
+        trace_ids = params.get("id")
+        if not trace_ids:
+            try:
+                limit = int(params.get("limit", ["50"])[0])
+            except ValueError:
+                limit = 50
+            payload: Dict[str, object] = store.snapshot(limit=limit)
+        else:
+            trace = store.get(trace_ids[0])
+            if trace is None:
+                self._reply(404, "text/plain; charset=utf-8",
+                            f"no such trace: {trace_ids[0]}\n")
+                return
+            fmt = params.get("format", [""])[0]
+            payload = (
+                trace.to_chrome_trace() if fmt == "chrome"
+                else trace.to_dict()
+            )
+        body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        self._reply(200, "application/json; charset=utf-8", body)
 
     def _reply(self, status: int, content_type: str, body: str) -> None:
         data = body.encode("utf-8")
@@ -97,6 +137,9 @@ class ObsServer(ThreadingHTTPServer):
     :param snapshotter: optional ring sampler — attaching one adds
         windowed rates to ``/varz`` (it is *not* started or stopped by
         the server; the owner controls its lifecycle);
+    :param trace_store: optional distributed-trace registry — attaching
+        one enables the ``/traces`` endpoint (typically the query
+        server's store, shared);
     :param host: bind address (default loopback);
     :param port: bind port (0 = ephemeral).
 
@@ -113,10 +156,12 @@ class ObsServer(ThreadingHTTPServer):
 
     def __init__(self, registry: MetricsRegistry, *,
                  snapshotter: Optional[Snapshotter] = None,
+                 trace_store: Optional[TraceStore] = None,
                  host: str = "127.0.0.1", port: int = 0) -> None:
         super().__init__((host, port), _Handler)
         self.registry = registry
         self.snapshotter = snapshotter
+        self.trace_store = trace_store
         self._started = time.time()
         self._thread: Optional[threading.Thread] = None
         self._handler_lock = threading.Lock()

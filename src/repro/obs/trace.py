@@ -23,6 +23,18 @@ Exports: :meth:`Tracer.to_dict` (nested JSON) and
 :meth:`Tracer.to_chrome_trace` (the Chrome/Perfetto ``traceEvents``
 format — load it at ``chrome://tracing`` or https://ui.perfetto.dev;
 each thread renders as its own timeline row via the ``tid`` field).
+Both exports are **snapshot-safe**: a span still open when the export
+runs (an in-flight query) renders as a well-formed partial span whose
+duration extends to the snapshot instant and whose record is flagged
+``open`` — never a zero-duration event, never an exception.  The
+free-standing :func:`chrome_trace_events` helper renders any span
+forest the same way, which is how the trace store exports one retained
+request trace without a whole tracer.
+
+:meth:`Tracer.detach` removes a finished root span (and its subtree)
+from the tracer's accounting — the distributed-tracing layer hands
+each request's span tree over to the trace store and detaches it, so
+a long-running server never exhausts ``max_spans``.
 """
 
 from __future__ import annotations
@@ -32,7 +44,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "Tracer", "chrome_trace_events"]
 
 
 class Span:
@@ -51,29 +63,55 @@ class Span:
         self.tid: int = 0
 
     @property
+    def open(self) -> bool:
+        """Whether the span has not been closed yet."""
+        return self.end_ns is None
+
+    @property
     def duration_ns(self) -> int:
-        """Span duration (0 while still open)."""
+        """Span duration (0 while still open; see
+        :meth:`duration_ns_at` for snapshot-consistent exports)."""
         if self.end_ns is None:
             return 0
         return self.end_ns - self.start_ns
+
+    def duration_ns_at(self, now_ns: Optional[int] = None) -> int:
+        """Span duration as of ``now_ns``: a still-open span extends to
+        the snapshot instant instead of reading as zero-length.  With
+        ``now_ns=None`` an open span is clocked at call time (use one
+        shared ``now_ns`` to export a consistent tree)."""
+        end = self.end_ns
+        if end is None:
+            end = time.perf_counter_ns() if now_ns is None else now_ns
+        return max(0, end - self.start_ns)
 
     @property
     def duration_ms(self) -> float:
         return self.duration_ns / 1e6
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, now_ns: Optional[int] = None) -> Dict[str, object]:
+        """Nested JSON form.  Open spans (an in-flight query being
+        snapshotted) report their duration up to ``now_ns`` (or call
+        time) and carry ``"open": true``."""
+        duration_ns = self.duration_ns_at(now_ns)
         d: Dict[str, object] = {
             "name": self.name,
             "start_ns": self.start_ns,
-            "duration_ns": self.duration_ns,
-            "duration_ms": self.duration_ms,
+            "duration_ns": duration_ns,
+            "duration_ms": duration_ns / 1e6,
             "tid": self.tid,
         }
+        if self.end_ns is None:
+            d["open"] = True
         if self.attrs:
             d["attrs"] = dict(self.attrs)
         if self.children:
-            d["children"] = [c.to_dict() for c in self.children]
+            d["children"] = [c.to_dict(now_ns) for c in self.children]
         return d
+
+    def n_spans(self) -> int:
+        """Size of this subtree (the span itself plus descendants)."""
+        return 1 + sum(c.n_spans() for c in self.children)
 
 
 class _ThreadStack(threading.local):
@@ -162,9 +200,31 @@ class Tracer:
         with self._lock:
             return list(self.roots)
 
+    def detach(self, span: Optional[Span]) -> bool:
+        """Remove a *root* span (and its subtree) from the tracer's
+        root list and span accounting.
+
+        The distributed-tracing layer calls this after handing a
+        finished request tree to the trace store: the store owns the
+        spans from then on, and the tracer's ``max_spans`` budget is
+        freed for the next requests instead of filling up over a
+        server's lifetime.  Returns ``False`` (no-op) for ``None``
+        (the over-budget token) or a span that is not a current root.
+        """
+        if span is None:
+            return False
+        with self._lock:
+            try:
+                self.roots.remove(span)
+            except ValueError:
+                return False
+            self._n_spans = max(0, self._n_spans - span.n_spans())
+        return True
+
     def to_dict(self) -> Dict[str, object]:
+        now_ns = time.perf_counter_ns()
         return {
-            "spans": [s.to_dict() for s in self._root_snapshot()],
+            "spans": [s.to_dict(now_ns) for s in self._root_snapshot()],
             "n_spans": self._n_spans,
             "dropped": self.dropped,
         }
@@ -174,29 +234,49 @@ class Tracer:
         event per span, timestamps in microseconds relative to the first
         span.  Thread idents are compacted to small stable ``tid``
         values (ordered by each thread's first span) so every thread
-        gets its own readable timeline row."""
-        events: List[Dict[str, object]] = []
-        roots = self._root_snapshot()
-        if not roots:
-            return {"traceEvents": events}
-        t0 = min(s.start_ns for s in roots)
-        tids: Dict[int, int] = {}
-        for root in sorted(roots, key=lambda s: s.start_ns):
-            tids.setdefault(root.tid, len(tids))
+        gets its own readable timeline row.  Spans still open at export
+        time render as partial events extending to the export instant
+        (flagged ``args["open"]``)."""
+        return chrome_trace_events(self._root_snapshot())
 
-        def emit(span: Span) -> None:
-            events.append({
-                "name": span.name,
-                "ph": "X",
-                "ts": (span.start_ns - t0) / 1e3,
-                "dur": span.duration_ns / 1e3,
-                "pid": 0,
-                "tid": tids.setdefault(span.tid, len(tids)),
-                "args": dict(span.attrs),
-            })
-            for child in span.children:
-                emit(child)
 
-        for root in roots:
-            emit(root)
+def chrome_trace_events(roots: List[Span],
+                        now_ns: Optional[int] = None) -> Dict[str, object]:
+    """Render a span forest as Chrome ``traceEvents`` JSON.
+
+    Shared by :meth:`Tracer.to_chrome_trace` (the whole collected
+    forest) and the trace store (one retained request tree).  Spans
+    still open at export time — an in-flight query being snapshotted —
+    are rendered with their duration up to ``now_ns`` (defaulting to
+    the call instant, shared across the whole export so the timeline is
+    consistent) and ``args["open"] = true``, never as zero-duration
+    events."""
+    events: List[Dict[str, object]] = []
+    if not roots:
         return {"traceEvents": events}
+    if now_ns is None:
+        now_ns = time.perf_counter_ns()
+    t0 = min(s.start_ns for s in roots)
+    tids: Dict[int, int] = {}
+    for root in sorted(roots, key=lambda s: s.start_ns):
+        tids.setdefault(root.tid, len(tids))
+
+    def emit(span: Span) -> None:
+        args = dict(span.attrs)
+        if span.end_ns is None:
+            args["open"] = True
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": (span.start_ns - t0) / 1e3,
+            "dur": span.duration_ns_at(now_ns) / 1e3,
+            "pid": 0,
+            "tid": tids.setdefault(span.tid, len(tids)),
+            "args": args,
+        })
+        for child in span.children:
+            emit(child)
+
+    for root in roots:
+        emit(root)
+    return {"traceEvents": events}

@@ -329,8 +329,14 @@ class QueryCache:
 
             norm = self.normalize(source)
             max_rows = getattr(guard, "max_rows", None)
+            rec = _obs.RECORDER
             if self.results is not None:
+                cspan = (rec.begin_span("cache.lookup")
+                         if rec.enabled else None)
                 cached = self.results.get(norm)
+                if cspan is not None:
+                    cspan.attrs["hit"] = cached is not None
+                rec.end_span(cspan)
                 if cached is not None:
                     if ev is not None:
                         ev.cache = "hit"
@@ -353,7 +359,10 @@ class QueryCache:
                     return GuardedResult(cached)
             if ev is not None and self.results is not None:
                 ev.cache = "miss"
-            plan = self.plans.acquire(norm)
+            # Plan-tier span: a first miss compiles inside acquire, so
+            # compile time shows up nested under it in the trace.
+            with rec.span("plan.acquire"):
+                plan = self.plans.acquire(norm)
             if plan is not None:
                 try:
                     res = execute_guarded(plan, guard)

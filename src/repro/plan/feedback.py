@@ -28,8 +28,9 @@ __all__ = [
     "feedback_report",
 ]
 
-#: Audit-log schema versions this reader understands.
-SUPPORTED_EVENT_VERSIONS = (1, 2)
+#: Audit-log schema versions this reader understands (v3 only adds
+#: ``trace_id``, which this aggregation ignores).
+SUPPORTED_EVENT_VERSIONS = (1, 2, 3)
 
 
 @dataclass

@@ -76,6 +76,10 @@ def execute_guarded(plan: Any, guard: NullGuard) -> GuardedResult:
     out: List[object] = []
     trip: Optional[QueryAbortedError] = None
     max_rows = getattr(guard, "max_rows", None)
+    # One span over the whole drain: the operators' own open/close
+    # spans nest under it (same thread), so a request trace reads
+    # guard execution → per-operator tree.
+    span = _obs.RECORDER.begin_span("execute.guarded")
     install_guard(guard)
     opened = False
     try:
@@ -103,6 +107,7 @@ def execute_guarded(plan: Any, guard: NullGuard) -> GuardedResult:
                 guard.publish()
     finally:
         uninstall_guard()
+        _obs.RECORDER.end_span(span)
     if _obs.RECORDER.enabled:
         from repro.plan.estimate import publish_qerrors
 
@@ -140,9 +145,12 @@ def run_query_guarded(store: "XMLStore", source: str, guard: NullGuard,
     from repro.query import parse_query
     from repro.query.compiler import compile_query
 
+    rec = _obs.RECORDER
     with _events.observe_query(source) as ev:
-        query = parse_query(source)
+        with rec.span("parse"):
+            query = parse_query(source)
         try:
+            # compile_query opens its own "compile" span.
             plan = compile_query(store, query, registry, **planner_opts)
         except PlannerHintError:
             raise  # a bad hint must surface, not change strategy
@@ -175,6 +183,7 @@ def evaluate_guarded(store: "XMLStore", query: Any, guard: NullGuard,
     """
     from repro.query.evaluator import evaluate_query
 
+    span = _obs.RECORDER.begin_span("execute.evaluate")
     install_guard(guard)
     try:
         try:
@@ -203,6 +212,7 @@ def evaluate_guarded(store: "XMLStore", query: Any, guard: NullGuard,
                 guard.publish()
     finally:
         uninstall_guard()
+        _obs.RECORDER.end_span(span)
     max_rows = getattr(guard, "max_rows", None)
     if max_rows is not None and len(results) > max_rows:
         exc = ResourceExhaustedError(

@@ -78,6 +78,7 @@ class AdmissionController:
         self.pressure_window_s = pressure_window_s
         self._cond = threading.Condition()
         self._inflight = 0
+        self._waiting = 0
         self._draining = False
         self._rejections: Deque[float] = deque()
         # Lifetime tallies (also mirrored as metrics when collecting).
@@ -117,7 +118,11 @@ class AdmissionController:
                         f"queued {self.queue_timeout_s * 1000.0:g} ms "
                         "without a slot"
                     )
-                self._cond.wait(remaining)
+                self._waiting += 1
+                try:
+                    self._cond.wait(remaining)
+                finally:
+                    self._waiting -= 1
             self._inflight += 1
             self.admitted += 1
             degraded = self._under_pressure_locked()
@@ -197,6 +202,7 @@ class AdmissionController:
             return {
                 "max_inflight": self.max_inflight,
                 "inflight": self._inflight,
+                "waiting": self._waiting,
                 "draining": self._draining,
                 "admitted": self.admitted,
                 "rejected_overload": self.rejected_overload,

@@ -29,6 +29,15 @@ Typed server rejections (``OVERLOADED``, ``SHUTTING_DOWN``) are *not*
 retried here — the server explicitly asked the caller to back off, and
 hammering it defeats admission control.  Callers see the typed
 exception and decide.
+
+**Distributed tracing**: every logical call mints a
+:class:`~repro.obs.tracestore.TraceContext` (``trace=False`` turns it
+off, making frames indistinguishable from an old client's) and carries
+it on each attempt with an ascending retry counter — a retry storm
+shows up server-side as one trace id with attempts 0, 1, 2 … instead
+of unrelated traces.  The server echoes the ``trace_id`` it served
+under (:attr:`RemoteResult.trace_id`), which is the join key into its
+retained-trace store (``tix trace --server``).
 """
 
 from __future__ import annotations
@@ -41,9 +50,11 @@ from typing import Any, Dict, List, Optional
 
 from repro import obs as _obs
 from repro.errors import CircuitOpenError, ProtocolError, TIXError
+from repro.obs.tracestore import TraceContext
 from repro.resilience.faultinject import retry
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
+    TRACE_FIELD,
     raise_for_error,
     read_frame,
     request,
@@ -77,18 +88,21 @@ class RemoteResult:
 
     __slots__ = (
         "rows", "truncated", "reason", "degraded", "generation",
-        "queued_ms",
+        "queued_ms", "trace_id",
     )
 
     def __init__(self, rows: List[RemoteRow], truncated: bool,
                  reason: str, degraded: bool, generation: int,
-                 queued_ms: float) -> None:
+                 queued_ms: float, trace_id: str = "") -> None:
         self.rows = rows
         self.truncated = truncated
         self.reason = reason
         self.degraded = degraded
         self.generation = generation
         self.queued_ms = queued_ms
+        #: The server-side trace id this result was served under ("" on
+        #: an old server that does not echo one).
+        self.trace_id = trace_id
 
     @property
     def n_results(self) -> int:
@@ -230,6 +244,8 @@ class PooledClient:
         consecutive *connect* failures;
     :param health_check_idle_s: ping a pooled connection idle longer
         than this before reuse;
+    :param trace: mint and propagate a trace context per logical call
+        (off → frames look exactly like an old client's);
     :param seed: seeds the jitter RNG (chaos-suite reproducibility).
     """
 
@@ -243,9 +259,11 @@ class PooledClient:
                  breaker_cooldown_s: float = 1.0,
                  health_check_idle_s: float = 30.0,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
+                 trace: bool = True,
                  seed: Optional[int] = None) -> None:
         import random
 
+        self.trace = trace
         self.host = host
         self.port = port
         self.size = size
@@ -317,12 +335,21 @@ class PooledClient:
     def _call(self, op: str, **fields: Any) -> Dict[str, Any]:
         """One logical call, retried across fresh connections on
         transient transport failure (jittered, seedable backoff).
-        Typed server errors (incl. OVERLOADED) are never retried."""
+        Typed server errors (incl. OVERLOADED) are never retried.
+
+        With tracing on, one :class:`TraceContext` is minted per
+        *logical* call and re-sent on every retry with an incremented
+        ``attempt`` counter, so the server sees the retries as one
+        causal story."""
         rec = _obs.RECORDER
         if rec.enabled:
             rec.count("client.requests")
+        ctx = TraceContext.mint() if self.trace else None
 
         def attempt() -> Dict[str, Any]:
+            if ctx is not None:
+                fields[TRACE_FIELD] = ctx.to_wire()
+                ctx.attempt += 1  # next retry, if any, is attempt N+1
             conn = self._checkout()
             try:
                 resp = conn.call(op, **fields)
@@ -381,6 +408,7 @@ class PooledClient:
             degraded=bool(resp.get("degraded")),
             generation=int(resp.get("generation", 0)),
             queued_ms=float(resp.get("queued_ms", 0.0)),
+            trace_id=str(resp.get("trace_id", "")),
         )
 
     def ping(self) -> bool:
@@ -394,6 +422,23 @@ class PooledClient:
         resp = self._call("stats")
         stats = resp.get("stats")
         return stats if isinstance(stats, dict) else {}
+
+    def traces(self, trace_id: Optional[str] = None, *,
+               fmt: Optional[str] = None,
+               limit: int = 50) -> Dict[str, Any]:
+        """The server's trace-store snapshot (no ``trace_id``), or one
+        retained/in-flight trace — full span tree, or Chrome
+        ``traceEvents`` with ``fmt="chrome"``.  Raises ``NOT_FOUND``
+        for an unknown id and ``BAD_REQUEST`` on an old server without
+        the ``traces`` op."""
+        fields: Dict[str, Any] = {"limit": limit}
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
+        if fmt is not None:
+            fields["format"] = fmt
+        resp = self._call("traces", **fields)
+        traces = resp.get("traces")
+        return traces if isinstance(traces, dict) else {}
 
     def close(self) -> None:
         with self._lock:

@@ -43,6 +43,7 @@ class LoadtestOutcome:
     n_results: int = 0
     degraded: bool = False
     elapsed_ms: float = 0.0
+    trace_id: str = ""  # server-side trace id (echoed on success)
 
 
 @dataclass
@@ -91,6 +92,20 @@ class LoadtestReport:
         idx = min(len(lats) - 1, int(q * len(lats)))
         return lats[idx]
 
+    def slowest_traces(self, limit: int = 5) -> List[Dict[str, Any]]:
+        """The slowest traced outcomes — the ids to look up in the
+        server's retained traces (``tix trace --server``)."""
+        traced = [o for o in self.outcomes if o.trace_id]
+        traced.sort(key=lambda o: o.elapsed_ms, reverse=True)
+        return [
+            {
+                "trace_id": o.trace_id,
+                "elapsed_ms": round(o.elapsed_ms, 3),
+                "category": o.category,
+            }
+            for o in traced[:limit]
+        ]
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "sent": self.sent,
@@ -108,6 +123,7 @@ class LoadtestReport:
                 "p95": round(self.latency_ms(0.95), 3),
                 "p99": round(self.latency_ms(0.99), 3),
             },
+            "slowest_traces": self.slowest_traces(),
         }
 
     def render(self) -> str:
@@ -129,6 +145,12 @@ class LoadtestReport:
                 f"{code}={n}" for code, n in sorted(d["by_code"].items())
             )
             lines.append(f"  codes: {codes}")
+        slow = d["slowest_traces"]
+        if slow:
+            lines.append("  slowest traces: " + ", ".join(
+                f"{t['trace_id']} ({t['elapsed_ms']:.1f} ms)"
+                for t in slow[:3]
+            ))
         return "\n".join(lines)
 
 
@@ -144,6 +166,7 @@ def _run_one(client: PooledClient, outcome: LoadtestOutcome, *,
         outcome.category = "truncated" if res.truncated else "ok"
         outcome.n_results = res.n_results
         outcome.degraded = res.degraded
+        outcome.trace_id = res.trace_id
     except (OverloadedError, ShuttingDownError) as exc:
         outcome.category = "rejected"
         outcome.code = error_code(exc)

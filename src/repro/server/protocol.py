@@ -29,6 +29,16 @@ parse/compile errors, and the serving-layer ``OVERLOADED`` /
 :func:`exception_for` maps a received envelope back to the matching
 exception class so remote errors re-raise as their local types.
 
+**Trace context** rides in an optional ``"trace"`` request field
+(``{"id": …, "span": …, "attempt": …}``, see
+:class:`repro.obs.tracestore.TraceContext`) and successful/failed
+responses echo the ``trace_id`` they were served under.  The field is
+deliberately *not* a protocol-version bump: an old server ignores the
+unknown key, and a frame without it makes a new server mint a root
+trace locally — old clients, new clients, old servers and new servers
+interoperate in every pairing.  :func:`parse_trace_context` never
+raises on malformed values for the same reason.
+
 Framing is hardened: a frame longer than ``max_bytes`` raises
 :class:`~repro.errors.ProtocolError` before any allocation, a
 connection closed mid-frame raises ``ProtocolError`` ("torn frame")
@@ -60,12 +70,14 @@ from repro.errors import (
     ShuttingDownError,
     TIXError,
 )
+from repro.obs.tracestore import TraceContext
 from repro.resilience import faultinject as _faults
 
 __all__ = [
-    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "ERROR_CODES",
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "ERROR_CODES", "TRACE_FIELD",
     "read_frame", "write_frame",
     "request", "ok_response", "error_response",
+    "trace_fields", "parse_trace_context",
     "error_code", "exception_for", "raise_for_error",
 ]
 
@@ -192,6 +204,26 @@ def write_frame(sock: socket.socket, obj: Dict[str, Any],
 # ----------------------------------------------------------------------
 # Frame constructors
 # ----------------------------------------------------------------------
+
+#: Request-frame key carrying the propagated trace context.
+TRACE_FIELD = "trace"
+
+
+def trace_fields(context: Optional[TraceContext]) -> Dict[str, Any]:
+    """The extra request fields propagating ``context`` (empty when
+    tracing is off — the frame then looks exactly like an old
+    client's)."""
+    if context is None:
+        return {}
+    return {TRACE_FIELD: context.to_wire()}
+
+
+def parse_trace_context(frame: Dict[str, Any]) -> Optional[TraceContext]:
+    """The trace context a request frame carries, or ``None`` for old
+    clients / malformed values (the server then mints a root trace
+    locally).  Never raises — back-compat by construction."""
+    return TraceContext.from_wire(frame.get(TRACE_FIELD))
+
 
 def request(op: str, request_id: int, **fields: Any) -> Dict[str, Any]:
     """A request frame for ``op`` with caller-chosen ``request_id``."""

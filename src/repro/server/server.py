@@ -30,7 +30,17 @@ Robustness properties:
   one thread for a bounded time only;
 - **typed failures** — every engine exception crossing the wire is an
   :func:`~repro.server.protocol.error_response` envelope; a client
-  never sees an unexplained disconnect for an in-protocol failure.
+  never sees an unexplained disconnect for an in-protocol failure;
+- **distributed tracing** — every ``query`` request continues the
+  client's propagated trace context (or mints a root trace for old
+  clients) in a :class:`~repro.obs.tracestore.TraceStore`: a
+  ``server.request`` root span wraps queue wait, gate pin, and the
+  guarded run (which contributes cache/compile/execute and
+  per-operator spans on the same thread), the response echoes the
+  ``trace_id``, audit events are tagged with it, and completed traces
+  are retained by the tail-based policy (slow / error /
+  degraded / head-sampled) for the ``traces`` wire op and the
+  ObsServer's ``/traces`` endpoint.
 
 One thread per connection (requests on a connection answered in
 order); the accept loop runs on its own thread.  Guard installation is
@@ -46,15 +56,24 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
 
 from repro import obs as _obs
-from repro.errors import ProtocolError, QueryAbortedError, TIXError
+from repro.errors import (
+    DocumentNotFoundError,
+    ProtocolError,
+    QueryAbortedError,
+    TIXError,
+)
+from repro.obs import events as _events
+from repro.obs.tracestore import RetentionPolicy, TraceStore
 from repro.resilience import faultinject as _faults
 from repro.resilience.guard import CancellationToken, QueryGuard
 from repro.server.admission import AdmissionController, StoreGate
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    error_code,
     error_response,
     ok_response,
+    parse_trace_context,
     read_frame,
     write_frame,
 )
@@ -70,7 +89,7 @@ __all__ = ["QueryServer"]
 #: Signature of a pluggable query runner: ``(source, guard) -> result``.
 Runner = Callable[[str, QueryGuard], "GuardedResult"]
 
-_KNOWN_OPS = ("query", "ping", "stats")
+_KNOWN_OPS = ("query", "ping", "stats", "traces")
 
 
 class QueryServer:
@@ -98,7 +117,12 @@ class QueryServer:
     :param cache: optional shared
         :class:`~repro.perf.querycache.QueryCache`;
     :param runner: pluggable execution hook for tests/chaos — defaults
-        to the cache (if any) or ``run_query_guarded``.
+        to the cache (if any) or ``run_query_guarded``;
+    :param trace_store: the distributed-trace registry (defaults to a
+        fresh :class:`~repro.obs.tracestore.TraceStore` with the
+        default tail-retention policy — pass one built with a custom
+        :class:`~repro.obs.tracestore.RetentionPolicy` to tune the
+        slow threshold / head-sample rate).
     """
 
     def __init__(self, store: "XMLStore", *,
@@ -113,9 +137,14 @@ class QueryServer:
                  idle_timeout_s: float = 30.0,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  cache: "Optional[QueryCache]" = None,
-                 runner: Optional[Runner] = None) -> None:
+                 runner: Optional[Runner] = None,
+                 trace_store: Optional[TraceStore] = None) -> None:
         self.store = store
         self.cache = cache
+        self.trace_store = (
+            trace_store if trace_store is not None
+            else TraceStore(policy=RetentionPolicy())
+        )
         self.default_timeout_ms = default_timeout_ms
         self.max_timeout_ms = max_timeout_ms
         self.max_rows_cap = max_rows_cap
@@ -312,6 +341,7 @@ class QueryServer:
         rec = _obs.RECORDER
         if rec.enabled:
             rec.count(f"server.requests.{op}")
+        trace_id = ""
         version = req.get("v")
         if not isinstance(version, int) or not (
                 1 <= version <= PROTOCOL_VERSION):
@@ -329,66 +359,158 @@ class QueryServer:
             sent = self._send(conn, ok_response(
                 rid, stats=self.admission.snapshot(),
             ))
+        elif op == "traces":
+            sent = self._handle_traces(conn, rid, req)
         elif op == "query":
-            sent = self._handle_query(conn, rid, req)
+            sent, trace_id = self._handle_query(conn, rid, req)
         else:
             sent = self._send(conn, error_response(
                 rid, ProtocolError(f"unknown op {raw_op!r}"),
                 code="BAD_REQUEST",
             ))
         if rec.enabled:
+            # The trace-id exemplar joins a latency outlier in the
+            # histogram back to its (retained) trace.
             rec.observe("server.request_ms",
-                        (perf_counter() - t0) * 1000.0)
+                        (perf_counter() - t0) * 1000.0,
+                        exemplar=trace_id or None)
         return sent
 
+    def _handle_traces(self, conn: socket.socket, rid: Any,
+                       req: Dict[str, Any]) -> bool:
+        """Answer a ``traces`` op: the store snapshot, or one trace by
+        id (full span tree, or Chrome ``traceEvents`` when the request
+        asks for ``format: "chrome"``)."""
+        trace_id = req.get("trace_id")
+        if trace_id is None:
+            limit = req.get("limit")
+            limit = int(limit) if isinstance(limit, (int, float)) else 50
+            return self._send(conn, ok_response(
+                rid, traces=self.trace_store.snapshot(limit=limit),
+            ))
+        trace = self.trace_store.get(str(trace_id))
+        if trace is None:
+            return self._send(conn, error_response(
+                rid,
+                DocumentNotFoundError(
+                    f"no in-flight or retained trace {trace_id!r} "
+                    f"(dropped, evicted, or never seen)"
+                ),
+            ))
+        payload = (
+            trace.to_chrome_trace() if req.get("format") == "chrome"
+            else trace.to_dict()
+        )
+        return self._send(conn, ok_response(rid, traces=payload))
+
     def _handle_query(self, conn: socket.socket, rid: Any,
-                      req: Dict[str, Any]) -> bool:
+                      req: Dict[str, Any]) -> "tuple[bool, str]":
+        """Answer one ``query`` request under its own trace.  Returns
+        ``(sent, trace_id)``."""
         source = req.get("q")
         if not isinstance(source, str) or not source.strip():
             return self._send(conn, error_response(
                 rid, ProtocolError("query op requires a non-empty 'q'"),
                 code="BAD_REQUEST",
-            ))
+            )), ""
+        rec = _obs.RECORDER
+        # Continue the client's propagated context, or mint a root
+        # trace for old clients (parse_trace_context → None).
+        trace = self.trace_store.begin(
+            parse_trace_context(req), op="query",
+            query_sha256=_events.query_hash(source),
+        )
+        tid = trace.trace_id
+        root = (
+            rec.begin_span("server.request", trace_id=tid,
+                           attempt=trace.attempt)
+            if rec.enabled else None
+        )
+        _events.set_trace_id(tid)
+        outcome = "error"
+        err_code = ""
+        degraded = False
+        truncated = False
         try:
-            ticket = self.admission.admit(self.store.generation)
-        except TIXError as exc:  # OverloadedError / ShuttingDownError
-            return self._send(conn, error_response(rid, exc))
-        token = CancellationToken()
-        with self._lock:
-            self._tokens.add(token)
-        try:
-            timeout_ms, max_rows, degrade = self._budgets(req, ticket)
-            with self.gate.read() as generation:
-                guard = QueryGuard(
-                    timeout_ms=timeout_ms, max_rows=max_rows,
-                    token=token, degrade=degrade,
-                )
-                try:
-                    res = self._run(source, guard)
-                except QueryAbortedError as exc:
-                    # Strict-mode guard trip: typed, never a disconnect.
-                    return self._send(conn, error_response(
-                        rid, exc, generation=generation))
-                except TIXError as exc:
-                    return self._send(conn, error_response(
-                        rid, exc, generation=generation))
-                except Exception as exc:  # defensive: INTERNAL envelope
-                    return self._send(conn, error_response(
-                        rid, exc, generation=generation))
-                with_scores = bool(req.get("with_scores", False))
-                rows = [self._row(t, with_scores) for t in res.results]
-                return self._send(conn, ok_response(
-                    rid, rows=rows, n=len(rows),
-                    truncated=res.truncated, reason=res.reason,
-                    degraded=ticket.degraded, generation=generation,
-                    queued_ms=round(ticket.queued_ms, 3),
-                ))
-        finally:
+            qspan = rec.begin_span("queue.wait") if rec.enabled else None
+            try:
+                ticket = self.admission.admit(self.store.generation)
+            except TIXError as exc:  # OverloadedError / ShuttingDownError
+                rec.end_span(qspan)
+                err_code = error_code(exc)
+                return self._send(conn, error_response(
+                    rid, exc, trace_id=tid)), tid
+            trace.queued_ms = ticket.queued_ms
+            if qspan is not None:
+                qspan.attrs["queued_ms"] = round(ticket.queued_ms, 3)
+            rec.end_span(qspan)
+            token = CancellationToken()
             with self._lock:
-                self._tokens.discard(token)
-            # Released only after the response write: a drain that
-            # completes implies every admitted request was *answered*.
-            self.admission.release(ticket)
+                self._tokens.add(token)
+            try:
+                timeout_ms, max_rows, degrade = self._budgets(req, ticket)
+                degraded = ticket.degraded
+                gspan = rec.begin_span("gate.pin") if rec.enabled else None
+                with self.gate.read() as generation:
+                    if gspan is not None:
+                        gspan.attrs["generation"] = generation
+                    rec.end_span(gspan)
+                    guard = QueryGuard(
+                        timeout_ms=timeout_ms, max_rows=max_rows,
+                        token=token, degrade=degrade,
+                    )
+                    try:
+                        res = self._run(source, guard)
+                    except QueryAbortedError as exc:
+                        # Strict-mode guard trip: typed, never a
+                        # disconnect.
+                        err_code = error_code(exc)
+                        return self._send(conn, error_response(
+                            rid, exc, generation=generation,
+                            trace_id=tid)), tid
+                    except TIXError as exc:
+                        err_code = error_code(exc)
+                        return self._send(conn, error_response(
+                            rid, exc, generation=generation,
+                            trace_id=tid)), tid
+                    except Exception as exc:  # defensive: INTERNAL
+                        err_code = error_code(exc)
+                        return self._send(conn, error_response(
+                            rid, exc, generation=generation,
+                            trace_id=tid)), tid
+                    with_scores = bool(req.get("with_scores", False))
+                    rows = [self._row(t, with_scores) for t in res.results]
+                    truncated = res.truncated
+                    outcome = "truncated" if truncated else "ok"
+                    return self._send(conn, ok_response(
+                        rid, rows=rows, n=len(rows),
+                        truncated=res.truncated, reason=res.reason,
+                        degraded=ticket.degraded, generation=generation,
+                        queued_ms=round(ticket.queued_ms, 3),
+                        trace_id=tid,
+                    )), tid
+            finally:
+                with self._lock:
+                    self._tokens.discard(token)
+                # Released only after the response write: a drain that
+                # completes implies every admitted request was
+                # *answered*.
+                self.admission.release(ticket)
+        finally:
+            _events.set_trace_id("")
+            if root is not None:
+                rec.end_span(root)
+                # Hand the finished span tree to the trace store and
+                # free the tracer's max_spans budget — a long-running
+                # server must not exhaust it.
+                trace.root = root
+                tracer = getattr(rec, "tracer", None)
+                if tracer is not None:
+                    tracer.detach(root)
+            self.trace_store.complete(
+                trace, outcome=outcome, error_code=err_code,
+                degraded=degraded, truncated=truncated,
+            )
 
     def _budgets(self, req: Dict[str, Any], ticket: Any,
                  ) -> "tuple[Optional[float], Optional[int], bool]":

@@ -1,0 +1,413 @@
+"""Unit tests for the distributed-trace layer: context propagation
+parsing, tail-based retention verdicts, the bounded trace store, span
+detachment, partial-span Chrome export, and histogram exemplars."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer, chrome_trace_events
+from repro.obs.tracestore import (
+    RetentionPolicy,
+    Trace,
+    TraceContext,
+    TraceStore,
+    chrome_trace_from_dict,
+    new_span_id,
+    new_trace_id,
+)
+
+
+class TestTraceContext:
+    def test_mint_and_wire_round_trip(self):
+        ctx = TraceContext.mint()
+        assert len(ctx.trace_id) == 16
+        assert len(ctx.parent_span_id) == 16
+        back = TraceContext.from_wire(ctx.to_wire())
+        assert back is not None
+        assert back.trace_id == ctx.trace_id
+        assert back.parent_span_id == ctx.parent_span_id
+        assert back.attempt == 0
+
+    def test_wire_field_shape(self):
+        ctx = TraceContext("abc123", parent_span_id="def456", attempt=2)
+        assert ctx.to_wire() == {
+            "id": "abc123", "span": "def456", "attempt": 2,
+        }
+
+    @pytest.mark.parametrize("bad", [
+        None, "a-string", 7, [], {}, {"span": "x"}, {"id": ""},
+        {"id": 5}, {"id": None},
+    ])
+    def test_malformed_wire_values_parse_to_none(self, bad):
+        # Tolerance is the back-compat contract: an old or buggy
+        # client must never poison the serving path.
+        assert TraceContext.from_wire(bad) is None
+
+    def test_partial_wire_values_clamp(self):
+        ctx = TraceContext.from_wire({"id": "t1", "attempt": -3})
+        assert ctx is not None
+        assert ctx.trace_id == "t1"
+        assert ctx.parent_span_id == ""
+        assert ctx.attempt == 0
+        ctx = TraceContext.from_wire({"id": "t2", "span": 9,
+                                      "attempt": "x"})
+        assert ctx.parent_span_id == ""
+        assert ctx.attempt == 0
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+        assert len({new_span_id() for _ in range(64)}) == 64
+
+
+def _completed(store, **kw):
+    t = store.begin(op="query")
+    store.complete(t, **kw)
+    return t
+
+
+class TestRetentionPolicy:
+    def _trace(self, wall_ms=0.0):
+        t = Trace(new_trace_id())
+        t.end_ns = t.start_ns + int(wall_ms * 1e6)
+        return t
+
+    def test_error_wins_over_everything(self):
+        pol = RetentionPolicy(slow_ms=0.0)
+        t = self._trace(wall_ms=100.0)
+        t.outcome = "error"
+        t.degraded = True
+        assert pol.verdict(t) == "error"
+
+    def test_degraded_and_truncated_force_retention(self):
+        pol = RetentionPolicy(slow_ms=None)
+        t = self._trace()
+        t.outcome = "ok"
+        t.degraded = True
+        assert pol.verdict(t) == "degraded"
+        t2 = self._trace()
+        t2.outcome = "truncated"
+        t2.truncated = True
+        assert pol.verdict(t2) == "degraded"
+
+    def test_slow_threshold(self):
+        pol = RetentionPolicy(slow_ms=50.0)
+        slow = self._trace(wall_ms=60.0)
+        slow.outcome = "ok"
+        fast = self._trace(wall_ms=10.0)
+        fast.outcome = "ok"
+        assert pol.verdict(slow) == "slow"
+        assert pol.verdict(fast) == ""
+
+    def test_head_sample_is_latency_independent(self):
+        # The sampled verdict comes from the flag drawn at begin(),
+        # not from anything measured at completion.
+        pol = RetentionPolicy(slow_ms=None, sample_rate=0.5)
+        t = self._trace(wall_ms=1.0)
+        t.outcome = "ok"
+        t.head_sampled = True
+        assert pol.verdict(t) == "sampled"
+        t.head_sampled = False
+        assert pol.verdict(t) == ""
+
+    def test_head_sample_deterministic_under_seed(self):
+        a = RetentionPolicy(sample_rate=0.5, seed=7)
+        b = RetentionPolicy(sample_rate=0.5, seed=7)
+        draws_a = [a.head_sample() for _ in range(100)]
+        draws_b = [b.head_sample() for _ in range(100)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_sample_rate_edges(self):
+        assert RetentionPolicy(sample_rate=1.0).head_sample() is True
+        assert RetentionPolicy(sample_rate=0.0).head_sample() is False
+        with pytest.raises(ValueError):
+            RetentionPolicy(sample_rate=1.5)
+
+    def test_retention_can_be_disabled_per_class(self):
+        pol = RetentionPolicy(slow_ms=None, retain_errors=False,
+                              retain_degraded=False)
+        t = self._trace()
+        t.outcome = "error"
+        t.degraded = True
+        assert pol.verdict(t) == ""
+
+
+class TestTraceStore:
+    def test_begin_without_context_mints_root(self):
+        store = TraceStore()
+        t = store.begin(op="query", query_sha256="abc")
+        assert len(t.trace_id) == 16
+        assert t.attempt == 0
+        assert not t.completed
+        assert store.get(t.trace_id) is t
+        assert [x.trace_id for x in store.inflight()] == [t.trace_id]
+
+    def test_begin_with_context_continues_client_trace(self):
+        store = TraceStore()
+        ctx = TraceContext("c" * 16, parent_span_id="p" * 16, attempt=1)
+        t = store.begin(ctx, op="query")
+        assert t.trace_id == "c" * 16
+        assert t.parent_span_id == "p" * 16
+        assert t.attempt == 1
+
+    def test_complete_applies_policy_and_moves_to_retained(self):
+        store = TraceStore(policy=RetentionPolicy(slow_ms=0.0))
+        t = store.begin(op="query")
+        reason = store.complete(t, outcome="ok")
+        assert reason == "slow"
+        assert t.retained_for == "slow"
+        assert t.completed
+        assert store.inflight() == []
+        assert store.get(t.trace_id) is t
+
+    def test_fast_success_is_dropped_at_sample_zero(self):
+        store = TraceStore(policy=RetentionPolicy(slow_ms=10_000.0))
+        t = store.begin(op="query")
+        assert store.complete(t, outcome="ok") == ""
+        assert store.get(t.trace_id) is None
+        assert store.stats()["retained"] == 0
+
+    def test_eviction_is_oldest_first_and_counted(self):
+        store = TraceStore(capacity=3,
+                           policy=RetentionPolicy(slow_ms=0.0))
+        traces = [_completed(store) for _ in range(5)]
+        st = store.stats()
+        assert st["retained"] == 3
+        assert st["retained_total"] == 5
+        assert st["dropped"] == 2
+        kept = [t.trace_id for t in store.retained()]
+        assert kept == [t.trace_id for t in traces[2:]]
+        # Evicted ids are gone; survivors still resolvable.
+        assert store.get(traces[0].trace_id) is None
+        assert store.get(traces[4].trace_id) is traces[4]
+
+    def test_retry_collision_keeps_both_trees(self):
+        store = TraceStore(policy=RetentionPolicy(slow_ms=0.0))
+        ctx0 = TraceContext("t" * 16, attempt=0)
+        ctx1 = TraceContext("t" * 16, attempt=1)
+        a = store.begin(ctx0, op="query")
+        b = store.begin(ctx1, op="query")
+        assert a.store_key != b.store_key
+        assert len(store.inflight()) == 2
+        store.complete(a, outcome="ok")
+        store.complete(b, outcome="error", error_code="TIMEOUT")
+        assert store.stats() == {
+            "capacity": 256, "started": 2, "completed": 2,
+            "inflight": 0, "retained": 2, "retained_total": 2,
+            "dropped": 0,
+        }
+
+    def test_snapshot_shape_and_ordering(self):
+        store = TraceStore(policy=RetentionPolicy(slow_ms=0.0))
+        done = [_completed(store) for _ in range(3)]
+        live = store.begin(op="query")
+        snap = store.snapshot(limit=2)
+        assert set(snap) == {"stats", "inflight", "retained"}
+        assert [t["trace_id"] for t in snap["inflight"]] == [live.trace_id]
+        # Newest first, capped at the limit.
+        assert [t["trace_id"] for t in snap["retained"]] == [
+            done[2].trace_id, done[1].trace_id,
+        ]
+        row = snap["retained"][0]
+        assert row["status"] == "completed"
+        assert row["retained_for"] == "slow"
+        json.dumps(snap)  # wire/HTTP payload must be serializable
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+    def test_metrics_emitted_through_recorder(self):
+        col = obs.Collector()
+        obs.install(col)
+        try:
+            store = TraceStore(capacity=1,
+                               policy=RetentionPolicy(slow_ms=0.0))
+            _completed(store)
+            _completed(store)          # evicts the first
+            t = store.begin(op="query")
+            snap = col.metrics.snapshot()
+            assert snap["trace.started"] == 3
+            assert snap["trace.completed"] == 2
+            assert snap["trace.inflight"] == 1
+            assert snap["trace.retained.slow"] == 2
+            assert snap["trace.dropped"] == 1
+            store.complete(t, outcome="error")
+            assert col.metrics.snapshot()["trace.retained.error"] == 1
+        finally:
+            obs.uninstall()
+
+    def test_concurrent_begin_complete_is_consistent(self):
+        store = TraceStore(capacity=8,
+                           policy=RetentionPolicy(slow_ms=0.0))
+
+        def worker():
+            for _ in range(50):
+                store.complete(store.begin(op="query"), outcome="ok")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        st = store.stats()
+        assert st["started"] == st["completed"] == 200
+        assert st["inflight"] == 0
+        assert st["retained"] == 8
+        assert st["retained_total"] == 200
+        assert st["dropped"] == 192
+
+
+class TestTraceObject:
+    def test_summary_of_inflight_trace_reports_running_wall(self):
+        t = Trace(new_trace_id(), op="query", query_sha256="beef")
+        s = t.summary()
+        assert s["status"] == "inflight"
+        assert s["wall_ms"] >= 0.0
+        assert s["outcome"] == ""
+        assert s["n_spans"] == 0
+
+    def test_to_dict_includes_span_tree(self):
+        tracer = Tracer()
+        root = tracer.begin("server.request")
+        with tracer.span("parse"):
+            pass
+        tracer.end(root)
+        t = Trace(new_trace_id())
+        t.root = root
+        d = t.to_dict()
+        assert d["spans"]["name"] == "server.request"
+        assert [c["name"] for c in d["spans"]["children"]] == ["parse"]
+        assert t.n_spans == 2
+
+    def test_chrome_trace_of_empty_trace(self):
+        t = Trace(new_trace_id())
+        assert t.to_chrome_trace() == {"traceEvents": []}
+
+
+class TestPartialSpanExport:
+    """Satellite (a): exports must stay well-formed while spans are
+    still open (an in-flight query snapshotted mid-execution)."""
+
+    def test_open_span_renders_partial_not_zero(self):
+        tracer = Tracer()
+        root = tracer.begin("server.request")
+        tracer.begin("execute.guarded")  # left open
+        out = chrome_trace_events([root])
+        events = out["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["args"]["open"] is True
+            assert ev["dur"] > 0.0
+
+    def test_shared_now_keeps_snapshot_consistent(self):
+        tracer = Tracer()
+        root = tracer.begin("a")
+        child = tracer.begin("b")
+        now_ns = root.start_ns + 5_000_000
+        d = root.to_dict(now_ns)
+        assert d["open"] is True
+        assert d["duration_ns"] == 5_000_000
+        assert d["children"][0]["open"] is True
+        assert child.duration_ns_at(now_ns) <= d["duration_ns"]
+
+    def test_closed_spans_do_not_carry_open_flag(self):
+        tracer = Tracer()
+        with tracer.span("done"):
+            pass
+        (ev,) = chrome_trace_events(tracer.roots)["traceEvents"]
+        assert "open" not in ev["args"]
+        d = tracer.roots[0].to_dict()
+        assert "open" not in d
+
+    def test_chrome_trace_from_dict_round_trip(self):
+        tracer = Tracer()
+        root = tracer.begin("server.request")
+        with tracer.span("parse"):
+            pass
+        tracer.begin("execute.guarded")  # still open
+        t = Trace(new_trace_id())
+        t.root = root
+        live = t.to_chrome_trace()
+        revived = chrome_trace_from_dict(
+            json.loads(json.dumps(t.to_dict()))
+        )
+        assert [e["name"] for e in revived["traceEvents"]] == \
+            [e["name"] for e in live["traceEvents"]]
+        open_flags = [e["args"].get("open") for e in
+                      revived["traceEvents"]]
+        assert open_flags == [True, None, True]
+
+    def test_chrome_trace_from_dict_tolerates_missing_spans(self):
+        assert chrome_trace_from_dict({}) == {"traceEvents": []}
+        assert chrome_trace_from_dict({"spans": None}) == \
+            {"traceEvents": []}
+
+
+class TestDetach:
+    def test_detach_frees_roots_and_span_budget(self):
+        tracer = Tracer()
+        root = tracer.begin("server.request")
+        with tracer.span("child"):
+            pass
+        tracer.end(root)
+        assert tracer.n_spans == 2
+        assert tracer.detach(root) is True
+        assert tracer.roots == []
+        assert tracer.n_spans == 0
+        # The subtree itself survives for the trace store.
+        assert root.n_spans() == 2
+
+    def test_detach_rejects_non_roots_and_none(self):
+        tracer = Tracer()
+        root = tracer.begin("r")
+        child = tracer.begin("c")
+        tracer.end(child)
+        tracer.end(root)
+        assert tracer.detach(None) is False
+        assert tracer.detach(child) is False
+        assert tracer.detach(Span("other", 0)) is False
+        assert tracer.n_spans == 2
+
+    def test_detach_lets_a_long_running_server_reuse_budget(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(10):
+            root = tracer.begin("req")
+            tracer.end(root)
+            assert root is not None
+            assert tracer.detach(root) is True
+        assert tracer.dropped == 0
+
+
+class TestHistogramExemplars:
+    def test_exemplars_ring_and_max(self):
+        h = Histogram("server.request_ms")
+        h.observe(99.0, exemplar="tmax")
+        for i in range(6):
+            h.observe(float(i), exemplar=f"t{i}")
+        h.observe(1.0, exemplar="tlast")  # tmax now aged out of the ring
+        ex = h.exemplars()
+        ids = [e["trace_id"] for e in ex]
+        assert "tlast" in ids
+        maxes = [e for e in ex if e.get("max")]
+        assert len(maxes) == 1
+        assert maxes[0]["trace_id"] == "tmax"
+        assert maxes[0]["value"] == 99.0
+        assert len([e for e in ex if not e.get("max")]) \
+            <= Histogram.EXEMPLAR_SLOTS
+
+    def test_snapshot_shape_unchanged_without_exemplars(self):
+        h = Histogram("plain")
+        h.observe(1.0)
+        assert "exemplars" not in h.snapshot()
+
+    def test_registry_passthrough(self):
+        reg = MetricsRegistry()
+        reg.observe("lat_ms", 5.0, exemplar="abc")
+        snap = reg.snapshot()["lat_ms"]
+        assert snap["exemplars"][0]["trace_id"] == "abc"
